@@ -1,0 +1,209 @@
+package fancy
+
+// One benchmark per table and figure of the paper's evaluation. Each wraps
+// the corresponding driver in internal/exp at Quick scale (subsampled
+// grids, shortened runs); `cmd/fancy-bench -full` regenerates the
+// paper-scale versions. The benchmark output includes the rendered rows so
+// `go test -bench=.` doubles as a reproduction run; EXPERIMENTS.md records
+// paper-vs-measured values.
+
+import (
+	"testing"
+
+	"fancy/internal/exp"
+)
+
+const benchSeed = 20220822 // SIGCOMM'22 started on August 22
+
+func BenchmarkTable2LossRadar(b *testing.B) {
+	var out string
+	for i := 0; i < b.N; i++ {
+		out = exp.Table2()
+	}
+	b.StopTimer()
+	if testing.Verbose() {
+		b.Log("\n" + out)
+	}
+}
+
+func BenchmarkFigure2NetSeer(b *testing.B) {
+	var out string
+	for i := 0; i < b.N; i++ {
+		out = exp.Figure2()
+	}
+	b.StopTimer()
+	if testing.Verbose() {
+		b.Log("\n" + out)
+	}
+}
+
+func BenchmarkFigure7Dedicated(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := exp.Figure7(exp.Quick, benchSeed)
+		if r.TPR[0][0] < 0.99 {
+			b.Fatalf("dedicated TPR regression: %v", r.TPR[0][0])
+		}
+	}
+}
+
+func BenchmarkFigure8ZoomingSpeed(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := exp.Figure8(exp.Quick, benchSeed)
+		if len(r.MinRank) != 4 {
+			b.Fatal("missing zooming speeds")
+		}
+	}
+}
+
+func BenchmarkFigure9HashTreeSingle(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := exp.Figure9Single(exp.Quick, benchSeed)
+		if r.TPR[0][0] < 0.99 {
+			b.Fatalf("tree TPR regression: %v", r.TPR[0][0])
+		}
+	}
+}
+
+func BenchmarkFigure9HashTreeMulti(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := exp.Figure9Multi(exp.Quick, benchSeed)
+		if r.TPR[0][0] < 0.8 {
+			b.Fatalf("multi-entry TPR regression: %v", r.TPR[0][0])
+		}
+	}
+}
+
+func BenchmarkUniformFailures(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := exp.UniformFailures(exp.Quick, benchSeed)
+		for j := range r.LossRates {
+			if !r.Detected[j] {
+				b.Fatalf("uniform loss %v undetected", r.LossRates[j])
+			}
+		}
+	}
+}
+
+func BenchmarkTable3Traces(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := exp.Table3(exp.Quick, benchSeed)
+		if len(r.Rows) == 0 {
+			b.Fatal("no rows")
+		}
+	}
+}
+
+func BenchmarkBaselineComparison(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := exp.BaselineComparison(exp.Quick, benchSeed)
+		if len(r.Rows) != 5 {
+			b.Fatal("missing designs")
+		}
+	}
+}
+
+func BenchmarkTable4Resources(b *testing.B) {
+	var out string
+	for i := 0; i < b.N; i++ {
+		out = exp.Table4()
+	}
+	b.StopTimer()
+	if testing.Verbose() {
+		b.Log("\n" + out)
+	}
+}
+
+func BenchmarkTable5TraceStats(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		exp.Table5(exp.Quick)
+	}
+}
+
+func BenchmarkFigure10Reroute(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := exp.Figure10(exp.Quick, benchSeed)
+		for _, s := range r.Series {
+			if s.ReroutedAt == 0 {
+				b.Fatalf("%s: reroute regression", s.Label)
+			}
+		}
+	}
+}
+
+func BenchmarkFigure11Sensitivity(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := exp.Figure11(exp.Quick, benchSeed)
+		if len(r.Rows) == 0 {
+			b.Fatal("no rows")
+		}
+	}
+}
+
+func BenchmarkOverhead(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		o := exp.Overhead()
+		if o.DedicatedFraction <= 0 {
+			b.Fatal("overhead regression")
+		}
+	}
+}
+
+func BenchmarkSweepExchangeFrequency(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := exp.ExchangeFrequencySweep(exp.Quick, benchSeed)
+		if len(r.Rows) != 4 {
+			b.Fatal("missing intervals")
+		}
+	}
+}
+
+func BenchmarkSweepLinkDelay(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := exp.DelaySweep(exp.Quick, benchSeed)
+		if len(r.Rows) != 2 {
+			b.Fatal("missing delays")
+		}
+	}
+}
+
+func BenchmarkAblationStrawman(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := exp.AblationStrawman(exp.Quick, benchSeed)
+		if len(r.Rows) == 0 {
+			b.Fatal("no rows")
+		}
+	}
+}
+
+func BenchmarkAblationSelection(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := exp.AblationSelection(exp.Quick, benchSeed)
+		if len(r.Rows) != 2 {
+			b.Fatal("missing policies")
+		}
+	}
+}
+
+func BenchmarkAblationBlink(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := exp.AblationBlink(exp.Quick, benchSeed)
+		if len(r.Rows) != 2 {
+			b.Fatal("missing scenarios")
+		}
+	}
+}
+
+// BenchmarkDetectorHotPath measures the per-packet cost of the detector's
+// egress tagging + counting on a monitored link, the data-plane fast path.
+func BenchmarkDetectorHotPath(b *testing.B) {
+	s := NewSim(1)
+	ml := NewMonitoredLink(s, Config{
+		HighPriority: []EntryID{10},
+		MemoryBytes:  20_000,
+	})
+	ml.UDP(10, 50e6, 0, Time(b.N+1)*Millisecond)
+	ml.UDP(500, 50e6, 0, Time(b.N+1)*Millisecond)
+	b.ReportAllocs()
+	b.ResetTimer()
+	s.Run(Time(b.N) * Millisecond)
+}

@@ -1,0 +1,137 @@
+// Command fancy-bench regenerates the tables and figures of the FANcY
+// paper's evaluation.
+//
+// Usage:
+//
+//	fancy-bench -list
+//	fancy-bench -exp fig7,table3
+//	fancy-bench -exp all -full        # paper-scale parameters (slow)
+//
+// Each experiment prints the same rows/series the paper reports; see
+// EXPERIMENTS.md for the paper-vs-measured record.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+	"time"
+
+	"fancy/internal/exp"
+)
+
+type experiment struct {
+	name string
+	desc string
+	run  func(scale exp.Scale, seed int64) string
+}
+
+func experiments() []experiment {
+	return []experiment{
+		{"table2", "LossRadar requirements vs switch capabilities (§2.3)",
+			func(exp.Scale, int64) string { return exp.Table2() }},
+		{"fig2", "NetSeer required memory vs link latency (§2.3)",
+			func(exp.Scale, int64) string { return exp.Figure2() }},
+		{"fig7", "dedicated-counter accuracy & speed heatmaps (§5.1.1)",
+			func(s exp.Scale, seed int64) string { return exp.Figure7(s, seed).Render() }},
+		{"fig8", "minimum entry size per zooming speed (§5.1.2)",
+			func(s exp.Scale, seed int64) string { return exp.Figure8(s, seed).Render() }},
+		{"fig9a", "hash-tree heatmaps, single-entry failures (§5.1.2)",
+			func(s exp.Scale, seed int64) string { return exp.Figure9Single(s, seed).Render() }},
+		{"fig9b", "hash-tree heatmaps, multi-entry failures (§5.1.2)",
+			func(s exp.Scale, seed int64) string { return exp.Figure9Multi(s, seed).Render() }},
+		{"uniform", "uniform-failure classification (§5.1.3)",
+			func(s exp.Scale, seed int64) string {
+				r := exp.UniformFailures(s, seed)
+				var b strings.Builder
+				b.WriteString("== §5.1.3 uniform failures ==\n")
+				for i, loss := range r.LossRates {
+					fmt.Fprintf(&b, "loss %-5s detected=%v latency=%.2fs\n",
+						exp.LossLabel(loss), r.Detected[i], r.Latency[i])
+				}
+				return b.String()
+			}},
+		{"table3", "FANcY on CAIDA-like traces (§5.2)",
+			func(s exp.Scale, seed int64) string { return exp.Table3(s, seed).Render() }},
+		{"base", "comparison to simple designs (§5.2)",
+			func(s exp.Scale, seed int64) string { return exp.BaselineComparison(s, seed).Render() }},
+		{"overhead", "control and tagging overhead (§5.3)",
+			func(exp.Scale, int64) string { return exp.Overhead().Render() }},
+		{"table4", "Tofino hardware resource usage (§6)",
+			func(exp.Scale, int64) string { return exp.Table4() }},
+		{"fig10", "selective fast-rerouting case study (§6.1)",
+			func(s exp.Scale, seed int64) string { return exp.Figure10(s, seed).Render() }},
+		{"fig11", "tree parameter sensitivity (Appendix D)",
+			func(s exp.Scale, seed int64) string { return exp.Figure11(s, seed).Render() }},
+		{"table5", "synthesized trace statistics (Appendix C)",
+			func(s exp.Scale, _ int64) string { return exp.Table5(s) }},
+		{"abl-strawman", "ablation: stop-and-wait vs §4.1 strawman",
+			func(s exp.Scale, seed int64) string { return exp.AblationStrawman(s, seed).Render() }},
+		{"abl-select", "ablation: zoom counter selection policy",
+			func(s exp.Scale, seed int64) string { return exp.AblationSelection(s, seed).Render() }},
+		{"abl-blink", "ablation: Blink vs FANcY on minority-flow failures",
+			func(s exp.Scale, seed int64) string { return exp.AblationBlink(s, seed).Render() }},
+		{"sweep-freq", "exchange-frequency sensitivity (§5.1.1 text)",
+			func(s exp.Scale, seed int64) string { return exp.ExchangeFrequencySweep(s, seed).Render() }},
+		{"sweep-delay", "link-delay sensitivity (§5 text)",
+			func(s exp.Scale, seed int64) string { return exp.DelaySweep(s, seed).Render() }},
+	}
+}
+
+func main() {
+	var (
+		list = flag.Bool("list", false, "list experiments and exit")
+		expt = flag.String("exp", "all", "comma-separated experiment ids, or 'all'")
+		full = flag.Bool("full", false, "paper-scale parameters (slow)")
+		seed = flag.Int64("seed", 20220822, "random seed")
+	)
+	flag.Parse()
+
+	all := experiments()
+	if *list {
+		for _, e := range all {
+			fmt.Printf("%-10s %s\n", e.name, e.desc)
+		}
+		return
+	}
+
+	scale := exp.Quick
+	if *full {
+		scale = exp.Full
+	}
+
+	want := map[string]bool{}
+	runAll := *expt == "all"
+	if !runAll {
+		for _, name := range strings.Split(*expt, ",") {
+			want[strings.TrimSpace(name)] = true
+		}
+	}
+	known := map[string]bool{}
+	for _, e := range all {
+		known[e.name] = true
+	}
+	var unknown []string
+	for name := range want {
+		if !known[name] {
+			unknown = append(unknown, name)
+		}
+	}
+	if len(unknown) > 0 {
+		sort.Strings(unknown)
+		fmt.Fprintf(os.Stderr, "unknown experiments: %s (use -list)\n", strings.Join(unknown, ", "))
+		os.Exit(2)
+	}
+
+	for _, e := range all {
+		if !runAll && !want[e.name] {
+			continue
+		}
+		start := time.Now()
+		out := e.run(scale, *seed)
+		fmt.Println(out)
+		fmt.Printf("[%s: %s scale, %.1fs]\n\n", e.name, scale, time.Since(start).Seconds())
+	}
+}

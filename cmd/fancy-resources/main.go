@@ -1,0 +1,82 @@
+// Command fancy-resources prints the Tofino hardware resource report
+// (Table 4 of the paper) and the register-memory layout of a FANcY
+// deployment, optionally for custom dimensions.
+//
+// Usage:
+//
+//	fancy-resources
+//	fancy-resources -dedicated 1024 -width 250
+//	fancy-resources -budget 20000 -entries 500   # input translation check
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"fancy"
+	"fancy/internal/exp"
+	"fancy/internal/fancy/tree"
+	"fancy/internal/p4gen"
+	"fancy/internal/tofino"
+)
+
+func main() {
+	var (
+		dedicated = flag.Int("dedicated", 512, "dedicated entries per port")
+		width     = flag.Int("width", 190, "tree width")
+		ports     = flag.Int("ports", 32, "switch ports")
+		budget    = flag.Int("budget", 0, "per-port memory budget in bytes (runs input translation)")
+		entries   = flag.Int("entries", 500, "high-priority entries for input translation")
+		emitP4    = flag.Bool("p4", false, "emit the P4_16 program skeleton instead of the report")
+	)
+	flag.Parse()
+
+	if *emitP4 {
+		hp := make([]fancy.EntryID, *dedicated)
+		for i := range hp {
+			hp[i] = fancy.EntryID(i)
+		}
+		cfg := fancy.Config{
+			HighPriority: hp,
+			Tree:         tree.Params{Width: *width, Depth: 3, Split: 1, Pipelined: false},
+		}
+		src, err := p4gen.Generate(cfg, p4gen.Options{Ports: *ports, Reroute: true})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Print(src)
+		return
+	}
+
+	if *budget > 0 {
+		hp := make([]fancy.EntryID, *entries)
+		for i := range hp {
+			hp[i] = fancy.EntryID(i)
+		}
+		cfg := fancy.Config{HighPriority: hp, MemoryBytes: *budget}
+		layout, err := cfg.Plan()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "input translation failed: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("input translation for %d B/port, %d high-priority entries:\n  %s\n\n",
+			*budget, *entries, layout)
+	}
+
+	fmt.Println(exp.Table4())
+
+	d := tofino.PaperConfig()
+	d.DedicatedPerPort = *dedicated
+	d.MachinesPerPort = *dedicated
+	d.TreeWidth = *width
+	d.Ports = *ports
+	fmt.Printf("register memory for %d ports, %d dedicated/port, width-%d tree:\n", *ports, *dedicated, *width)
+	fmt.Printf("  state machines:     %8.1f KB\n", float64(d.StateMachineBytes())/1024)
+	fmt.Printf("  dedicated counters: %8.1f KB\n", float64(d.DedicatedCounterBytes())/1024)
+	fmt.Printf("  hash-based tree:    %8.1f KB\n", float64(d.TreeBytes())/1024)
+	fmt.Printf("  rerouting:          %8.1f KB\n", float64(d.RerouteBytes())/1024)
+	fmt.Printf("  total:              %8.1f KB (%.1f KB with rerouting)\n",
+		float64(d.TotalBytes(false))/1024, float64(d.TotalBytes(true))/1024)
+}

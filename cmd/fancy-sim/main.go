@@ -1,0 +1,125 @@
+// Command fancy-sim runs one ad-hoc gray-failure scenario on the canonical
+// monitored link and reports what FANcY detected.
+//
+// Usage:
+//
+//	fancy-sim -entries 5 -dedicated 2 -rate 2e6 -loss 0.1 -fail-at 2s -duration 10s
+//
+// It creates `entries` entries with `rate` bps of UDP traffic each (the
+// first `dedicated` of them high priority), injects a gray failure on the
+// listed failing entries (default: entry 0) at fail-at, and prints every
+// detector event plus the final flags.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"fancy"
+	"fancy/internal/fancy/tree"
+	"fancy/internal/telemetry"
+)
+
+func main() {
+	var (
+		entries   = flag.Int("entries", 5, "number of entries with traffic")
+		dedicated = flag.Int("dedicated", 2, "entries tracked by dedicated counters")
+		rate      = flag.Float64("rate", 2e6, "traffic per entry (bps)")
+		loss      = flag.Float64("loss", 1.0, "failure drop probability (0..1)")
+		failAt    = flag.Duration("fail-at", 2*time.Second, "failure start time")
+		duration  = flag.Duration("duration", 10*time.Second, "simulation length")
+		failList  = flag.String("fail", "0", "comma-separated failing entry indices")
+		uniform   = flag.Bool("uniform", false, "uniform link loss instead of per-entry")
+		delay     = flag.Duration("delay", 10*time.Millisecond, "inter-switch link delay")
+		width     = flag.Int("width", 190, "tree width")
+		depth     = flag.Int("depth", 3, "tree depth")
+		split     = flag.Int("split", 2, "tree split")
+		zoom      = flag.Duration("zoom", 200*time.Millisecond, "zooming interval")
+		exchange  = flag.Duration("exchange", 50*time.Millisecond, "dedicated exchange interval")
+		seed      = flag.Int64("seed", 1, "random seed")
+		watch     = flag.Bool("watch", false, "stream telemetry samples during the run")
+	)
+	flag.Parse()
+
+	if *dedicated > *entries {
+		fmt.Fprintln(os.Stderr, "-dedicated cannot exceed -entries")
+		os.Exit(2)
+	}
+
+	hp := make([]fancy.EntryID, *dedicated)
+	for i := range hp {
+		hp[i] = fancy.EntryID(i)
+	}
+	cfg := fancy.Config{
+		HighPriority:     hp,
+		Tree:             tree.Params{Width: *width, Depth: *depth, Split: *split, Pipelined: true},
+		TreeSeed:         uint64(*seed),
+		ZoomingInterval:  fancy.Time(*zoom),
+		ExchangeInterval: fancy.Time(*exchange),
+	}
+
+	s := fancy.NewSim(*seed)
+	ml, err := fancy.NewMonitoredLinkOpts(s, cfg, fancy.MonitoredLinkOptions{Delay: fancy.Time(*delay)})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Printf("layout: %s\n", ml.Upstream.Layout)
+
+	if *watch {
+		srv := telemetry.NewServer(s, ml.Upstream, ml.MonitorPort())
+		for _, path := range []string{
+			fmt.Sprintf("/fancy/ports/%d/flags/count", ml.MonitorPort()),
+			fmt.Sprintf("/fancy/ports/%d/sessions/completed", ml.MonitorPort()),
+		} {
+			if _, err := srv.Sample(path, fancy.Second, func(u telemetry.Update) {
+				fmt.Printf("[telemetry %v] %s = %v\n", u.Time, u.Path, u.Value)
+			}); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+		}
+	}
+
+	ml.OnEvent(func(ev fancy.Event) { fmt.Println(ev) })
+	stop := fancy.Time(*duration)
+	for i := 0; i < *entries; i++ {
+		ml.UDP(fancy.EntryID(i), *rate, 0, stop)
+	}
+
+	var failing []fancy.EntryID
+	for _, part := range strings.Split(*failList, ",") {
+		idx, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || idx < 0 || idx >= *entries {
+			fmt.Fprintf(os.Stderr, "bad failing entry %q\n", part)
+			os.Exit(2)
+		}
+		failing = append(failing, fancy.EntryID(idx))
+	}
+	if *uniform {
+		ml.FailUniform(fancy.Time(*failAt), *loss)
+		fmt.Printf("injecting uniform %.1f%% loss at %v\n", *loss*100, *failAt)
+	} else {
+		ml.FailEntries(fancy.Time(*failAt), *loss, failing...)
+		fmt.Printf("injecting %.1f%% loss on entries %v at %v\n", *loss*100, failing, *failAt)
+	}
+
+	s.Run(stop)
+
+	fmt.Println("\nfinal flags:")
+	for i := 0; i < *entries; i++ {
+		e := fancy.EntryID(i)
+		kind := "tree"
+		if i < *dedicated {
+			kind = "dedicated"
+		}
+		fmt.Printf("  entry %d (%s): flagged=%v\n", i, kind, ml.Flagged(e))
+	}
+	fmt.Printf("\nsessions completed: %d, control messages: %d (%d bytes)\n",
+		ml.Upstream.SessionsCompleted(ml.MonitorPort()),
+		ml.Upstream.CtlMsgsSent, ml.Upstream.CtlBytesSent)
+}

@@ -1,0 +1,65 @@
+package fancy_test
+
+import (
+	"fmt"
+
+	"fancy"
+)
+
+// The canonical deployment: monitor one link, inject a gray failure,
+// observe the flag.
+func Example() {
+	s := fancy.NewSim(1)
+	ml := fancy.NewMonitoredLink(s, fancy.Config{
+		HighPriority: []fancy.EntryID{10},
+		MemoryBytes:  20_000,
+	})
+	ml.UDP(10, 2e6, 0, 6*fancy.Second)
+	ml.FailEntries(2*fancy.Second, 1.0, 10)
+	s.Run(6 * fancy.Second)
+	fmt.Println("flagged:", ml.Flagged(10))
+	// Output: flagged: true
+}
+
+// Best-effort entries are covered by the hash-based tree: no dedicated
+// state, detection after the zooming algorithm reaches a leaf.
+func Example_hashTree() {
+	s := fancy.NewSim(2)
+	ml := fancy.NewMonitoredLink(s, fancy.Config{
+		HighPriority: []fancy.EntryID{1}, // entry 700 is best effort
+		MemoryBytes:  20_000,
+	})
+	var first fancy.Event
+	ml.OnEvent(func(ev fancy.Event) {
+		if ev.Kind == fancy.EventTreeLeaf && first.Time == 0 {
+			first = ev
+		}
+	})
+	ml.UDP(700, 2e6, 0, 8*fancy.Second)
+	ml.FailEntries(2*fancy.Second, 1.0, 700)
+	s.Run(8 * fancy.Second)
+	fmt.Println("flagged:", ml.Flagged(700))
+	fmt.Println("sub-second:", first.Time-2*fancy.Second < fancy.Second)
+	// Output:
+	// flagged: true
+	// sub-second: true
+}
+
+// Input translation rejects configurations that do not fit the memory
+// budget, as Figure 1 prescribes.
+func ExampleConfig_Plan() {
+	hp := make([]fancy.EntryID, 500)
+	for i := range hp {
+		hp[i] = fancy.EntryID(i)
+	}
+	layout, err := fancy.Config{HighPriority: hp, MemoryBytes: 20_000}.Plan()
+	fmt.Println("err:", err)
+	fmt.Println("dedicated:", layout.Dedicated, "tree depth:", layout.Tree.Depth)
+
+	_, err = fancy.Config{HighPriority: hp, MemoryBytes: 1_000}.Plan()
+	fmt.Println("over budget:", err != nil)
+	// Output:
+	// err: <nil>
+	// dedicated: 500 tree depth: 3
+	// over budget: true
+}

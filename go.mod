@@ -1,0 +1,3 @@
+module fancy
+
+go 1.22

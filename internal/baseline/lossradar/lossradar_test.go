@@ -1,0 +1,211 @@
+package lossradar
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestIBFRoundTripNoLoss(t *testing.T) {
+	up, down := New(64), New(64)
+	for i := uint64(1); i <= 20; i++ {
+		up.Insert(i)
+		down.Insert(i)
+	}
+	if err := up.Subtract(down); err != nil {
+		t.Fatal(err)
+	}
+	lost, err := up.Decode()
+	if err != nil {
+		t.Fatalf("Decode: %v", err)
+	}
+	if len(lost) != 0 {
+		t.Errorf("decoded %d losses from a lossless batch", len(lost))
+	}
+}
+
+func TestIBFRecoversLostPackets(t *testing.T) {
+	up, down := New(64), New(64)
+	lostWant := map[uint64]bool{5: true, 11: true, 17: true}
+	for i := uint64(1); i <= 30; i++ {
+		up.Insert(i)
+		if !lostWant[i] {
+			down.Insert(i)
+		}
+	}
+	if err := up.Subtract(down); err != nil {
+		t.Fatal(err)
+	}
+	lost, err := up.Decode()
+	if err != nil {
+		t.Fatalf("Decode: %v", err)
+	}
+	if len(lost) != len(lostWant) {
+		t.Fatalf("recovered %d losses, want %d", len(lost), len(lostWant))
+	}
+	for _, id := range lost {
+		if !lostWant[id] {
+			t.Errorf("recovered spurious id %d", id)
+		}
+	}
+}
+
+func TestIBFSizeMismatch(t *testing.T) {
+	if err := New(32).Subtract(New(64)); err == nil {
+		t.Fatal("size mismatch accepted")
+	}
+}
+
+func TestIBFUndersizedStalls(t *testing.T) {
+	// Losing far more packets than the filter has cells must stall the
+	// peeling — the failure mode that makes LossRadar non-operational.
+	up, down := New(16), New(16)
+	for i := uint64(1); i <= 1000; i++ {
+		up.Insert(i)
+		if i%2 == 0 {
+			down.Insert(i) // 500 losses through 16 cells
+		}
+	}
+	up.Subtract(down)
+	if _, err := up.Decode(); err == nil {
+		t.Fatal("undersized IBF decoded 500 losses through 16 cells")
+	}
+}
+
+// Property: with ≥ CellsPerLoss cells per lost packet, random loss sets
+// decode correctly with high probability.
+func TestPropertyIBFDecodesAtDesignLoad(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	failures := 0
+	const trials = 60
+	for trial := 0; trial < trials; trial++ {
+		nLost := 10 + rng.Intn(90)
+		cells := int(float64(nLost)*CellsPerLoss) + 3
+		up, down := New(cells), New(cells)
+		lost := make(map[uint64]bool, nLost)
+		for len(lost) < nLost {
+			lost[rng.Uint64()|1] = true
+		}
+		for i := 0; i < 1000; i++ {
+			id := rng.Uint64() &^ 1 // even ids: never in the lost set
+			up.Insert(id)
+			down.Insert(id)
+		}
+		for id := range lost {
+			up.Insert(id)
+		}
+		up.Subtract(down)
+		got, err := up.Decode()
+		if err != nil || len(got) != nLost {
+			failures++
+			continue
+		}
+		for _, id := range got {
+			if !lost[id] {
+				t.Fatalf("trial %d: spurious recovery %d", trial, id)
+			}
+		}
+	}
+	// 1.4 cells/loss gives high but not certain success; tolerate a few.
+	if failures > trials/6 {
+		t.Errorf("%d/%d trials failed to decode at design load", failures, trials)
+	}
+}
+
+// Property: subtraction is the inverse of symmetric insertion.
+func TestPropertySubtractCancels(t *testing.T) {
+	f := func(ids []uint64) bool {
+		if len(ids) > 200 {
+			ids = ids[:200]
+		}
+		up, down := New(128), New(128)
+		for _, id := range ids {
+			up.Insert(id)
+			down.Insert(id)
+		}
+		up.Subtract(down)
+		for _, c := range up.cells {
+			if c.Count != 0 || c.IDXor != 0 || c.SigXor != 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50, Rand: rand.New(rand.NewSource(10))}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAnalyzeReproducesTable2(t *testing.T) {
+	cases := []struct {
+		sw        SwitchSpec
+		loss      float64
+		memRatio  float64
+		readRatio float64
+	}{
+		// Paper Table 2 (100 Gbps × 32 ports): 0.1% → ×0.21 / ×0.7;
+		// 0.2% → ×0.42 / ×1.4; 0.3% → ×0.63 / ×2.1; 1% → ×2.1 / ×6.6.
+		{Switch100Gx32, 0.001, 0.21, 0.7},
+		{Switch100Gx32, 0.002, 0.42, 1.4},
+		{Switch100Gx32, 0.003, 0.63, 2.1},
+		{Switch100Gx32, 0.010, 2.1, 6.6},
+		// 400 Gbps × 64 ports: 0.1% → ×1.7 / ×3.7; 1% → ×16.9 / ×29.5.
+		{Switch400Gx64, 0.001, 1.7, 3.7},
+		{Switch400Gx64, 0.010, 16.9, 29.5},
+	}
+	for _, c := range cases {
+		r := Analyze(c.sw, c.loss)
+		if !within(r.MemoryRatio, c.memRatio, 0.35) {
+			t.Errorf("%dG loss=%.1f%%: memory ratio %.2f, paper %.2f",
+				int(c.sw.PortRateBps/1e9), c.loss*100, r.MemoryRatio, c.memRatio)
+		}
+		if !within(r.ReadRatio, c.readRatio, 0.35) {
+			t.Errorf("%dG loss=%.1f%%: read ratio %.2f, paper %.2f",
+				int(c.sw.PortRateBps/1e9), c.loss*100, r.ReadRatio, c.readRatio)
+		}
+	}
+}
+
+func TestAnalyzeOperationalThreshold(t *testing.T) {
+	// The headline claim of §2.3: LossRadar cannot support average loss
+	// rates above ≈0.15% on a 100 Gbps 32-port switch.
+	if r := Analyze(Switch100Gx32, 0.0005); !r.Operational {
+		t.Error("0.05% loss should be within capabilities")
+	}
+	if r := Analyze(Switch100Gx32, 0.003); r.Operational {
+		t.Error("0.3% loss should exceed capabilities")
+	}
+	if r := Analyze(Switch400Gx64, 0.001); r.Operational {
+		t.Error("400G switch at 0.1% should already be infeasible")
+	}
+}
+
+func within(got, want, tol float64) bool {
+	return got >= want*(1-tol) && got <= want*(1+tol)
+}
+
+func BenchmarkIBFInsert(b *testing.B) {
+	f := New(4096)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		f.Insert(uint64(i))
+	}
+}
+
+func BenchmarkIBFDecode(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		up, down := New(256), New(256)
+		for j := uint64(0); j < 2000; j++ {
+			up.Insert(j)
+			if j >= 100 {
+				down.Insert(j)
+			}
+		}
+		up.Subtract(down)
+		b.StartTimer()
+		if _, err := up.Decode(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

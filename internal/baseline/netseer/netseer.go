@@ -1,0 +1,109 @@
+// Package netseer models the NetSeer baseline [Zhou et al., SIGCOMM'20]
+// inter-switch loss-detection protocol, whose packet buffers are overridden
+// before NACKs arrive at ISP traffic volumes and link delays — the analysis
+// behind Figure 2 of the FANcY paper.
+//
+// In NetSeer, each upstream switch keeps a signature of every in-flight
+// packet in a ring buffer; the downstream NACKs gaps it observes. A
+// signature can only be matched while it is still in the buffer, so the
+// buffer must hold at least a round trip's worth of packets. The package
+// provides both the analytical memory requirement (Figure 2's curves) and a
+// small executable ring-buffer simulation confirming the override behaviour.
+package netseer
+
+// RecordBytes is the per-packet signature record NetSeer buffers: flow key,
+// sequence information and event metadata.
+const RecordBytes = 16
+
+// AvailableMemBytes is the in-switch application memory the paper compares
+// against (§2.3: "memory available to in-switch applications tends to be in
+// the order of few MBs"; 12–15 MB per pipeline shared by all stages and
+// applications).
+const AvailableMemBytes = 15e6
+
+// Requirement is NetSeer's buffer need for one configuration (one point of
+// Figure 2).
+type Requirement struct {
+	Ports       int
+	PortRateBps float64
+	LatencySecs float64 // one-way inter-switch latency
+	PacketsRTT  float64 // packets in flight during one round trip
+	MemoryBytes float64
+	Operational bool // fits in AvailableMemBytes
+	AvgPktBytes float64
+}
+
+// AvgPacketBytes is the mean packet size used for the in-flight packet rate
+// (Internet mix; smaller packets would only increase the requirement).
+const AvgPacketBytes = 800
+
+// Analyze computes the buffer memory a NetSeer switch needs so signatures
+// survive until a NACK can arrive: ports × pps × 2·latency × record size.
+func Analyze(ports int, portRateBps, latencySecs float64) Requirement {
+	pps := portRateBps / (AvgPacketBytes * 8) * float64(ports)
+	inFlight := pps * 2 * latencySecs
+	mem := inFlight * RecordBytes
+	return Requirement{
+		Ports: ports, PortRateBps: portRateBps, LatencySecs: latencySecs,
+		PacketsRTT: inFlight, MemoryBytes: mem,
+		Operational: mem <= AvailableMemBytes,
+		AvgPktBytes: AvgPacketBytes,
+	}
+}
+
+// Buffer is an executable model of NetSeer's signature ring buffer. It
+// demonstrates the override failure mode: when the buffer is smaller than
+// the bandwidth-delay product, NACKed packets have already been evicted and
+// the loss cannot be attributed to an entry.
+type Buffer struct {
+	ring []uint64
+	pos  int
+	full bool
+
+	Stored    uint64
+	Evictions uint64
+	Hits      uint64 // NACK lookups that found the signature
+	Misses    uint64 // NACK lookups after eviction — NetSeer not operational
+}
+
+// NewBuffer allocates a ring buffer that can hold n signatures.
+func NewBuffer(n int) *Buffer {
+	if n < 1 {
+		n = 1
+	}
+	return &Buffer{ring: make([]uint64, n)}
+}
+
+// Store records a sent packet's signature, evicting the oldest when full.
+func (b *Buffer) Store(sig uint64) {
+	if b.full {
+		b.Evictions++
+	}
+	b.ring[b.pos] = sig
+	b.pos++
+	if b.pos == len(b.ring) {
+		b.pos = 0
+		b.full = true
+	}
+	b.Stored++
+}
+
+// Lookup processes a NACK for sig: it reports whether the signature was
+// still buffered (and the loss therefore attributable).
+func (b *Buffer) Lookup(sig uint64) bool {
+	limit := b.pos
+	if b.full {
+		limit = len(b.ring)
+	}
+	for i := 0; i < limit; i++ {
+		if b.ring[i] == sig {
+			b.Hits++
+			return true
+		}
+	}
+	b.Misses++
+	return false
+}
+
+// Capacity reports the buffer's signature slots.
+func (b *Buffer) Capacity() int { return len(b.ring) }

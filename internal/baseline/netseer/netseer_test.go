@@ -1,0 +1,121 @@
+package netseer
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestAnalyzeReproducesFigure2Shape(t *testing.T) {
+	// Figure 2: hundreds of MB at millisecond latencies on 100 Gbps × 64.
+	r := Analyze(64, 100e9, 0.010)
+	if r.MemoryBytes < 50e6 {
+		t.Errorf("64×100G @10ms needs %.0f MB, want hundreds of MB", r.MemoryBytes/1e6)
+	}
+	if r.Operational {
+		t.Error("64×100G @10ms should not be operational (needs ≫15 MB)")
+	}
+	// Memory scales linearly with rate and latency.
+	r2 := Analyze(64, 200e9, 0.010)
+	r4 := Analyze(64, 400e9, 0.010)
+	if !approx(r2.MemoryBytes/r.MemoryBytes, 2, 0.01) || !approx(r4.MemoryBytes/r.MemoryBytes, 4, 0.01) {
+		t.Error("memory not linear in port rate")
+	}
+	rLong := Analyze(64, 100e9, 0.100)
+	if !approx(rLong.MemoryBytes/r.MemoryBytes, 10, 0.01) {
+		t.Error("memory not linear in latency")
+	}
+}
+
+func TestAnalyzeOperationalAtDataCenterScale(t *testing.T) {
+	// NetSeer is designed for data centers: at 100 µs latencies it fits.
+	r := Analyze(64, 100e9, 0.0001)
+	if !r.Operational {
+		t.Errorf("64×100G @100µs needs %.1f MB; should be operational", r.MemoryBytes/1e6)
+	}
+}
+
+func TestBufferStoresAndFinds(t *testing.T) {
+	b := NewBuffer(100)
+	for i := uint64(0); i < 50; i++ {
+		b.Store(i)
+	}
+	if !b.Lookup(25) {
+		t.Error("recent signature not found")
+	}
+	if b.Lookup(999) {
+		t.Error("never-stored signature found")
+	}
+	if b.Evictions != 0 {
+		t.Errorf("evictions = %d before wrap", b.Evictions)
+	}
+}
+
+func TestBufferOverrideLosesSignatures(t *testing.T) {
+	// The Figure 2 failure mode: the buffer wraps before the NACK
+	// arrives, so the lost packet's signature is gone.
+	b := NewBuffer(64)
+	for i := uint64(0); i < 1000; i++ {
+		b.Store(i)
+	}
+	if b.Lookup(0) {
+		t.Error("overridden signature still found")
+	}
+	if !b.Lookup(999) {
+		t.Error("latest signature missing")
+	}
+	if b.Evictions != 1000-64 {
+		t.Errorf("evictions = %d, want %d", b.Evictions, 1000-64)
+	}
+	if b.Misses != 1 || b.Hits != 1 {
+		t.Errorf("hits/misses = %d/%d, want 1/1", b.Hits, b.Misses)
+	}
+}
+
+func TestBufferSimulatedRTTOverride(t *testing.T) {
+	// Simulate the analytical model: packets arrive at a fixed rate, the
+	// NACK for a loss arrives one RTT later. With a buffer smaller than
+	// rate×RTT the hit rate collapses; with a larger buffer it is 100%.
+	const pktPerRTT = 10_000
+	rng := rand.New(rand.NewSource(1))
+	run := func(capacity int) float64 {
+		b := NewBuffer(capacity)
+		var pending []uint64 // losses awaiting their NACK
+		hits, total := 0, 0
+		for i := uint64(1); i < 50_000; i++ {
+			b.Store(i)
+			if rng.Float64() < 0.001 {
+				pending = append(pending, i)
+			}
+			// NACKs arrive one RTT after the loss.
+			for len(pending) > 0 && pending[0]+pktPerRTT < i {
+				total++
+				if b.Lookup(pending[0]) {
+					hits++
+				}
+				pending = pending[1:]
+			}
+		}
+		if total == 0 {
+			return 1
+		}
+		return float64(hits) / float64(total)
+	}
+	if hr := run(pktPerRTT * 2); hr < 0.99 {
+		t.Errorf("well-provisioned buffer hit rate = %.2f, want ≈1", hr)
+	}
+	if hr := run(pktPerRTT / 10); hr > 0.2 {
+		t.Errorf("under-provisioned buffer hit rate = %.2f, want ≈0", hr)
+	}
+}
+
+func approx(got, want, tol float64) bool {
+	return got > want*(1-tol) && got < want*(1+tol)
+}
+
+func BenchmarkBufferStore(b *testing.B) {
+	buf := NewBuffer(1 << 16)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		buf.Store(uint64(i))
+	}
+}

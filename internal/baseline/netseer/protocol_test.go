@@ -1,0 +1,123 @@
+package netseer
+
+import (
+	"testing"
+
+	"fancy/internal/netsim"
+	"fancy/internal/sim"
+)
+
+// protoBed wires the protocol onto a two-switch link.
+type protoBed struct {
+	s    *sim.Sim
+	src  *netsim.Host
+	link *netsim.Link
+	p    *Protocol
+}
+
+func newProtoBed(t *testing.T, bufferPackets int, delay sim.Time) *protoBed {
+	t.Helper()
+	s := sim.New(1)
+	b := &protoBed{s: s}
+	b.src = netsim.NewHost(s, "src")
+	dst := netsim.NewHost(s, "dst")
+	up := netsim.NewSwitch(s, "up", 2)
+	down := netsim.NewSwitch(s, "down", 2)
+	lc := netsim.LinkConfig{Delay: delay, RateBps: 10e9}
+	netsim.Connect(s, b.src, 0, up, 0, lc)
+	b.link = netsim.Connect(s, up, 1, down, 0, lc)
+	netsim.Connect(s, down, 1, dst, 0, lc)
+	up.Routes.Insert(0, 0, netsim.Route{Port: 1, Backup: -1})
+	down.Routes.Insert(0, 0, netsim.Route{Port: 1, Backup: -1})
+	dst.Default = netsim.PacketHandlerFunc(func(*netsim.Packet) {})
+
+	b.p = NewProtocol(s, bufferPackets, delay)
+	up.AddEgressHook(b.p)
+	up.RefreshEgressHooks()
+	down.AddIngressHook(b.p)
+	return b
+}
+
+func (b *protoBed) cbr(entry netsim.EntryID, pps int, stop sim.Time) {
+	gap := sim.Second / sim.Time(pps)
+	var tick func()
+	tick = func() {
+		if b.s.Now() >= stop {
+			return
+		}
+		b.src.Send(&netsim.Packet{Entry: entry, Dst: netsim.EntryAddr(entry, 1),
+			Proto: netsim.ProtoUDP, Size: 500})
+		b.s.Schedule(gap, tick)
+	}
+	b.s.Schedule(0, tick)
+}
+
+func TestProtocolAttributesAtDataCenterBDP(t *testing.T) {
+	// 100 µs latency, 2000 pps → ≈0.4 packets per RTT: a 1000-packet
+	// buffer easily outlives the NACKs, so every loss is attributed.
+	b := newProtoBed(t, 1000, 100*sim.Microsecond)
+	b.cbr(7, 2000, 2*sim.Second)
+	b.link.AB.SetFailure(netsim.FailEntries(3, sim.Second, 0.1, 7))
+	b.s.Run(3 * sim.Second)
+
+	if b.p.Attributed == 0 {
+		t.Fatal("no losses attributed")
+	}
+	if !b.p.Operational(0.99) {
+		t.Fatalf("attributed fraction = %.2f at DC latency, want ≈1", b.p.AttributedFraction())
+	}
+	if b.p.LossByEntry[7] == 0 {
+		t.Error("losses not localized to the failing entry")
+	}
+}
+
+func TestProtocolNotOperationalAtISPBDP(t *testing.T) {
+	// 10 ms latency, 2000 pps → 40 packets per RTT, but the buffer holds
+	// only 8: signatures are overwritten long before NACKs arrive — the
+	// Figure 2 regime ("NetSeer is not operational").
+	b := newProtoBed(t, 8, 10*sim.Millisecond)
+	b.cbr(7, 2000, 2*sim.Second)
+	b.link.AB.SetFailure(netsim.FailEntries(3, sim.Second, 0.1, 7))
+	b.s.Run(3 * sim.Second)
+
+	if b.p.Unattributable == 0 {
+		t.Fatal("no unattributable losses despite a wrapped buffer")
+	}
+	if b.p.Operational(0.5) {
+		t.Fatalf("attributed fraction = %.2f with buffer ≪ BDP, want ≈0", b.p.AttributedFraction())
+	}
+}
+
+func TestProtocolNoLossNoNACKs(t *testing.T) {
+	b := newProtoBed(t, 1000, sim.Millisecond)
+	b.cbr(7, 1000, sim.Second)
+	b.s.Run(2 * sim.Second)
+	if b.p.Attributed != 0 || b.p.Unattributable != 0 {
+		t.Fatalf("NACKs on a lossless link: %d/%d", b.p.Attributed, b.p.Unattributable)
+	}
+}
+
+func TestProtocolMatchesAnalyticalThreshold(t *testing.T) {
+	// The executable protocol and the Figure 2 formula must agree on the
+	// operational boundary: buffer ≥ pps×2×latency ⇒ operational.
+	const pps = 4000
+	latency := 5 * sim.Millisecond
+	needed := int(float64(pps) * 2 * latency.Seconds()) // 40 packets
+
+	for _, c := range []struct {
+		buffer int
+		wantOK bool
+	}{
+		{needed * 4, true},
+		{needed / 4, false},
+	} {
+		b := newProtoBed(t, c.buffer, latency)
+		b.cbr(7, pps, 2*sim.Second)
+		b.link.AB.SetFailure(netsim.FailEntries(3, sim.Second, 0.05, 7))
+		b.s.Run(3 * sim.Second)
+		if got := b.p.Operational(0.9); got != c.wantOK {
+			t.Errorf("buffer=%d (needed≈%d): operational=%v, want %v (attributed %.2f)",
+				c.buffer, needed, got, c.wantOK, b.p.AttributedFraction())
+		}
+	}
+}

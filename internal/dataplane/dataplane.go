@@ -1,0 +1,275 @@
+// Package dataplane emulates a Tofino-like programmable switch pipeline at
+// the register-machine level: match-action tables arranged in stages,
+// register arrays with the hardware's one-stateful-access-per-pass
+// constraint, and packet recirculation.
+//
+// The FANcY prototype (Appendix B.1) cannot read a state, compute, and
+// write the state back in a single pipeline pass, so every FSM transition
+// is implemented in two steps: the first pass matches a next_state table,
+// takes a state lock and recirculates the packet; the recirculated pass
+// applies the update and releases the lock. Reading a width-w tree node
+// back to the control logic likewise takes w recirculations, one register
+// access each. This package reproduces those constraints so the FSM
+// programs in fsm.go demonstrably fit them.
+package dataplane
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Value is the register cell and metadata word size (32-bit, the width of
+// Tofino stateful-ALU registers).
+type Value = uint32
+
+// Register is a stateful array pinned to one pipeline stage. The hardware
+// allows a single read-modify-write per packet pass.
+type Register struct {
+	Name  string
+	cells []Value
+	stage int
+}
+
+// NewRegister allocates a register array with n cells.
+func NewRegister(name string, n int) *Register {
+	return &Register{Name: name, cells: make([]Value, n)}
+}
+
+// Len reports the number of cells.
+func (r *Register) Len() int { return len(r.cells) }
+
+// Peek reads a cell without the pipeline constraint (control-plane access,
+// for tests and reports only).
+func (r *Register) Peek(i int) Value { return r.cells[i] }
+
+// Poke writes a cell from the control plane.
+func (r *Register) Poke(i int, v Value) { r.cells[i] = v }
+
+// Packet is the unit flowing through the emulated pipeline: header fields
+// and per-pass metadata.
+type Packet struct {
+	Fields map[string]Value
+	Meta   map[string]Value
+
+	// Recirculations counts how many times the packet re-entered the
+	// pipeline (Appendix B.1's resubmit/clone mechanism).
+	Recirculations int
+}
+
+// NewPacket builds a packet with the given header fields.
+func NewPacket(fields map[string]Value) *Packet {
+	if fields == nil {
+		fields = map[string]Value{}
+	}
+	return &Packet{Fields: fields, Meta: map[string]Value{}}
+}
+
+// Field reads a header field (0 when absent).
+func (p *Packet) Field(name string) Value { return p.Fields[name] }
+
+// Disposition is what the pipeline decided to do with a packet pass.
+type Disposition int
+
+// Dispositions.
+const (
+	Forward Disposition = iota
+	Drop
+	Recirculate
+)
+
+// Ctx is the per-pass execution context handed to actions.
+type Ctx struct {
+	Pkt  *Packet
+	pipe *Pipeline
+
+	disposition Disposition
+	emits       []Emit
+	accessed    map[*Register]bool
+	newMeta     map[string]Value
+	err         error
+}
+
+// Emit is a control message or mirror the program generated this pass.
+type Emit struct {
+	Kind string
+	Data map[string]Value
+}
+
+// RegOp performs the single allowed read-modify-write on a register cell
+// and returns the OLD value (the stateful-ALU contract). A second access
+// to the same register in one pass is a program bug and fails the pass.
+func (c *Ctx) RegOp(r *Register, index int, update func(old Value) Value) Value {
+	if c.accessed[r] {
+		c.err = fmt.Errorf("dataplane: register %q accessed twice in one pass", r.Name)
+		return 0
+	}
+	c.accessed[r] = true
+	if index < 0 || index >= len(r.cells) {
+		c.err = fmt.Errorf("dataplane: register %q index %d out of range", r.Name, index)
+		return 0
+	}
+	old := r.cells[index]
+	if update != nil {
+		r.cells[index] = update(old)
+	}
+	return old
+}
+
+// SetMeta stores metadata for the NEXT pass: like resubmit metadata in
+// hardware, writes become visible only after the packet re-enters the
+// pipeline, so later tables of the current pass still see the old values.
+func (c *Ctx) SetMeta(k string, v Value) {
+	if c.newMeta == nil {
+		c.newMeta = map[string]Value{}
+	}
+	c.newMeta[k] = v
+}
+
+// Meta reads metadata as it was when the pass started (0 when absent).
+func (c *Ctx) Meta(k string) Value { return c.Pkt.Meta[k] }
+
+// Recirculate resubmits the packet for another pass.
+func (c *Ctx) Recirculate() { c.disposition = Recirculate }
+
+// Drop discards the packet.
+func (c *Ctx) Drop() { c.disposition = Drop }
+
+// EmitMsg queues a generated control message (ACK, Report, ...).
+func (c *Ctx) EmitMsg(kind string, data map[string]Value) {
+	c.emits = append(c.emits, Emit{Kind: kind, Data: data})
+}
+
+// Action is one table entry's body.
+type Action func(c *Ctx)
+
+// Table is an exact-match match-action table.
+type Table struct {
+	Name    string
+	Key     func(p *Packet) Value
+	Entries map[Value]Action
+	Default Action
+}
+
+// apply matches the packet and runs the chosen action.
+func (t *Table) apply(c *Ctx) {
+	if t.Key == nil {
+		if t.Default != nil {
+			t.Default(c)
+		}
+		return
+	}
+	if a, ok := t.Entries[t.Key(c.Pkt)]; ok {
+		a(c)
+		return
+	}
+	if t.Default != nil {
+		t.Default(c)
+	}
+}
+
+// Stage is one pipeline stage holding tables and the registers homed there.
+type Stage struct {
+	Name   string
+	tables []*Table
+}
+
+// AddTable appends a table to the stage.
+func (s *Stage) AddTable(t *Table) { s.tables = append(s.tables, t) }
+
+// Pipeline is the emulated switch pipeline.
+type Pipeline struct {
+	stages    []*Stage
+	registers []*Register
+
+	// MaxRecirculations bounds resubmission loops (hardware recirculation
+	// bandwidth is finite); exceeded passes error out.
+	MaxRecirculations int
+
+	// Stats.
+	Passes   uint64
+	Recircs  uint64
+	Dropped  uint64
+	Forwards uint64
+}
+
+// NewPipeline builds a pipeline with the given number of stages.
+func NewPipeline(stages int) *Pipeline {
+	p := &Pipeline{MaxRecirculations: 64}
+	for i := 0; i < stages; i++ {
+		p.stages = append(p.stages, &Stage{Name: fmt.Sprintf("stage%d", i)})
+	}
+	return p
+}
+
+// Stage returns stage i.
+func (p *Pipeline) Stage(i int) *Stage { return p.stages[i] }
+
+// HomeRegister pins a register to a stage, reflecting the per-stage memory
+// split of real pipelines (§2.3): the binding constraint for an in-switch
+// application is the maximum per-stage memory, which MemoryByStage reports.
+func (p *Pipeline) HomeRegister(r *Register, stage int) *Register {
+	r.stage = stage
+	p.registers = append(p.registers, r)
+	return r
+}
+
+// MemoryByStage reports the register cells homed in each stage.
+func (p *Pipeline) MemoryByStage() []int {
+	out := make([]int, len(p.stages))
+	for _, r := range p.registers {
+		if r.stage >= 0 && r.stage < len(out) {
+			out[r.stage] += len(r.cells)
+		}
+	}
+	return out
+}
+
+// ErrRecircBudget is returned when a packet exceeds MaxRecirculations.
+var ErrRecircBudget = errors.New("dataplane: recirculation budget exceeded")
+
+// Result summarizes the processing of one packet until it leaves the
+// pipeline (forwarded or dropped).
+type Result struct {
+	Disposition Disposition
+	Passes      int
+	Emits       []Emit
+}
+
+// Process runs pkt through the pipeline, following recirculations.
+func (p *Pipeline) Process(pkt *Packet) (Result, error) {
+	var res Result
+	for {
+		c := &Ctx{Pkt: pkt, pipe: p, accessed: make(map[*Register]bool)}
+		p.Passes++
+		res.Passes++
+		for _, st := range p.stages {
+			for _, t := range st.tables {
+				t.apply(c)
+				if c.err != nil {
+					return res, c.err
+				}
+			}
+		}
+		res.Emits = append(res.Emits, c.emits...)
+		for k, v := range c.newMeta {
+			pkt.Meta[k] = v
+		}
+		switch c.disposition {
+		case Recirculate:
+			pkt.Recirculations++
+			p.Recircs++
+			if pkt.Recirculations > p.MaxRecirculations {
+				return res, ErrRecircBudget
+			}
+			continue
+		case Drop:
+			p.Dropped++
+			res.Disposition = Drop
+			return res, nil
+		default:
+			p.Forwards++
+			res.Disposition = Forward
+			return res, nil
+		}
+	}
+}

@@ -1,0 +1,227 @@
+package dataplane
+
+// The sender-side FANcY FSM compiled onto the pipeline emulator, completing
+// the Appendix B pair. The sender drives sessions: it emits Start, waits
+// for the ACK (counting nothing in between — the stop-and-wait guarantee
+// that both sides count from the same packet), tags and counts data
+// packets, emits Stop, and compares the downstream's report word by word —
+// one recirculated pass per counter, carrying the running maximum-
+// difference in packet metadata exactly as Appendix B.1 describes for the
+// zooming algorithm's comparison step.
+
+// Sender FSM states (Figure 3, left).
+const (
+	SenderIdle     Value = 0
+	SenderWaitACK  Value = 1
+	SenderCounting Value = 2
+	SenderWaitRep  Value = 3
+)
+
+// Sender packet types (inputs to the sender pipeline).
+const (
+	SendData   Value = 0 // data packet heading out the monitored port
+	SendKick   Value = 1 // control-plane kick: open a session
+	SendACKIn  Value = 2 // Start ACK arrived from downstream
+	SendTimer  Value = 3 // session timer expired: close the session
+	SendReport Value = 4 // Report arrived; FieldIndex = report word index
+)
+
+// Additional metadata key for the comparison loop.
+const metaRemote = "remote"
+
+// SenderProgram is the compiled sender for one unit with a width-w node.
+type SenderProgram struct {
+	Pipe *Pipeline
+
+	State   *Register
+	Lock    *Register
+	Session *Register
+	Node    *Register
+
+	width int
+
+	// Comparison results surfaced to the control plane / reroute app:
+	// the counter with the maximum positive difference in the last
+	// completed session.
+	LastMaxIdx  int
+	LastMaxDiff Value
+	Compared    uint64 // completed comparisons
+}
+
+// BuildSender constructs the sender program.
+func BuildSender(width int) *SenderProgram {
+	p := NewPipeline(3)
+	r := &SenderProgram{
+		Pipe:       p,
+		State:      NewRegister("state", 1),
+		Lock:       NewRegister("state_lock", 1),
+		Session:    NewRegister("session", 1),
+		Node:       NewRegister("node", width),
+		width:      width,
+		LastMaxIdx: -1,
+	}
+	p.HomeRegister(r.State, 0)
+	p.HomeRegister(r.Lock, 0)
+	p.HomeRegister(r.Session, 1)
+	p.HomeRegister(r.Node, 2)
+	p.MaxRecirculations = width + 8
+
+	first := &Table{
+		Name: "sender_next_state",
+		Key: func(pkt *Packet) Value {
+			if pkt.Meta[metaPass] != 0 {
+				return 0xffff
+			}
+			return pkt.Field(FieldType)
+		},
+		Entries: map[Value]Action{
+			SendKick: func(c *Ctx) {
+				st := c.RegOp(r.State, 0, nil)
+				if st != SenderIdle {
+					c.Drop()
+					return
+				}
+				if c.RegOp(r.Lock, 0, func(Value) Value { return 1 }) != 0 {
+					c.Drop()
+					return
+				}
+				c.SetMeta(metaPass, 1)
+				c.SetMeta(metaNext, SenderWaitACK)
+				c.SetMeta(metaReset, 1)
+				c.Recirculate()
+			},
+			SendACKIn: func(c *Ctx) {
+				st := c.RegOp(r.State, 0, nil)
+				if st != SenderWaitACK {
+					c.Drop()
+					return
+				}
+				if c.RegOp(r.Lock, 0, func(Value) Value { return 1 }) != 0 {
+					c.Drop()
+					return
+				}
+				c.SetMeta(metaPass, 1)
+				c.SetMeta(metaNext, SenderCounting)
+				c.Recirculate()
+			},
+			SendTimer: func(c *Ctx) {
+				st := c.RegOp(r.State, 0, nil)
+				if st != SenderCounting {
+					c.Drop()
+					return
+				}
+				if c.RegOp(r.Lock, 0, func(Value) Value { return 1 }) != 0 {
+					c.Drop()
+					return
+				}
+				c.SetMeta(metaPass, 1)
+				c.SetMeta(metaNext, SenderWaitRep)
+				c.Recirculate()
+			},
+			SendData: func(c *Ctx) {
+				// Data packets are forwarded regardless; they are counted
+				// and tagged only while Counting (stop-and-wait pause).
+				st := c.RegOp(r.State, 0, nil)
+				if st != SenderCounting {
+					return
+				}
+				idx := int(c.Pkt.Field(FieldIndex))
+				if idx >= r.width {
+					return
+				}
+				c.RegOp(r.Node, idx, func(old Value) Value { return old + 1 })
+				c.EmitMsg("tagged", map[string]Value{"idx": Value(idx)})
+			},
+			SendReport: func(c *Ctx) {
+				// Report words arrive one by one; compare each against the
+				// local counter via a recirculated read-and-reset, keeping
+				// the running max difference in metadata.
+				st := c.RegOp(r.State, 0, nil)
+				if st != SenderWaitRep {
+					c.Drop()
+					return
+				}
+				c.SetMeta(metaPass, 3)
+				c.SetMeta(metaRemote, c.Pkt.Field(FieldIndex)) // remote count in idx field
+				c.SetMeta(metaRidx, c.Pkt.Field(FieldSession)) // word index rides the session field
+				c.Recirculate()
+			},
+		},
+	}
+	p.Stage(0).AddTable(first)
+
+	apply := &Table{
+		Name: "sender_apply",
+		Key:  func(pkt *Packet) Value { return pkt.Meta[metaPass] },
+		Entries: map[Value]Action{
+			1: func(c *Ctx) {
+				next := c.Meta(metaNext)
+				c.RegOp(r.State, 0, func(Value) Value { return next })
+				switch next {
+				case SenderWaitACK:
+					c.RegOp(r.Session, 0, func(old Value) Value { return old + 1 })
+					c.EmitMsg("start", nil)
+					if c.Meta(metaReset) != 0 && r.width == 1 {
+						c.RegOp(r.Node, 0, func(Value) Value { return 0 })
+					}
+				case SenderWaitRep:
+					c.EmitMsg("stop", nil)
+				}
+				c.RegOp(r.Lock, 0, func(Value) Value { return 0 })
+				c.Drop()
+			},
+			3: func(c *Ctx) {
+				// Comparison pass for one report word. The running
+				// maximum lives in the program's zooming-state fields —
+				// the max0/max1 registers of the hardware design — not in
+				// packet metadata, which does not survive across the
+				// separate report-word packets.
+				idx := int(c.Meta(metaRidx))
+				if idx >= r.width {
+					c.Drop()
+					return
+				}
+				local := c.RegOp(r.Node, idx, func(Value) Value { return 0 })
+				remote := c.Meta(metaRemote)
+				if local > remote && local-remote > r.LastMaxDiff {
+					r.LastMaxDiff = local - remote
+					r.LastMaxIdx = idx
+				}
+				if idx+1 < r.width {
+					c.Drop()
+					return
+				}
+				// Last word: close the session (back to Idle).
+				c.RegOp(r.State, 0, func(Value) Value { return SenderIdle })
+				r.Compared++
+				c.EmitMsg("session-closed", map[string]Value{
+					"maxIdx": Value(r.LastMaxIdx + 1), "maxDiff": r.LastMaxDiff,
+				})
+				c.Drop()
+			},
+		},
+	}
+	p.Stage(1).AddTable(apply)
+	return r
+}
+
+// Inject runs one packet through the sender pipeline.
+func (r *SenderProgram) Inject(typ, a, b Value) (Result, error) {
+	pkt := NewPacket(map[string]Value{FieldType: typ, FieldSession: a, FieldIndex: b})
+	return r.Pipe.Process(pkt)
+}
+
+// InjectReportWord delivers one report word (index, remote count).
+func (r *SenderProgram) InjectReportWord(index int, remote Value) (Result, error) {
+	return r.Inject(SendReport, Value(index), remote)
+}
+
+// CurrentState reads the FSM state from the control plane.
+func (r *SenderProgram) CurrentState() Value { return r.State.Peek(0) }
+
+// ResetComparison clears the last session's comparison maximum before a
+// new session's report arrives.
+func (r *SenderProgram) ResetComparison() {
+	r.LastMaxIdx = -1
+	r.LastMaxDiff = 0
+}

@@ -1,0 +1,170 @@
+package dataplane
+
+import "testing"
+
+// driveSenderSession opens a session and counts the given per-index packet
+// counts, returning after Stop is emitted.
+func driveSenderSession(t *testing.T, s *SenderProgram, counts map[int]int) {
+	t.Helper()
+	if _, err := s.Inject(SendKick, 0, 0); err != nil {
+		t.Fatal(err)
+	}
+	if s.CurrentState() != SenderWaitACK {
+		t.Fatalf("state = %d after kick, want WaitACK", s.CurrentState())
+	}
+	// Data offered before the ACK must not be counted (stop-and-wait).
+	s.Inject(SendData, 0, 0)
+	preACK := s.Node.Peek(0)
+	if preACK != 0 {
+		t.Fatal("counted a packet before the Start ACK")
+	}
+	if _, err := s.Inject(SendACKIn, 0, 0); err != nil {
+		t.Fatal(err)
+	}
+	if s.CurrentState() != SenderCounting {
+		t.Fatalf("state = %d after ACK, want Counting", s.CurrentState())
+	}
+	for idx, n := range counts {
+		for i := 0; i < n; i++ {
+			if _, err := s.Inject(SendData, 0, Value(idx)); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if _, err := s.Inject(SendTimer, 0, 0); err != nil {
+		t.Fatal(err)
+	}
+	if s.CurrentState() != SenderWaitRep {
+		t.Fatalf("state = %d after timer, want WaitReport", s.CurrentState())
+	}
+}
+
+func TestSenderFullSessionComparison(t *testing.T) {
+	s := BuildSender(4)
+	driveSenderSession(t, s, map[int]int{0: 5, 2: 9, 3: 1})
+
+	// The downstream reports fewer packets on counter 2: the comparison
+	// must single it out as the max-difference counter.
+	s.ResetComparison()
+	remote := []Value{5, 0, 4, 1}
+	for i, v := range remote {
+		if _, err := s.InjectReportWord(i, v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if s.CurrentState() != SenderIdle {
+		t.Fatalf("state = %d after full report, want Idle", s.CurrentState())
+	}
+	if s.LastMaxIdx != 2 || s.LastMaxDiff != 5 {
+		t.Fatalf("max = (idx %d, diff %d), want (2, 5)", s.LastMaxIdx, s.LastMaxDiff)
+	}
+	if s.Compared != 1 {
+		t.Errorf("Compared = %d, want 1", s.Compared)
+	}
+	// Counters were reset during comparison, ready for the next session.
+	for i := 0; i < 4; i++ {
+		if s.Node.Peek(i) != 0 {
+			t.Errorf("node[%d] = %d after comparison, want 0", i, s.Node.Peek(i))
+		}
+	}
+}
+
+func TestSenderLosslessComparison(t *testing.T) {
+	s := BuildSender(4)
+	driveSenderSession(t, s, map[int]int{1: 7})
+	s.ResetComparison()
+	for i, v := range []Value{0, 7, 0, 0} {
+		s.InjectReportWord(i, v)
+	}
+	if s.LastMaxIdx != -1 || s.LastMaxDiff != 0 {
+		t.Fatalf("lossless session produced max (idx %d, diff %d)", s.LastMaxIdx, s.LastMaxDiff)
+	}
+}
+
+func TestSenderMaxAccumulatesAcrossWords(t *testing.T) {
+	// A later word with zero difference must not erase an earlier max —
+	// the running maximum rides across recirculations.
+	s := BuildSender(3)
+	driveSenderSession(t, s, map[int]int{0: 9, 1: 3, 2: 3})
+	s.ResetComparison()
+	s.InjectReportWord(0, 2) // diff 7
+	s.InjectReportWord(1, 3) // diff 0
+	s.InjectReportWord(2, 3) // diff 0
+	if s.LastMaxIdx != 0 || s.LastMaxDiff != 7 {
+		t.Fatalf("max = (idx %d, diff %d), want (0, 7)", s.LastMaxIdx, s.LastMaxDiff)
+	}
+}
+
+func TestSenderIgnoresOutOfStateInputs(t *testing.T) {
+	s := BuildSender(2)
+	// ACK in Idle: dropped.
+	if res, _ := s.Inject(SendACKIn, 0, 0); res.Disposition != Drop {
+		t.Error("ACK in Idle not dropped")
+	}
+	// Timer in Idle: dropped.
+	if res, _ := s.Inject(SendTimer, 0, 0); res.Disposition != Drop {
+		t.Error("timer in Idle not dropped")
+	}
+	// Report word in Idle: dropped, no comparison.
+	s.InjectReportWord(0, 5)
+	if s.Compared != 0 {
+		t.Error("report processed outside WaitReport")
+	}
+	if s.CurrentState() != SenderIdle {
+		t.Error("state drifted")
+	}
+}
+
+func TestSenderDataForwardedWhilePaused(t *testing.T) {
+	// Data packets keep flowing (Forward disposition) even when the FSM
+	// is not counting — monitoring must never black-hole traffic.
+	s := BuildSender(2)
+	res, err := s.Inject(SendData, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Disposition != Forward {
+		t.Fatal("data packet dropped while Idle")
+	}
+	if s.Node.Peek(1) != 0 {
+		t.Error("packet counted while Idle")
+	}
+}
+
+func TestSenderEmitsControlMessages(t *testing.T) {
+	s := BuildSender(2)
+	res, _ := s.Inject(SendKick, 0, 0)
+	found := false
+	for _, e := range res.Emits {
+		if e.Kind == "start" {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("no Start emitted on session open")
+	}
+	s.Inject(SendACKIn, 0, 0)
+	res, _ = s.Inject(SendTimer, 0, 0)
+	found = false
+	for _, e := range res.Emits {
+		if e.Kind == "stop" {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("no Stop emitted on session close")
+	}
+}
+
+func BenchmarkSenderDataPath(b *testing.B) {
+	s := BuildSender(190)
+	s.Inject(SendKick, 0, 0)
+	s.Inject(SendACKIn, 0, 0)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Inject(SendData, 0, Value(i%190)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,193 @@
+package exp
+
+// Analytical reproductions: Table 2 (LossRadar infeasibility), Figure 2
+// (NetSeer memory vs link latency), Table 4 (Tofino resources), Table 5
+// (trace characteristics) and the §5.3 overhead analysis.
+
+import (
+	"fmt"
+	"strings"
+
+	"fancy/internal/baseline/lossradar"
+	"fancy/internal/baseline/netseer"
+	"fancy/internal/sim"
+	"fancy/internal/stats"
+	"fancy/internal/tofino"
+	"fancy/internal/traffic"
+	"fancy/internal/wire"
+)
+
+// Table2 reproduces the LossRadar requirements table of §2.3.
+func Table2() string {
+	losses := []float64{0.001, 0.002, 0.003, 0.01}
+	var b strings.Builder
+	b.WriteString("== Table 2: LossRadar requirements vs switch capabilities ==\n")
+	headers := []string{"Switch", "Metric"}
+	for _, l := range losses {
+		headers = append(headers, LossLabel(l))
+	}
+	var rows [][]string
+	for _, sw := range []struct {
+		name string
+		spec lossradar.SwitchSpec
+	}{
+		{"100Gbps/32p", lossradar.Switch100Gx32},
+		{"400Gbps/64p", lossradar.Switch400Gx64},
+	} {
+		mem := []string{sw.name, "memory size"}
+		read := []string{"", "read speedup"}
+		for _, l := range losses {
+			r := lossradar.Analyze(sw.spec, l)
+			mem = append(mem, fmt.Sprintf("x%.2f", r.MemoryRatio))
+			read = append(read, fmt.Sprintf("x%.1f", r.ReadRatio))
+		}
+		rows = append(rows, mem, read)
+	}
+	b.WriteString(stats.Table(headers, rows))
+	b.WriteString("(ratios > 1 exceed the switch's per-stage memory or register read speed)\n")
+	return b.String()
+}
+
+// Figure2 reproduces NetSeer's required memory per switch as a function of
+// inter-switch link latency.
+func Figure2() string {
+	latencies := []float64{100e-6, 1e-3, 10e-3, 100e-3}
+	rates := []float64{100e9, 200e9, 400e9}
+	var b strings.Builder
+	b.WriteString("== Figure 2: NetSeer required memory per switch (64 ports) ==\n")
+	headers := []string{"Latency"}
+	for _, r := range rates {
+		headers = append(headers, fmt.Sprintf("%dGbps", int(r/1e9)))
+	}
+	var rows [][]string
+	for _, lat := range latencies {
+		row := []string{fmtLatency(lat)}
+		for _, rate := range rates {
+			req := netseer.Analyze(64, rate, lat)
+			cell := fmt.Sprintf("%.1fMB", req.MemoryBytes/1e6)
+			if !req.Operational {
+				cell += "!"
+			}
+			row = append(row, cell)
+		}
+		rows = append(rows, row)
+	}
+	b.WriteString(stats.Table(headers, rows))
+	fmt.Fprintf(&b, "(! = exceeds the ≈%.0f MB available to in-switch apps; ISP links sit at ≥1 ms)\n",
+		netseer.AvailableMemBytes/1e6)
+	return b.String()
+}
+
+// Table4 reproduces the hardware resource usage comparison.
+func Table4() string {
+	chip := tofino.Tofino32()
+	d := tofino.PaperConfig()
+	ded := chip.Utilization(chip.DedicatedComponent(d))
+	full := chip.Utilization(chip.FancyResources(d, false))
+	rer := chip.Utilization(chip.FancyResources(d, true))
+	ref := tofino.SwitchP4Reference()
+
+	var b strings.Builder
+	b.WriteString("== Table 4: hardware resource usage on a 32-port Tofino ==\n")
+	headers := []string{"Resource", "Dedicated", "Full FANcY", "FANcY+Reroute", "switch.p4"}
+	pct := func(v float64) string { return fmt.Sprintf("%.2f%%", v*100) }
+	rows := [][]string{
+		{"SRAM", pct(ded.SRAM), pct(full.SRAM), pct(rer.SRAM), pct(ref.SRAM)},
+		{"Stateful ALU", pct(ded.SALU), pct(full.SALU), pct(rer.SALU), pct(ref.SALU)},
+		{"VLIW Actions", pct(ded.VLIW), pct(full.VLIW), pct(rer.VLIW), pct(ref.VLIW)},
+		{"TCAM", pct(ded.TCAM), pct(full.TCAM), pct(rer.TCAM), pct(ref.TCAM)},
+		{"Hash bits", pct(ded.HashBits), pct(full.HashBits), pct(rer.HashBits), pct(ref.HashBits)},
+		{"Ternary Xbar", pct(ded.TernaryXbar), pct(full.TernaryXbar), pct(rer.TernaryXbar), pct(ref.TernaryXbar)},
+		{"Exact Xbar", pct(ded.ExactXbar), pct(full.ExactXbar), pct(rer.ExactXbar), pct(ref.ExactXbar)},
+	}
+	b.WriteString(stats.Table(headers, rows))
+	fmt.Fprintf(&b, "register memory: %.1f KB (%.1f KB with rerouting)\n",
+		float64(d.TotalBytes(false))/1024, float64(d.TotalBytes(true))/1024)
+	return b.String()
+}
+
+// Table5 synthesizes the four evaluation traces and prints their aggregate
+// statistics next to the published targets.
+func Table5(scale Scale) string {
+	factor := pick(scale, 1000.0, 100.0)
+	var b strings.Builder
+	fmt.Fprintf(&b, "== Table 5: synthesized CAIDA-like traces (scaled 1/%g) ==\n", factor)
+	headers := []string{"Trace", "BitRate", "target", "PktRate", "target", "FlowRate", "target", "ActivePfx"}
+	var rows [][]string
+	for _, cfg := range traffic.StandardTraces(factor) {
+		tr := traffic.Synthesize(cfg)
+		st := tr.Stats()
+		rows = append(rows, []string{
+			cfg.Name,
+			fmt.Sprintf("%.1fMbps", st.BitRateBps/1e6),
+			fmt.Sprintf("%.1fMbps", cfg.BitRateBps/factor/1e6),
+			fmt.Sprintf("%.1fKpps", st.PacketRate/1e3),
+			fmt.Sprintf("%.1fKpps", cfg.PacketRate/factor/1e3),
+			fmt.Sprintf("%.0ffps", st.FlowRate),
+			fmt.Sprintf("%.0ffps", cfg.FlowRate/factor),
+			fmt.Sprintf("%d", st.ActivePfx),
+		})
+	}
+	b.WriteString(stats.Table(headers, rows))
+	return b.String()
+}
+
+// OverheadResult is the §5.3 traffic-overhead analysis.
+type OverheadResult struct {
+	DedicatedCtlBps   float64
+	DedicatedFraction float64 // of a 100 Gbps link
+	TreeCtlBps        float64
+	TreeFraction      float64
+	TagFraction       float64 // per 1500 B packet
+	TreeReportBytes   int
+}
+
+// Overhead computes FANcY's control and tagging overhead analytically from
+// the wire formats, for the paper's reference configuration: 500 dedicated
+// counters exchanged every 50 ms and a width-190 pipelined tree zooming
+// every 200 ms on a 10 ms-delay 100 Gbps link.
+func Overhead() *OverheadResult {
+	const linkBps = 100e9
+	const dedicated = 500
+	const exchange = 0.050
+	const zooming = 0.200
+
+	// Five minimum-size control frames per session per dedicated entry:
+	// Start, StartACK, Stop, Report and the first-of-next-session Start
+	// overlap the paper counts.
+	perSession := 5 * 64.0
+	dedBps := perSession * 8 * dedicated / exchange
+
+	// Tree session: four small messages plus the Report carrying
+	// (1 + nodes-1) × width counters in the pipelined layout.
+	report := &wire.Message{Header: wire.Header{Type: wire.MsgReport, Kind: wire.KindTree}}
+	nodes := 7 // width-190, depth-3, split-2 pipelined tree
+	report.Counters = make([]uint64, nodes*190)
+	treeBytes := 4*64 + report.WireSize()
+	treeBps := float64(treeBytes) * 8 / zooming
+
+	return &OverheadResult{
+		DedicatedCtlBps:   dedBps,
+		DedicatedFraction: dedBps / linkBps,
+		TreeCtlBps:        treeBps,
+		TreeFraction:      treeBps / linkBps,
+		TagFraction:       float64(wire.TagSize) / 1500,
+		TreeReportBytes:   report.WireSize(),
+	}
+}
+
+// Render prints the overhead analysis.
+func (o *OverheadResult) Render() string {
+	var b strings.Builder
+	b.WriteString("== §5.3 overhead analysis (100 Gbps link) ==\n")
+	fmt.Fprintf(&b, "dedicated counters control: %.3f Mbps (%.5f%% of link)\n",
+		o.DedicatedCtlBps/1e6, o.DedicatedFraction*100)
+	fmt.Fprintf(&b, "hash-tree control:          %.3f Mbps (%.5f%% of link), report %d B\n",
+		o.TreeCtlBps/1e6, o.TreeFraction*100, o.TreeReportBytes)
+	fmt.Fprintf(&b, "packet tag overhead:        %.2f%% per 1500 B packet\n", o.TagFraction*100)
+	return b.String()
+}
+
+func fmtLatency(secs float64) string {
+	return sim.Time(secs * float64(sim.Second)).String()
+}

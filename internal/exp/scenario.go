@@ -1,0 +1,288 @@
+// Package exp contains one driver per table and figure of the paper's
+// evaluation (§2.3, §5, §6, Appendix D). Each driver builds the scenario,
+// runs it at the requested scale and returns a result that renders the same
+// rows/series the paper reports. cmd/fancy-bench exposes them on the
+// command line; bench_test.go wraps them as testing.B benchmarks.
+package exp
+
+import (
+	"fmt"
+	"math/rand"
+
+	"fancy/internal/fancy"
+	"fancy/internal/netsim"
+	"fancy/internal/sim"
+	"fancy/internal/stats"
+	"fancy/internal/tcp"
+	"fancy/internal/traffic"
+)
+
+// Scale selects experiment fidelity. Quick subsamples grids, shortens runs
+// and lowers repetition counts so the whole suite finishes in CI time; Full
+// reproduces the paper-scale parameters. EXPERIMENTS.md records both.
+type Scale int
+
+// Scales.
+const (
+	Quick Scale = iota
+	Full
+)
+
+func (s Scale) String() string {
+	if s == Full {
+		return "full"
+	}
+	return "quick"
+}
+
+// pick returns q at Quick scale and f at Full scale.
+func pick[T any](s Scale, q, f T) T {
+	if s == Full {
+		return f
+	}
+	return q
+}
+
+// EntryLoad describes the traffic offered to one entry: the synthetic-grid
+// axis of Figures 7–9 ("Entry Size: total throughput and flows/s").
+type EntryLoad struct {
+	Entry       netsim.EntryID
+	RateBps     float64
+	FlowsPerSec float64
+}
+
+// GridRow labels one row of the Figure 7/9 grids.
+type GridRow struct {
+	Label       string
+	RateBps     float64
+	FlowsPerSec float64
+}
+
+// PaperGrid is the 18-row entry-size axis of Figure 7.
+var PaperGrid = []GridRow{
+	{"500Mbps/250", 500e6, 250}, {"100Mbps/200", 100e6, 200},
+	{"50Mbps/150", 50e6, 150}, {"10Mbps/150", 10e6, 150},
+	{"10Mbps/100", 10e6, 100}, {"1Mbps/100", 1e6, 100},
+	{"1Mbps/50", 1e6, 50}, {"500Kbps/50", 500e3, 50},
+	{"500Kbps/25", 500e3, 25}, {"100Kbps/25", 100e3, 25},
+	{"100Kbps/10", 100e3, 10}, {"50Kbps/10", 50e3, 10},
+	{"50Kbps/5", 50e3, 5}, {"25Kbps/5", 25e3, 5},
+	{"25Kbps/2", 25e3, 2}, {"8Kbps/2", 8e3, 2},
+	{"8Kbps/1", 8e3, 1}, {"4Kbps/1", 4e3, 1},
+}
+
+// QuickGrid is the subsampled axis used at Quick scale.
+var QuickGrid = []GridRow{
+	{"10Mbps/100", 10e6, 100}, {"1Mbps/50", 1e6, 50},
+	{"500Kbps/25", 500e3, 25}, {"100Kbps/10", 100e3, 10},
+	{"25Kbps/5", 25e3, 5}, {"8Kbps/1", 8e3, 1},
+}
+
+// PaperLossRates is the loss-rate axis of Figures 7–9 (fractions).
+var PaperLossRates = []float64{1.0, 0.75, 0.50, 0.10, 0.01, 0.001}
+
+// QuickLossRates subsamples the axis at Quick scale.
+var QuickLossRates = []float64{1.0, 0.50, 0.10, 0.01}
+
+// LossLabel formats a loss fraction like the paper's column headers.
+func LossLabel(l float64) string {
+	switch {
+	case l >= 1:
+		return "100%"
+	case l >= 0.001:
+		return fmt.Sprintf("%g%%", l*100)
+	default:
+		return fmt.Sprintf("%g%%", l*100)
+	}
+}
+
+// Scenario is one measurement run on the canonical two-switch link:
+//
+//	src — up ——(monitored link, failure injected)—— down — dst
+type Scenario struct {
+	Seed     int64
+	Cfg      fancy.Config
+	Delay    sim.Time // inter-switch delay (paper: 10 ms)
+	Duration sim.Time // total simulated time
+	FailAt   sim.Time
+	LossRate float64
+	Failed   []netsim.EntryID
+	Uniform  bool // uniform loss instead of per-entry
+	Loads    []EntryLoad
+
+	// StopWhenDetected ends the run as soon as every failed entry is
+	// detected, shortening the common case enormously.
+	StopWhenDetected bool
+
+	// UDP switches the workload to constant-bit-rate UDP instead of
+	// closed-loop TCP flows.
+	UDP bool
+
+	// InstallTraffic, when set, replaces the Loads-driven workload with a
+	// custom one (e.g. a synthesized trace replay).
+	InstallTraffic func(s *sim.Sim, src, dst *netsim.Host)
+
+	// ReverseLoss installs uniform loss on the downstream→upstream
+	// direction of the monitored link, hitting StartACK/Report messages.
+	ReverseLoss float64
+}
+
+// Outcome is what a scenario run produced.
+type Outcome struct {
+	// PerEntry holds the detection result for every failed entry.
+	PerEntry map[netsim.EntryID]stats.Detection
+	// UniformDetected reports an EventUniform and its latency.
+	UniformDetected bool
+	UniformLatency  sim.Time
+	// Events is the raw event log.
+	Events []fancy.Event
+	// CtlBytes is the detector's control-message overhead.
+	CtlBytes uint64
+	// FalseEntries counts non-failed entries with traffic that ended up
+	// flagged (hash collisions).
+	FalseEntries int
+}
+
+// Run executes the scenario.
+func (sc *Scenario) Run() *Outcome {
+	s := sim.New(sc.Seed)
+	src := netsim.NewHost(s, "src")
+	dst := netsim.NewHost(s, "dst")
+	up := netsim.NewSwitch(s, "up", 2)
+	down := netsim.NewSwitch(s, "down", 2)
+	edge := netsim.LinkConfig{Delay: sim.Millisecond, RateBps: 100e9, QueueBytes: 1 << 24}
+	core := netsim.LinkConfig{Delay: sc.Delay, RateBps: 100e9, QueueBytes: 1 << 24}
+	netsim.Connect(s, src, 0, up, 0, edge)
+	link := netsim.Connect(s, up, 1, down, 0, core)
+	netsim.Connect(s, down, 1, dst, 0, edge)
+	up.Routes.Insert(0, 0, netsim.Route{Port: 1, Backup: -1})
+	up.Routes.Insert(netsim.IPv4(172, 16, 0, 0), 16, netsim.Route{Port: 0, Backup: -1})
+	down.Routes.Insert(0, 0, netsim.Route{Port: 1, Backup: -1})
+	down.Routes.Insert(netsim.IPv4(172, 16, 0, 0), 16, netsim.Route{Port: 0, Backup: -1})
+	src.Default = netsim.PacketHandlerFunc(func(*netsim.Packet) {})
+	dst.Default = netsim.PacketHandlerFunc(func(*netsim.Packet) {})
+
+	det, err := fancy.NewDetector(s, up, sc.Cfg)
+	if err != nil {
+		panic(fmt.Sprintf("exp: detector config invalid: %v", err))
+	}
+	downDet, err := fancy.NewDetector(s, down, sc.Cfg)
+	if err != nil {
+		panic(err)
+	}
+	downDet.ListenPort(0)
+	det.MonitorPort(1)
+
+	out := &Outcome{PerEntry: make(map[netsim.EntryID]stats.Detection)}
+	failedSet := make(map[netsim.EntryID]bool, len(sc.Failed))
+	for _, e := range sc.Failed {
+		failedSet[e] = true
+	}
+	pathOf := make(map[string][]netsim.EntryID)
+	for _, e := range sc.Failed {
+		if _, dedicated := det.DedicatedSlot(e); !dedicated {
+			k := pathKey(det.EntryPath(1, e))
+			pathOf[k] = append(pathOf[k], e)
+		}
+	}
+	detected := 0
+	markDetected := func(e netsim.EntryID) {
+		if d := out.PerEntry[e]; d.Detected {
+			return
+		}
+		out.PerEntry[e] = stats.Detection{Detected: true, Latency: s.Now() - sc.FailAt}
+		detected++
+		if sc.StopWhenDetected && detected == len(sc.Failed) {
+			s.Stop()
+		}
+	}
+	det.OnEvent = func(ev fancy.Event) {
+		out.Events = append(out.Events, ev)
+		if s.Now() < sc.FailAt {
+			return // spurious pre-failure event (should not happen)
+		}
+		switch ev.Kind {
+		case fancy.EventDedicated:
+			if failedSet[ev.Entry] {
+				markDetected(ev.Entry)
+			}
+		case fancy.EventTreeLeaf:
+			for _, e := range pathOf[pathKey(ev.Path)] {
+				markDetected(e)
+			}
+		case fancy.EventUniform:
+			if !out.UniformDetected {
+				out.UniformDetected = true
+				out.UniformLatency = s.Now() - sc.FailAt
+			}
+			// A uniform report localizes the failure to all entries.
+			for _, e := range sc.Failed {
+				markDetected(e)
+			}
+			if sc.Uniform && sc.StopWhenDetected {
+				s.Stop()
+			}
+		}
+	}
+
+	// Traffic.
+	rng := rand.New(rand.NewSource(sc.Seed + 1))
+	if sc.InstallTraffic != nil {
+		sc.InstallTraffic(s, src, dst)
+	} else if sc.UDP {
+		for _, l := range sc.Loads {
+			traffic.NewUDPSource(s, src, netsim.FlowID(l.Entry), l.Entry,
+				netsim.EntryAddr(l.Entry, 1), l.RateBps, 1000, sc.Duration).Start()
+		}
+	} else {
+		drv := traffic.NewDriver(s, src, dst, tcp.Config{})
+		var specs []traffic.FlowSpec
+		for _, l := range sc.Loads {
+			specs = append(specs, traffic.SteadyEntry(l.Entry, l.RateBps, l.FlowsPerSec, sc.Duration, rng)...)
+		}
+		drv.Schedule(specs)
+	}
+
+	// Failure.
+	var failure *netsim.Failure
+	if sc.Uniform {
+		failure = netsim.FailUniform(sc.Seed+2, sc.FailAt, sc.LossRate)
+	} else {
+		failure = netsim.FailEntries(sc.Seed+2, sc.FailAt, sc.LossRate, sc.Failed...)
+	}
+	link.AB.SetFailure(failure)
+	if sc.ReverseLoss > 0 {
+		link.BA.SetFailure(netsim.FailUniform(sc.Seed+3, 0, sc.ReverseLoss))
+	}
+
+	s.Run(sc.Duration)
+
+	for _, e := range sc.Failed {
+		if _, ok := out.PerEntry[e]; !ok {
+			out.PerEntry[e] = stats.Detection{}
+		}
+	}
+	// False positives: entries with traffic that were flagged but healthy.
+	for _, l := range sc.Loads {
+		if !failedSet[l.Entry] && det.Flagged(1, l.Entry) {
+			out.FalseEntries++
+		}
+	}
+	out.CtlBytes = det.CtlBytesSent
+	return out
+}
+
+// tcpCfg is the default TCP configuration used by experiment workloads.
+func tcpCfg() tcp.Config { return tcp.Config{} }
+
+// simRand builds a deterministic RNG for workload generation.
+func simRand(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }
+
+func pathKey(p []uint16) string {
+	b := make([]byte, 2*len(p))
+	for i, v := range p {
+		b[2*i] = byte(v >> 8)
+		b[2*i+1] = byte(v)
+	}
+	return string(b)
+}

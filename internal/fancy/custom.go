@@ -1,0 +1,188 @@
+package fancy
+
+// Custom counting sessions — the §4.1 extensibility claim: "our FSMs can
+// be easily extended to synchronize and exchange arbitrary state across
+// switches. Indeed, exchanging information other than packet counters only
+// requires to tweak the semantics that switches associate to packet tags,
+// and adjust the content of the Report messages."
+//
+// A CustomUnit defines those two things: how egress packets map to tags
+// (and local state), and what to do with the downstream's report. The unit
+// rides the existing stop-and-wait sender/receiver FSMs unchanged, getting
+// their reliability (retransmission, link-down reporting) for free.
+//
+// SizeHistogramUnit below is a working example: it synchronizes per-packet-
+// size bucket counters to localize the Table 1 bug class "drops packets
+// with specific sizes" — something per-entry counters cannot express.
+
+import (
+	"fmt"
+
+	"fancy/internal/netsim"
+	"fancy/internal/sim"
+	"fancy/internal/wire"
+)
+
+// CustomSender is the upstream half of a custom session.
+type CustomSender interface {
+	// ResetSession zeroes local state for a new counting session.
+	ResetSession()
+	// Observe maps an egress packet to its tag; ok=false leaves the
+	// packet untagged and uncounted this session.
+	Observe(pkt *netsim.Packet) (tag wire.Tag, ok bool)
+	// HandleReport receives the downstream's state at session close.
+	HandleReport(state []uint64)
+}
+
+// CustomReceiver is the downstream half.
+type CustomReceiver interface {
+	ResetSession()
+	// Count processes one tagged packet.
+	Count(tag wire.Tag)
+	// Snapshot returns the state for the Report message.
+	Snapshot() []uint64
+}
+
+// customUnitBase is the first wire unit number used for custom sessions,
+// keeping them clear of dedicated-entry slots.
+const customUnitBase uint16 = 0xf000
+
+// MonitorCustom opens recurring custom sessions on an egress port,
+// exchanging cs's state every interval. The returned unit number must be
+// used by the downstream's ListenCustom. MonitorPort must have been called
+// for the port first (custom sessions share its infrastructure).
+func (d *Detector) MonitorCustom(port int, interval sim.Time, cs CustomSender) uint16 {
+	m := d.monitors[port]
+	if m == nil {
+		panic(fmt.Sprintf("fancy: MonitorCustom before MonitorPort(%d)", port))
+	}
+	if len(m.custom) > 0 {
+		// Packet tags carry no unit number, so tagged-packet dispatch at
+		// the receiver supports one custom unit per port.
+		panic(fmt.Sprintf("fancy: port %d already has a custom session", port))
+	}
+	unit := customUnitBase + uint16(len(m.custom))
+	fsm := &senderFSM{
+		det: d, port: port, kind: wire.KindCustom, unit: unit,
+		interval: interval,
+		counters: &customSenderAdapter{cs},
+	}
+	m.custom = append(m.custom, fsm)
+	d.s.Schedule(0, fsm.startSession)
+	return unit
+}
+
+// ListenCustom registers the downstream half for (port, unit).
+func (d *Detector) ListenCustom(port int, unit uint16, cr CustomReceiver) {
+	d.ListenPort(port)
+	if d.customRecv == nil {
+		d.customRecv = make(map[uint32]CustomReceiver)
+	}
+	d.customRecv[uint32(port)<<16|uint32(unit)] = cr
+}
+
+// customSenderAdapter bridges CustomSender onto the senderCounters
+// interface the FSM drives.
+type customSenderAdapter struct{ cs CustomSender }
+
+func (a *customSenderAdapter) resetSession() []wire.ZoomTarget {
+	a.cs.ResetSession()
+	return nil
+}
+
+func (a *customSenderAdapter) tagPacket(netsim.EntryID) (wire.Tag, bool) {
+	// Custom units tag via tagPacketFull (they need the whole packet).
+	return wire.Tag{}, false
+}
+
+func (a *customSenderAdapter) handleReport(counters []uint64) {
+	a.cs.HandleReport(counters)
+}
+
+// customReceiverAdapter bridges CustomReceiver onto receiverCounters.
+type customReceiverAdapter struct{ cr CustomReceiver }
+
+func (a *customReceiverAdapter) resetSession([]wire.ZoomTarget) { a.cr.ResetSession() }
+func (a *customReceiverAdapter) countTag(tag wire.Tag)          { a.cr.Count(tag) }
+func (a *customReceiverAdapter) snapshot() []uint64             { return a.cr.Snapshot() }
+
+// SizeBuckets is the bucket count of SizeHistogramUnit (64-byte buckets up
+// to 1536 B and an overflow bucket → 25 buckets fit one tag byte).
+const SizeBuckets = 25
+
+// SizeHistogramUnit synchronizes per-packet-size counters across a link,
+// localizing hardware bugs that drop packets of specific sizes. It
+// implements both CustomSender and CustomReceiver (instantiate one per
+// side).
+type SizeHistogramUnit struct {
+	counts [SizeBuckets]uint64
+
+	// OnMismatch fires on the upstream side for each size bucket with
+	// missing packets.
+	OnMismatch func(bucket int, diff uint64)
+
+	// FlaggedBuckets accumulates mismatching buckets across sessions.
+	FlaggedBuckets map[int]bool
+}
+
+// NewSizeHistogramUnit builds a unit.
+func NewSizeHistogramUnit() *SizeHistogramUnit {
+	return &SizeHistogramUnit{FlaggedBuckets: make(map[int]bool)}
+}
+
+// SizeBucket maps a wire size to its bucket.
+func SizeBucket(size int) int {
+	b := size / 64
+	if b >= SizeBuckets {
+		b = SizeBuckets - 1
+	}
+	return b
+}
+
+// BucketRange describes a bucket's size range for reports.
+func BucketRange(b int) string {
+	if b >= SizeBuckets-1 {
+		return fmt.Sprintf("≥%dB", (SizeBuckets-1)*64)
+	}
+	return fmt.Sprintf("%d-%dB", b*64, b*64+63)
+}
+
+// ResetSession implements CustomSender/CustomReceiver.
+func (u *SizeHistogramUnit) ResetSession() {
+	for i := range u.counts {
+		u.counts[i] = 0
+	}
+}
+
+// Observe implements CustomSender.
+func (u *SizeHistogramUnit) Observe(pkt *netsim.Packet) (wire.Tag, bool) {
+	b := SizeBucket(pkt.Size)
+	u.counts[b]++
+	return wire.Tag{Node: 0, Counter: uint8(b)}, true
+}
+
+// Count implements CustomReceiver.
+func (u *SizeHistogramUnit) Count(tag wire.Tag) {
+	if int(tag.Counter) < SizeBuckets {
+		u.counts[tag.Counter]++
+	}
+}
+
+// Snapshot implements CustomReceiver.
+func (u *SizeHistogramUnit) Snapshot() []uint64 {
+	out := make([]uint64, SizeBuckets)
+	copy(out, u.counts[:])
+	return out
+}
+
+// HandleReport implements CustomSender.
+func (u *SizeHistogramUnit) HandleReport(state []uint64) {
+	for b := 0; b < SizeBuckets && b < len(state); b++ {
+		if u.counts[b] > state[b] {
+			u.FlaggedBuckets[b] = true
+			if u.OnMismatch != nil {
+				u.OnMismatch(b, u.counts[b]-state[b])
+			}
+		}
+	}
+}

@@ -1,0 +1,54 @@
+package fancy
+
+// Dedicated counters: each high-priority entry is tracked by one pair of
+// counters (one per session side) driven by its own sender/receiver FSM
+// pair (§4.3). Detection is immediate — any positive discrepancy at session
+// close flags the entry, with zero false positives.
+
+import (
+	"fancy/internal/netsim"
+	"fancy/internal/wire"
+)
+
+// dedicatedSender is the sender-side counter for one high-priority entry.
+type dedicatedSender struct {
+	det   *Detector
+	port  int
+	slot  int // index into the FlagArray and wire unit
+	entry netsim.EntryID
+	count uint64
+}
+
+func (d *dedicatedSender) resetSession() []wire.ZoomTarget {
+	d.count = 0
+	return nil
+}
+
+func (d *dedicatedSender) tagPacket(entry netsim.EntryID) (wire.Tag, bool) {
+	// The detector routes only this entry's packets here.
+	d.count++
+	return wire.DedicatedTag(uint16(d.slot)), true
+}
+
+func (d *dedicatedSender) handleReport(counters []uint64) {
+	if len(counters) != 1 {
+		return // malformed report
+	}
+	remote := counters[0]
+	if d.count > remote {
+		d.det.outputs(d.port).Flags.Set(d.slot)
+		d.det.emit(Event{
+			Time: d.det.s.Now(), Port: d.port, Kind: EventDedicated,
+			Entry: d.entry, Diff: d.count - remote,
+		})
+	}
+}
+
+// dedicatedReceiver is the downstream counter for one high-priority entry.
+type dedicatedReceiver struct {
+	count uint64
+}
+
+func (d *dedicatedReceiver) resetSession(_ []wire.ZoomTarget) { d.count = 0 }
+func (d *dedicatedReceiver) countTag(_ wire.Tag)              { d.count++ }
+func (d *dedicatedReceiver) snapshot() []uint64               { return []uint64{d.count} }

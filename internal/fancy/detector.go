@@ -1,0 +1,407 @@
+package fancy
+
+import (
+	"fmt"
+
+	"fancy/internal/netsim"
+	"fancy/internal/sim"
+	"fancy/internal/wire"
+)
+
+// Outputs are FANcY's per-port result structures (Figure 1): flagged
+// dedicated entries and the Bloom filter of flagged hash paths.
+type Outputs struct {
+	Flags *FlagArray
+	Bloom *PathBloom
+}
+
+// Detector attaches FANcY to one switch. Call MonitorPort on the upstream
+// switch for each egress port to watch, and ListenPort on the downstream
+// switch for the matching ingress port. A switch commonly does both, for
+// different ports (§4.3: FANcY is designed to be deployed at every switch).
+type Detector struct {
+	s   *sim.Sim
+	sw  *netsim.Switch
+	cfg Config
+
+	// Layout is the memory plan computed from the config.
+	Layout Layout
+
+	slotByEntry map[netsim.EntryID]int
+
+	monitors  map[int]*portMonitor
+	listeners map[int]*portListener
+
+	// ownAddr and peerAddr support partial deployments (§4.3): when the
+	// counterpart switch is several hops away, control messages carry a
+	// destination address so non-FANcY transit switches forward them, and
+	// this detector only consumes control packets addressed to it.
+	ownAddr  uint32
+	peerAddr map[int]uint32
+
+	guard     CongestionGuard
+	discarded uint64
+
+	customRecv map[uint32]CustomReceiver
+
+	// OnEvent receives every detection event (required for experiments;
+	// may be nil).
+	OnEvent func(Event)
+
+	// Control-plane overhead accounting (§5.3).
+	CtlMsgsSent  uint64
+	CtlBytesSent uint64
+}
+
+// portMonitor is the sender side for one monitored egress port.
+type portMonitor struct {
+	dedicated []*senderFSM // index = slot
+	tree      *senderFSM
+	treeCnt   *treeSender
+	custom    []*senderFSM
+	out       Outputs
+
+	// downUnits counts sub-state-machines currently reporting the link as
+	// unresponsive; EventLinkDown fires on the 0→1 transition only, so a
+	// port raises one alarm however many of its units time out.
+	downUnits int
+}
+
+// portListener is the receiver side for one ingress port. FSMs are created
+// on demand when the first Start for a unit arrives.
+type portListener struct {
+	units map[uint16]*receiverFSM
+}
+
+// NewDetector validates cfg (running the §4.3 input translation) and hooks
+// the detector into the switch pipelines.
+func NewDetector(s *sim.Sim, sw *netsim.Switch, cfg Config) (*Detector, error) {
+	layout, err := cfg.Plan()
+	if err != nil {
+		return nil, err
+	}
+	cfg = cfg.withDefaults()
+	cfg.Tree = layout.Tree
+	d := &Detector{
+		s: s, sw: sw, cfg: cfg, Layout: layout,
+		slotByEntry: make(map[netsim.EntryID]int, len(cfg.HighPriority)),
+		monitors:    make(map[int]*portMonitor),
+		listeners:   make(map[int]*portListener),
+		peerAddr:    make(map[int]uint32),
+	}
+	for i, e := range cfg.HighPriority {
+		if _, dup := d.slotByEntry[e]; dup {
+			return nil, fmt.Errorf("fancy: duplicate high-priority entry %d", e)
+		}
+		d.slotByEntry[e] = i
+	}
+	sw.AddIngressHook(d)
+	sw.AddEgressHook(d)
+	sw.RefreshEgressHooks()
+	return d, nil
+}
+
+// Config returns the effective configuration (defaults filled, tree sized).
+func (d *Detector) Config() Config { return d.cfg }
+
+// SetOwnAddr gives the detector an address for remote (multi-hop) counting
+// sessions: it then consumes only control packets destined to that address
+// and forwards the rest, so it can sit on the transit path of other
+// detectors' sessions.
+func (d *Detector) SetOwnAddr(addr uint32) { d.ownAddr = addr }
+
+// SetPeerAddr sets the control-message destination for a monitored or
+// listening port. Zero (the default) addresses the adjacent switch
+// directly; a non-zero address lets non-FANcY transit switches route the
+// messages in a partial deployment (§4.3).
+func (d *Detector) SetPeerAddr(port int, addr uint32) { d.peerAddr[port] = addr }
+
+// MonitorPort starts sender FSMs for an egress port: one per dedicated
+// entry plus one for the tree. Session starts are staggered across the
+// exchange interval so control messages do not burst.
+func (d *Detector) MonitorPort(port int) *Outputs {
+	if m, ok := d.monitors[port]; ok {
+		return &m.out
+	}
+	m := &portMonitor{
+		out: Outputs{
+			Flags: NewFlagArray(len(d.cfg.HighPriority)),
+			Bloom: NewPathBloom(d.cfg.BloomCells),
+		},
+	}
+	n := len(d.cfg.HighPriority)
+	for slot, entry := range d.cfg.HighPriority {
+		fsm := &senderFSM{
+			det: d, port: port, kind: wire.KindDedicated, unit: uint16(slot),
+			interval: d.cfg.ExchangeInterval,
+			counters: &dedicatedSender{det: d, port: port, slot: slot, entry: entry},
+		}
+		m.dedicated = append(m.dedicated, fsm)
+		delay := sim.Time(int64(d.cfg.ExchangeInterval) * int64(slot) / int64(max(n, 1)))
+		d.s.Schedule(delay, fsm.startSession)
+	}
+	m.treeCnt = newTreeSender(d, port, d.cfg.Tree, d.cfg.TreeSeed)
+	m.tree = &senderFSM{
+		det: d, port: port, kind: wire.KindTree, unit: wire.TreeUnit,
+		interval: d.cfg.ZoomingInterval,
+		counters: m.treeCnt,
+	}
+	d.s.Schedule(0, m.tree.startSession)
+	d.monitors[port] = m
+	return &m.out
+}
+
+// ListenPort enables receiver FSMs for an ingress port.
+func (d *Detector) ListenPort(port int) {
+	if _, ok := d.listeners[port]; !ok {
+		d.listeners[port] = &portListener{units: make(map[uint16]*receiverFSM)}
+	}
+}
+
+// Outputs returns the result structures of a monitored port (nil if the
+// port is not monitored).
+func (d *Detector) Outputs(port int) *Outputs {
+	if m, ok := d.monitors[port]; ok {
+		return &m.out
+	}
+	return nil
+}
+
+// outputs is the internal non-nil accessor used by counter machinery.
+func (d *Detector) outputs(port int) *Outputs {
+	return &d.monitors[port].out
+}
+
+// Acknowledge clears a monitored port's output structures (the flag array
+// and the path Bloom filter) after the operator has acted on them — e.g.
+// once the faulty hardware is repaired or the traffic rerouted. Ongoing
+// mismatches will re-flag within a session.
+func (d *Detector) Acknowledge(port int) {
+	m, ok := d.monitors[port]
+	if !ok {
+		return
+	}
+	for i := 0; i < m.out.Flags.Len(); i++ {
+		m.out.Flags.Clear(i)
+	}
+	m.out.Bloom.Reset()
+}
+
+// Flagged reports whether FANcY has flagged entry on the monitored port —
+// through its dedicated flag bit if the entry is high priority, otherwise
+// through the hash-path Bloom filter.
+func (d *Detector) Flagged(port int, entry netsim.EntryID) bool {
+	m, ok := d.monitors[port]
+	if !ok {
+		return false
+	}
+	if slot, ok := d.slotByEntry[entry]; ok {
+		return m.out.Flags.Get(slot)
+	}
+	return m.out.Bloom.Contains(m.treeCnt.EntryPath(entry))
+}
+
+// EntryPath exposes the tree hash path of an entry on a monitored port,
+// for evaluation tooling.
+func (d *Detector) EntryPath(port int, entry netsim.EntryID) []uint16 {
+	if m, ok := d.monitors[port]; ok {
+		return m.treeCnt.EntryPath(entry)
+	}
+	return nil
+}
+
+// DedicatedSlot returns the flag-array slot of a high-priority entry.
+func (d *Detector) DedicatedSlot(entry netsim.EntryID) (int, bool) {
+	s, ok := d.slotByEntry[entry]
+	return s, ok
+}
+
+// SessionsCompleted sums completed counting sessions across a port's units.
+func (d *Detector) SessionsCompleted(port int) uint64 {
+	m, ok := d.monitors[port]
+	if !ok {
+		return 0
+	}
+	var n uint64
+	for _, f := range m.dedicated {
+		n += f.SessionsCompleted
+	}
+	return n + m.tree.SessionsCompleted
+}
+
+func (d *Detector) emit(ev Event) {
+	if d.OnEvent != nil {
+		d.OnEvent(ev)
+	}
+}
+
+// reportLinkDown aggregates per-unit timeout reports into one link-down
+// event per port.
+func (d *Detector) reportLinkDown(port int) {
+	m := d.monitors[port]
+	m.downUnits++
+	if m.downUnits == 1 {
+		d.emit(Event{Time: d.s.Now(), Port: port, Kind: EventLinkDown})
+	}
+}
+
+// reportLinkUp retracts one unit's down report.
+func (d *Detector) reportLinkUp(port int) {
+	if m := d.monitors[port]; m.downUnits > 0 {
+		m.downUnits--
+	}
+}
+
+// LinkDown reports whether any of the port's units currently considers the
+// link unresponsive.
+func (d *Detector) LinkDown(port int) bool {
+	m, ok := d.monitors[port]
+	return ok && m.downUnits > 0
+}
+
+// sendControl marshals and injects a control message out of port, returning
+// its wire size. Control packets occupy at least a minimum-size Ethernet
+// frame (64 B), the figure the paper's overhead analysis uses.
+func (d *Detector) sendControl(port int, m *wire.Message) int {
+	buf := m.Marshal(nil)
+	size := len(buf)
+	if size < 64 {
+		size = 64
+	}
+	pkt := &netsim.Packet{
+		Proto: netsim.ProtoFancy, Entry: netsim.InvalidEntry,
+		Size: size, Ctl: buf,
+		Src: d.ownAddr, Dst: d.peerAddr[port],
+	}
+	d.CtlMsgsSent++
+	d.CtlBytesSent += uint64(size)
+	d.sw.Inject(pkt, port)
+	return size
+}
+
+// OnIngress implements netsim.IngressHook: it consumes FANcY control
+// messages and counts tagged data packets before the traffic manager.
+func (d *Detector) OnIngress(pkt *netsim.Packet, port int) bool {
+	if pkt.Proto == netsim.ProtoFancy {
+		if pkt.Dst != 0 && pkt.Dst != d.ownAddr {
+			return false // someone else's session in transit: forward it
+		}
+		m, _, err := wire.Unmarshal(pkt.Ctl)
+		if err != nil {
+			return true // corrupted control message: drop
+		}
+		d.handleControl(m, port)
+		return true
+	}
+	if pkt.Tagged {
+		if l, ok := d.listeners[port]; ok {
+			if fsm, ok := l.units[unitOf(pkt)]; ok {
+				fsm.onIngress(pkt)
+			}
+			// Strip the tag: it is meaningful on this link only.
+			pkt.Tagged = false
+			pkt.Size -= wire.TagSize
+		}
+	}
+	return false
+}
+
+func unitOf(pkt *netsim.Packet) uint16 {
+	switch pkt.TagKind {
+	case wire.KindTree:
+		return wire.TreeUnit
+	case wire.KindCustom:
+		// Tags carry no unit number, so a port supports one custom unit.
+		return customUnitBase
+	default:
+		return pkt.Tag.DedicatedID()
+	}
+}
+
+func (d *Detector) handleControl(m *wire.Message, port int) {
+	switch m.Type {
+	case wire.MsgStart, wire.MsgStop:
+		l, ok := d.listeners[port]
+		if !ok {
+			return // not listening on this port
+		}
+		fsm, ok := l.units[m.Unit]
+		if !ok {
+			if m.Type != wire.MsgStart {
+				return // Stop for an unknown session
+			}
+			fsm = d.newReceiverFSM(port, m)
+			if fsm == nil {
+				return // custom session without a registered receiver
+			}
+			l.units[m.Unit] = fsm
+		}
+		fsm.onControl(m)
+	case wire.MsgStartACK, wire.MsgReport:
+		mon, ok := d.monitors[port]
+		if !ok {
+			return
+		}
+		if m.Unit == wire.TreeUnit {
+			if m.Kind == wire.KindTree {
+				mon.tree.onControl(m)
+			}
+			return
+		}
+		if m.Kind == wire.KindCustom {
+			if i := int(m.Unit) - int(customUnitBase); i >= 0 && i < len(mon.custom) {
+				mon.custom[i].onControl(m)
+			}
+			return
+		}
+		if int(m.Unit) < len(mon.dedicated) {
+			mon.dedicated[m.Unit].onControl(m)
+		}
+	}
+}
+
+func (d *Detector) newReceiverFSM(port int, m *wire.Message) *receiverFSM {
+	fsm := &receiverFSM{det: d, port: port, kind: m.Kind, unit: m.Unit}
+	switch m.Kind {
+	case wire.KindTree:
+		fsm.counters = newTreeReceiver(d.cfg.Tree)
+	case wire.KindCustom:
+		cr, ok := d.customRecv[uint32(port)<<16|uint32(m.Unit)]
+		if !ok {
+			return nil
+		}
+		fsm.counters = &customReceiverAdapter{cr}
+	default:
+		fsm.counters = &dedicatedReceiver{}
+	}
+	return fsm
+}
+
+// OnEgress implements netsim.EgressHook: it counts and tags data packets
+// after the traffic manager on monitored ports.
+func (d *Detector) OnEgress(pkt *netsim.Packet, port int) {
+	if pkt.Proto == netsim.ProtoFancy {
+		return
+	}
+	m, ok := d.monitors[port]
+	if !ok {
+		return
+	}
+	if pkt.Entry == netsim.InvalidEntry {
+		return // unclassified traffic (e.g. reverse ACKs) is not monitored
+	}
+	// A packet carries at most one 2-byte tag, so it is counted by exactly
+	// one session per link. Custom sessions take precedence over the
+	// standard counting (they exist to analyze traffic the operator
+	// singled out; see MonitorCustom).
+	for _, fsm := range m.custom {
+		if fsm.onEgressCustom(pkt) {
+			return
+		}
+	}
+	if slot, ok := d.slotByEntry[pkt.Entry]; ok {
+		m.dedicated[slot].onEgress(pkt)
+		return
+	}
+	m.tree.onEgress(pkt)
+}

@@ -1,0 +1,74 @@
+package fancy
+
+import (
+	"fmt"
+
+	"fancy/internal/netsim"
+	"fancy/internal/sim"
+)
+
+// EventKind classifies detector events.
+type EventKind uint8
+
+// Detector event kinds.
+const (
+	// EventDedicated: a dedicated counter mismatched — the entry is
+	// flagged in the FlagArray.
+	EventDedicated EventKind = iota
+	// EventTreeZoomStart: the tree observed its first root-level mismatch
+	// and began zooming ("FANcY technically detects a failure when it
+	// starts zooming", §4.2); reported for diagnostics only.
+	EventTreeZoomStart
+	// EventTreeLeaf: the zooming algorithm reached a mismatching leaf
+	// counter — the hash path is flagged in the PathBloom.
+	EventTreeLeaf
+	// EventUniform: more than half of the root counters mismatched — the
+	// failure affects all entries (link-level loss).
+	EventUniform
+	// EventLinkDown: MaxAttempts control retransmissions went unanswered.
+	EventLinkDown
+)
+
+func (k EventKind) String() string {
+	switch k {
+	case EventDedicated:
+		return "dedicated-mismatch"
+	case EventTreeZoomStart:
+		return "tree-zoom-start"
+	case EventTreeLeaf:
+		return "tree-leaf"
+	case EventUniform:
+		return "uniform-failure"
+	case EventLinkDown:
+		return "link-down"
+	}
+	return fmt.Sprintf("event(%d)", uint8(k))
+}
+
+// Event is a detection raised by the upstream (sender-side) detector.
+type Event struct {
+	Time sim.Time
+	Port int
+	Kind EventKind
+
+	// Entry is the flagged dedicated entry (EventDedicated only).
+	Entry netsim.EntryID
+
+	// Path is the flagged hash path (EventTreeLeaf only).
+	Path []uint16
+
+	// Diff is the counter discrepancy (upstream − downstream) that
+	// triggered the event.
+	Diff uint64
+}
+
+func (e Event) String() string {
+	switch e.Kind {
+	case EventDedicated:
+		return fmt.Sprintf("[%v] port %d: %v entry=%d diff=%d", e.Time, e.Port, e.Kind, e.Entry, e.Diff)
+	case EventTreeLeaf:
+		return fmt.Sprintf("[%v] port %d: %v path=%v diff=%d", e.Time, e.Port, e.Kind, e.Path, e.Diff)
+	default:
+		return fmt.Sprintf("[%v] port %d: %v", e.Time, e.Port, e.Kind)
+	}
+}

@@ -1,0 +1,308 @@
+package fancy
+
+// This file implements the counting protocol's finite state machines
+// (Figures 3 and 4 of the paper). One sender FSM runs at the upstream
+// switch and one receiver FSM at the downstream switch for every monitored
+// unit: each dedicated entry is a unit, and the hash-based tree is one more
+// unit — matching the per-port sub-state-machines of the Tofino
+// implementation (Appendix B.2).
+//
+// The protocol is stop-and-wait: Start/StartACK opens a session,
+// Stop/Report closes it, and the upstream retransmits unanswered control
+// messages every Trtx, reporting a link failure after MaxAttempts. Counting
+// pauses while control messages are in flight — the deliberate accuracy/
+// memory trade-off of §4.1.
+
+import (
+	"fancy/internal/netsim"
+	"fancy/internal/sim"
+	"fancy/internal/wire"
+)
+
+// senderState enumerates the sender FSM states of Figure 3 (left).
+type senderState uint8
+
+const (
+	sIdle         senderState = iota
+	sWaitStartACK             // Start sent, waiting for Start ACK
+	sCounting                 // tagging and counting packets
+	sWaitReport               // Stop sent, waiting for Report
+)
+
+// senderCounters abstracts the two counting machineries on the sender side.
+type senderCounters interface {
+	// resetSession zeroes the counters for a new session and returns the
+	// zoom targets to advertise in the Start message (nil for dedicated).
+	resetSession() []wire.ZoomTarget
+	// tagPacket counts a packet belonging to this unit and returns its
+	// wire tag. ok=false means the packet is not counted this session
+	// (non-pipelined zoom stages only count matching packets).
+	tagPacket(entry netsim.EntryID) (tag wire.Tag, ok bool)
+	// handleReport compares the downstream counters against the local
+	// ones, raising events through the detector.
+	handleReport(counters []uint64)
+}
+
+// senderFSM drives one unit's counting sessions from the upstream switch.
+type senderFSM struct {
+	det      *Detector
+	port     int
+	kind     wire.SessionKind
+	unit     uint16
+	interval sim.Time
+	counters senderCounters
+
+	state      senderState
+	session    uint32
+	attempts   int
+	rtx        *sim.Timer
+	sessEnd    *sim.Timer
+	countStart sim.Time
+
+	lastTargets []wire.ZoomTarget
+	linkDown    bool
+
+	// SessionsCompleted counts fully closed sessions, for tests.
+	SessionsCompleted uint64
+	// CtlSent counts control messages (overhead accounting, §5.3).
+	CtlSent      uint64
+	CtlBytesSent uint64
+}
+
+func (f *senderFSM) startSession() {
+	f.session++
+	f.attempts = 0
+	f.lastTargets = f.counters.resetSession()
+	f.state = sWaitStartACK
+	f.sendStart()
+	f.armRtx()
+}
+
+func (f *senderFSM) sendStart() {
+	f.sendCtl(&wire.Message{
+		Header:  wire.Header{Type: wire.MsgStart, Kind: f.kind, Session: f.session, Link: uint16(f.port), Unit: f.unit},
+		Targets: f.lastTargets,
+	})
+}
+
+func (f *senderFSM) sendStop() {
+	f.sendCtl(&wire.Message{
+		Header: wire.Header{Type: wire.MsgStop, Kind: f.kind, Session: f.session, Link: uint16(f.port), Unit: f.unit},
+	})
+}
+
+func (f *senderFSM) sendCtl(m *wire.Message) {
+	f.CtlSent++
+	f.CtlBytesSent += uint64(f.det.sendControl(f.port, m))
+}
+
+func (f *senderFSM) armRtx() {
+	f.rtx.Stop()
+	f.rtx = f.det.s.Schedule(f.det.cfg.Trtx, f.onRtx)
+}
+
+func (f *senderFSM) onRtx() {
+	f.attempts++
+	if f.attempts >= f.det.cfg.MaxAttempts {
+		if !f.linkDown {
+			f.linkDown = true
+			f.det.reportLinkDown(f.port)
+		}
+	}
+	switch f.state {
+	case sWaitStartACK:
+		f.sendStart()
+	case sWaitReport:
+		f.sendStop()
+	default:
+		return // stale timer
+	}
+	f.armRtx()
+}
+
+// onControl handles StartACK and Report messages from the downstream.
+func (f *senderFSM) onControl(m *wire.Message) {
+	if m.Session != f.session {
+		return // stale or duplicated response
+	}
+	switch m.Type {
+	case wire.MsgStartACK:
+		if f.state != sWaitStartACK {
+			return
+		}
+		f.rtx.Stop()
+		if f.linkDown {
+			f.linkDown = false
+			f.det.reportLinkUp(f.port)
+		}
+		f.attempts = 0
+		f.state = sCounting
+		f.countStart = f.det.s.Now()
+		f.sessEnd = f.det.s.Schedule(f.interval, f.endCounting)
+	case wire.MsgReport:
+		if f.state != sWaitReport {
+			return
+		}
+		f.rtx.Stop()
+		if f.linkDown {
+			f.linkDown = false
+			f.det.reportLinkUp(f.port)
+		}
+		f.state = sIdle
+		f.SessionsCompleted++
+		if g := f.det.guard; g != nil && g.Congested(f.port, f.countStart, f.det.s.Now()) {
+			// Footnote 2 of §4.3: measurements overlapping a congested
+			// period are discarded rather than compared.
+			f.det.discarded++
+		} else {
+			f.counters.handleReport(m.Counters)
+		}
+		// "opening a new session as soon as the previous one is closed".
+		f.startSession()
+	}
+}
+
+func (f *senderFSM) endCounting() {
+	if f.state != sCounting {
+		return
+	}
+	f.state = sWaitReport
+	f.attempts = 0
+	f.sendStop()
+	f.armRtx()
+}
+
+// onEgress counts and tags a data packet if this unit is in Counting state.
+func (f *senderFSM) onEgress(pkt *netsim.Packet) {
+	if f.state != sCounting {
+		return
+	}
+	tag, ok := f.counters.tagPacket(pkt.Entry)
+	if !ok {
+		return
+	}
+	pkt.Tagged = true
+	pkt.Tag = tag
+	pkt.TagKind = f.kind
+	pkt.Size += wire.TagSize
+}
+
+// onEgressCustom counts a packet through a custom unit, which sees the
+// whole packet rather than just its entry. It reports whether the unit
+// claimed (tagged) the packet.
+func (f *senderFSM) onEgressCustom(pkt *netsim.Packet) bool {
+	if f.state != sCounting {
+		return false
+	}
+	a, ok := f.counters.(*customSenderAdapter)
+	if !ok {
+		return false
+	}
+	tag, want := a.cs.Observe(pkt)
+	if !want {
+		return false
+	}
+	pkt.Tagged = true
+	pkt.Tag = tag
+	pkt.TagKind = wire.KindCustom
+	pkt.Size += wire.TagSize
+	return true
+}
+
+// receiverState enumerates the receiver FSM states of Figure 3 (right).
+type receiverState uint8
+
+const (
+	rIdle       receiverState = iota
+	rCounting                 // Start ACKed; counting tagged packets
+	rWaitToSend               // Stop received; grace period Twait running
+)
+
+// receiverCounters abstracts the downstream counting machinery.
+type receiverCounters interface {
+	// resetSession zeroes counters and adopts the zoom targets advertised
+	// in the Start message.
+	resetSession(targets []wire.ZoomTarget)
+	// countTag increments the counter a tagged packet maps to.
+	countTag(tag wire.Tag)
+	// snapshot returns the Report payload.
+	snapshot() []uint64
+}
+
+// receiverFSM runs at the downstream switch for one unit.
+type receiverFSM struct {
+	det      *Detector
+	port     int // our ingress port for this link
+	kind     wire.SessionKind
+	unit     uint16
+	counters receiverCounters
+
+	state      receiverState
+	session    uint32
+	haveSess   bool
+	lastReport []uint64
+	twait      *sim.Timer
+}
+
+// onControl handles Start and Stop from the upstream.
+func (f *receiverFSM) onControl(m *wire.Message) {
+	switch m.Type {
+	case wire.MsgStart:
+		if f.haveSess && m.Session == f.session {
+			// Retransmitted Start: our ACK was lost. No tagged packet can
+			// have been counted (the sender only tags after the ACK), so
+			// resetting again is harmless.
+			f.counters.resetSession(m.Targets)
+			f.sendAck()
+			return
+		}
+		f.session = m.Session
+		f.haveSess = true
+		f.twait.Stop()
+		f.counters.resetSession(m.Targets)
+		f.state = rCounting
+		f.sendAck()
+	case wire.MsgStop:
+		if !f.haveSess || m.Session != f.session {
+			return
+		}
+		switch f.state {
+		case rCounting:
+			// Keep counting for Twait to absorb delayed or reordered
+			// tagged packets (the WaitToSendCounter state of §4.1).
+			f.state = rWaitToSend
+			f.twait = f.det.s.Schedule(f.det.cfg.Twait, f.sendReport)
+		case rIdle:
+			// Retransmitted Stop: our Report was lost; resend it.
+			f.resendReport()
+		case rWaitToSend:
+			// Report is already pending; ignore.
+		}
+	}
+}
+
+func (f *receiverFSM) sendAck() {
+	f.det.sendControl(f.port, &wire.Message{
+		Header: wire.Header{Type: wire.MsgStartACK, Kind: f.kind, Session: f.session, Link: uint16(f.port), Unit: f.unit},
+	})
+}
+
+func (f *receiverFSM) sendReport() {
+	f.state = rIdle
+	f.lastReport = append(f.lastReport[:0], f.counters.snapshot()...)
+	f.resendReport()
+}
+
+func (f *receiverFSM) resendReport() {
+	f.det.sendControl(f.port, &wire.Message{
+		Header:   wire.Header{Type: wire.MsgReport, Kind: f.kind, Session: f.session, Link: uint16(f.port), Unit: f.unit},
+		Counters: f.lastReport,
+	})
+}
+
+// onIngress counts a tagged packet while the session is open.
+func (f *receiverFSM) onIngress(pkt *netsim.Packet) {
+	if f.state == rCounting || f.state == rWaitToSend {
+		f.counters.countTag(pkt.Tag)
+	}
+}

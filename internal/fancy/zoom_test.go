@@ -1,0 +1,367 @@
+package fancy
+
+// White-box tests of the zooming algorithm: drive treeSender/treeReceiver
+// session by session without a network, controlling exactly which packets
+// the "downstream" sees.
+
+import (
+	"testing"
+
+	"fancy/internal/fancy/tree"
+	"fancy/internal/netsim"
+	"fancy/internal/sim"
+	"fancy/internal/wire"
+)
+
+// wire2ZoomTargets builds zoom targets from raw paths.
+func wire2ZoomTargets(paths [][]uint16) []wire.ZoomTarget {
+	out := make([]wire.ZoomTarget, len(paths))
+	for i, p := range paths {
+		out[i] = wire.ZoomTarget{Path: p}
+	}
+	return out
+}
+
+// tagFor builds a tree tag: node ID (1-based; 0 = root) and counter index.
+func tagFor(node, counter uint8) wire.Tag { return wire.Tag{Node: node, Counter: counter} }
+
+// zoomHarness couples a tree sender with a tree receiver and lets tests
+// run counting sessions with precise per-entry delivery counts.
+type zoomHarness struct {
+	t      *testing.T
+	det    *Detector
+	snd    *treeSender
+	rcv    *treeReceiver
+	events *[]Event
+}
+
+func newZoomHarness(t *testing.T, params tree.Params, seed int64) *zoomHarness {
+	t.Helper()
+	s := sim.New(seed)
+	sw := netsim.NewSwitch(s, "sw", 2)
+	cfg := Config{HighPriority: []netsim.EntryID{1}, Tree: params, TreeSeed: uint64(seed)}
+	det, err := NewDetector(s, sw, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var events []Event
+	det.OnEvent = func(ev Event) { events = append(events, ev) }
+	det.MonitorPort(1)
+	return &zoomHarness{
+		t:      t,
+		det:    det,
+		snd:    det.monitors[1].treeCnt,
+		rcv:    newTreeReceiver(params),
+		events: &events,
+	}
+}
+
+// session runs one counting session: sent maps entries to packets offered;
+// delivered maps entries to how many of those reach the receiver.
+func (h *zoomHarness) session(sent, delivered map[netsim.EntryID]int) {
+	targets := h.snd.resetSession()
+	h.rcv.resetSession(targets)
+	for e, n := range sent {
+		got := delivered[e]
+		for i := 0; i < n; i++ {
+			tag, ok := h.snd.tagPacket(e)
+			if !ok {
+				continue
+			}
+			if i < got {
+				h.rcv.countTag(tag)
+			}
+		}
+	}
+	h.snd.handleReport(h.rcv.snapshot())
+}
+
+func (h *zoomHarness) leafEvents() []Event {
+	var out []Event
+	for _, ev := range *h.events {
+		if ev.Kind == EventTreeLeaf {
+			out = append(out, ev)
+		}
+	}
+	return out
+}
+
+var zoomParams = tree.Params{Width: 16, Depth: 3, Split: 2, Pipelined: true}
+
+func TestZoomLosslessSessionsSpawnNothing(t *testing.T) {
+	h := newZoomHarness(t, zoomParams, 1)
+	for i := 0; i < 5; i++ {
+		h.session(map[netsim.EntryID]int{100: 10, 200: 7}, map[netsim.EntryID]int{100: 10, 200: 7})
+		if len(h.snd.zooms) != 0 {
+			t.Fatalf("session %d: %d zooms active without loss", i, len(h.snd.zooms))
+		}
+	}
+	if len(*h.events) != 0 {
+		t.Fatalf("events raised without loss: %v", *h.events)
+	}
+}
+
+func TestZoomReachesLeafInDepthSessions(t *testing.T) {
+	h := newZoomHarness(t, zoomParams, 2)
+	const victim = netsim.EntryID(100)
+	path := h.snd.EntryPath(victim)
+
+	// Session 1: loss observed at the root; one zoom spawns at level 1.
+	h.session(map[netsim.EntryID]int{victim: 10}, map[netsim.EntryID]int{victim: 5})
+	if len(h.snd.zooms) != 1 {
+		t.Fatalf("after session 1: %d zooms, want 1", len(h.snd.zooms))
+	}
+	if got := h.snd.zooms[0].path; len(got) != 1 || got[0] != path[0] {
+		t.Fatalf("zoom path %v, want [%d]", got, path[0])
+	}
+
+	// Session 2: the wave advances to level 2 (the leaf level for d=3).
+	h.session(map[netsim.EntryID]int{victim: 10}, map[netsim.EntryID]int{victim: 5})
+	if len(h.snd.zooms) != 1 || len(h.snd.zooms[0].path) != 2 {
+		t.Fatalf("after session 2: zooms %+v, want one at depth 2", h.snd.zooms)
+	}
+
+	// Session 3: the leaf mismatch is reported with the entry's full path.
+	h.session(map[netsim.EntryID]int{victim: 10}, map[netsim.EntryID]int{victim: 5})
+	leaves := h.leafEvents()
+	if len(leaves) != 1 {
+		t.Fatalf("leaf events = %d, want 1", len(leaves))
+	}
+	got := leaves[0].Path
+	for i := range path {
+		if got[i] != path[i] {
+			t.Fatalf("reported path %v, want %v", got, path)
+		}
+	}
+	if leaves[0].Diff != 5 {
+		t.Errorf("reported diff = %d, want 5", leaves[0].Diff)
+	}
+	// The output Bloom filter knows the entry now.
+	if !h.det.monitors[1].out.Bloom.Contains(path) {
+		t.Error("leaf path not in the output Bloom filter")
+	}
+}
+
+func TestZoomParallelWaves(t *testing.T) {
+	// Two entries in different root counters: with split 2 both are
+	// explored in parallel and both leaves are reported after 3 sessions.
+	h := newZoomHarness(t, zoomParams, 3)
+	// Find two entries with distinct root indices.
+	a := netsim.EntryID(100)
+	b := a + 1
+	for h.snd.EntryPath(a)[0] == h.snd.EntryPath(b)[0] {
+		b++
+	}
+	traffic := map[netsim.EntryID]int{a: 10, b: 10}
+	lossy := map[netsim.EntryID]int{a: 4, b: 4}
+	for i := 0; i < 3; i++ {
+		h.session(traffic, lossy)
+	}
+	leaves := h.leafEvents()
+	found := map[string]bool{}
+	for _, ev := range leaves {
+		found[pathKeyTest(ev.Path)] = true
+	}
+	if !found[pathKeyTest(h.snd.EntryPath(a))] || !found[pathKeyTest(h.snd.EntryPath(b))] {
+		t.Fatalf("parallel waves did not localize both entries: %v", leaves)
+	}
+}
+
+func TestZoomPipelineStaggeredEntries(t *testing.T) {
+	// With split 1, only one new wave starts per session, but waves
+	// pipeline: entry B's exploration starts while A's is still running
+	// (§4.2's pipelining example with c1 and c2).
+	params := tree.Params{Width: 16, Depth: 3, Split: 1, Pipelined: true}
+	h := newZoomHarness(t, params, 4)
+	a := netsim.EntryID(100)
+	b := a + 1
+	for h.snd.EntryPath(a)[0] == h.snd.EntryPath(b)[0] {
+		b++
+	}
+	// Make A's mismatch strictly bigger so the first wave picks it.
+	traffic := map[netsim.EntryID]int{a: 20, b: 10}
+	lossy := map[netsim.EntryID]int{a: 5, b: 4}
+
+	h.session(traffic, lossy) // wave 1 starts on A's counter
+	if len(h.snd.zooms) != 1 || h.snd.zooms[0].path[0] != h.snd.EntryPath(a)[0] {
+		t.Fatalf("wave 1 = %+v, want A's root index %d", h.snd.zooms, h.snd.EntryPath(a)[0])
+	}
+	h.session(traffic, lossy) // wave 1 advances; wave 2 starts on B
+	if len(h.snd.zooms) != 2 {
+		t.Fatalf("after session 2: %d zooms, want 2 (pipelined)", len(h.snd.zooms))
+	}
+	h.session(traffic, lossy) // wave 1 reports A's leaf
+	h.session(traffic, lossy) // wave 2 reports B's leaf
+	leaves := h.leafEvents()
+	found := map[string]bool{}
+	for _, ev := range leaves {
+		found[pathKeyTest(ev.Path)] = true
+	}
+	if !found[pathKeyTest(h.snd.EntryPath(a))] || !found[pathKeyTest(h.snd.EntryPath(b))] {
+		t.Fatalf("pipelining failed to localize both entries")
+	}
+}
+
+func TestZoomDeadEndRetires(t *testing.T) {
+	h := newZoomHarness(t, zoomParams, 5)
+	const victim = netsim.EntryID(100)
+	// One lossy session starts a wave...
+	h.session(map[netsim.EntryID]int{victim: 10}, map[netsim.EntryID]int{victim: 5})
+	if len(h.snd.zooms) != 1 {
+		t.Fatal("wave did not start")
+	}
+	// ...then the loss disappears (transient): the wave dies out.
+	h.session(map[netsim.EntryID]int{victim: 10}, map[netsim.EntryID]int{victim: 10})
+	if len(h.snd.zooms) != 0 {
+		t.Fatalf("dead-end wave still active: %+v", h.snd.zooms)
+	}
+	if len(h.leafEvents()) != 0 {
+		t.Error("transient loss reported a leaf")
+	}
+}
+
+func TestZoomUniformClearsWaves(t *testing.T) {
+	h := newZoomHarness(t, zoomParams, 6)
+	// Populate most root counters with lossy traffic.
+	sent := map[netsim.EntryID]int{}
+	lossy := map[netsim.EntryID]int{}
+	for e := netsim.EntryID(0); e < 200; e++ {
+		sent[e] = 4
+		lossy[e] = 2
+	}
+	h.session(sent, lossy)
+	uniform := 0
+	for _, ev := range *h.events {
+		if ev.Kind == EventUniform {
+			uniform++
+		}
+	}
+	if uniform != 1 {
+		t.Fatalf("uniform events = %d, want 1", uniform)
+	}
+	if len(h.snd.zooms) != 0 {
+		t.Error("uniform classification must clear per-entry waves")
+	}
+	// The episode does not re-fire while it persists.
+	h.session(sent, lossy)
+	uniform = 0
+	for _, ev := range *h.events {
+		if ev.Kind == EventUniform {
+			uniform++
+		}
+	}
+	if uniform != 1 {
+		t.Errorf("uniform re-fired during the same episode: %d", uniform)
+	}
+}
+
+func TestZoomReceiverAncestorCounting(t *testing.T) {
+	// A tag for the deepest node must increment the whole ancestor chain
+	// advertised in the zoom targets.
+	params := tree.Params{Width: 8, Depth: 3, Split: 2, Pipelined: true}
+	rcv := newTreeReceiver(params)
+	rcv.resetSession(wire2ZoomTargets([][]uint16{{3}, {3, 5}}))
+
+	// Tag: deepest node = target 1 (path [3,5]), counter 2.
+	rcv.countTag(tagFor(2, 2))
+	snap := rcv.snapshot()
+	// Layout: root(8) | node0(8) | node1(8).
+	if snap[3] != 1 {
+		t.Errorf("root[3] = %d, want 1", snap[3])
+	}
+	if snap[8+5] != 1 {
+		t.Errorf("node0[5] = %d, want 1 (ancestor)", snap[8+5])
+	}
+	if snap[16+2] != 1 {
+		t.Errorf("node1[2] = %d, want 1 (deepest)", snap[16+2])
+	}
+	var total uint64
+	for _, v := range snap {
+		total += v
+	}
+	if total != 3 {
+		t.Errorf("total increments = %d, want 3", total)
+	}
+}
+
+// Non-pipelined (Tofino-style) zooming: a single reused node register and a
+// stage counter that cycles root → level 1 → ... → leaves → root.
+func TestZoomNonPipelinedStageCycle(t *testing.T) {
+	params := tree.Params{Width: 16, Depth: 3, Split: 1, Pipelined: false}
+	h := newZoomHarness(t, params, 7)
+	const victim = netsim.EntryID(321)
+	path := h.snd.EntryPath(victim)
+	traffic := map[netsim.EntryID]int{victim: 10, victim + 1: 10}
+	lossy := map[netsim.EntryID]int{victim: 5, victim + 1: 10}
+
+	// Stage 0: root counting; mismatch selects max0 and advances.
+	if h.snd.stage != 0 {
+		t.Fatalf("initial stage = %d", h.snd.stage)
+	}
+	h.session(traffic, lossy)
+	if h.snd.stage != 1 || h.snd.maxes[0] != path[0] {
+		t.Fatalf("after stage 0: stage=%d max0=%d, want 1/%d", h.snd.stage, h.snd.maxes[0], path[0])
+	}
+	// Stage 1: only packets under max0 are counted at all; the healthy
+	// entry is invisible this session.
+	h.session(traffic, lossy)
+	if h.snd.stage != 2 || h.snd.maxes[1] != path[1] {
+		t.Fatalf("after stage 1: stage=%d max1=%d, want 2/%d", h.snd.stage, h.snd.maxes[1], path[1])
+	}
+	// Stage 2 (leaf): report and wrap back to the root.
+	h.session(traffic, lossy)
+	leaves := h.leafEvents()
+	if len(leaves) != 1 {
+		t.Fatalf("leaf events = %d, want 1", len(leaves))
+	}
+	for i := range path {
+		if leaves[0].Path[i] != path[i] {
+			t.Fatalf("leaf path %v, want %v", leaves[0].Path, path)
+		}
+	}
+	if h.snd.stage != 0 {
+		t.Fatalf("stage = %d after leaves, want 0 (wrap)", h.snd.stage)
+	}
+}
+
+func TestZoomNonPipelinedDeadEndResets(t *testing.T) {
+	params := tree.Params{Width: 16, Depth: 3, Split: 1, Pipelined: false}
+	h := newZoomHarness(t, params, 8)
+	const victim = netsim.EntryID(321)
+	h.session(map[netsim.EntryID]int{victim: 10}, map[netsim.EntryID]int{victim: 5})
+	if h.snd.stage != 1 {
+		t.Fatal("zoom did not start")
+	}
+	// Loss vanishes: the stage machine resets to the root.
+	h.session(map[netsim.EntryID]int{victim: 10}, map[netsim.EntryID]int{victim: 10})
+	if h.snd.stage != 0 {
+		t.Fatalf("stage = %d after clean session, want 0", h.snd.stage)
+	}
+	if len(h.leafEvents()) != 0 {
+		t.Error("transient loss reported a leaf")
+	}
+}
+
+func TestZoomNonPipelinedUniform(t *testing.T) {
+	params := tree.Params{Width: 16, Depth: 3, Split: 1, Pipelined: false}
+	h := newZoomHarness(t, params, 9)
+	sent := map[netsim.EntryID]int{}
+	lossy := map[netsim.EntryID]int{}
+	for e := netsim.EntryID(0); e < 100; e++ {
+		sent[e] = 4
+		lossy[e] = 2
+	}
+	h.session(sent, lossy)
+	uniform := false
+	for _, ev := range *h.events {
+		if ev.Kind == EventUniform {
+			uniform = true
+		}
+	}
+	if !uniform {
+		t.Fatal("non-pipelined tree missed a uniform failure")
+	}
+	if h.snd.stage != 0 {
+		t.Error("uniform classification must not start zooming")
+	}
+}

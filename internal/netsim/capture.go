@@ -1,0 +1,78 @@
+package netsim
+
+import (
+	"fmt"
+	"io"
+
+	"fancy/internal/sim"
+)
+
+// CaptureKind classifies a capture event on a link direction.
+type CaptureKind uint8
+
+// Capture event kinds.
+const (
+	CaptureSend CaptureKind = iota // accepted for transmission
+	CaptureDeliver
+	CaptureCongestionDrop
+	CaptureFailureDrop
+)
+
+func (k CaptureKind) String() string {
+	switch k {
+	case CaptureSend:
+		return "send"
+	case CaptureDeliver:
+		return "deliver"
+	case CaptureCongestionDrop:
+		return "congestion-drop"
+	case CaptureFailureDrop:
+		return "failure-drop"
+	}
+	return fmt.Sprintf("capture(%d)", uint8(k))
+}
+
+// CaptureEvent is one observed packet event. The packet pointer is only
+// valid during the callback; copy fields, not the pointer, if retaining.
+type CaptureEvent struct {
+	Time sim.Time
+	Kind CaptureKind
+	Pkt  *Packet
+}
+
+// SetCapture installs a per-event observer on this link direction — the
+// library's tcpdump. Pass nil to remove. Capturing costs one call per
+// packet event; uncaptured links pay only a nil check.
+func (e *LinkEnd) SetCapture(fn func(CaptureEvent)) { e.dir.capture = fn }
+
+// NewCaptureWriter returns a capture callback that renders one line per
+// event to w (a pcap-style text log).
+func NewCaptureWriter(w io.Writer) func(CaptureEvent) {
+	return func(ev CaptureEvent) {
+		fmt.Fprintf(w, "%-12v %-15s %s\n", ev.Time, ev.Kind, ev.Pkt)
+	}
+}
+
+// CaptureStats aggregates capture events into per-kind and per-entry
+// counters, a convenient ready-made observer for tests and tools.
+type CaptureStats struct {
+	ByKind  [4]uint64
+	ByEntry map[EntryID]uint64 // delivered data packets per entry
+	Bytes   uint64             // delivered bytes
+}
+
+// NewCaptureStats builds an empty aggregator.
+func NewCaptureStats() *CaptureStats {
+	return &CaptureStats{ByEntry: make(map[EntryID]uint64)}
+}
+
+// Observe implements the capture callback.
+func (cs *CaptureStats) Observe(ev CaptureEvent) {
+	cs.ByKind[ev.Kind]++
+	if ev.Kind == CaptureDeliver {
+		cs.Bytes += uint64(ev.Pkt.Size)
+		if ev.Pkt.Entry != InvalidEntry {
+			cs.ByEntry[ev.Pkt.Entry]++
+		}
+	}
+}

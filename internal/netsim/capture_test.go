@@ -1,0 +1,91 @@
+package netsim
+
+import (
+	"strings"
+	"testing"
+
+	"fancy/internal/sim"
+)
+
+func TestCaptureObservesAllOutcomes(t *testing.T) {
+	s := sim.New(1)
+	a := &sinkNode{name: "a", s: s}
+	b := &sinkNode{name: "b", s: s}
+	l := Connect(s, a, 0, b, 0, LinkConfig{Delay: sim.Millisecond, RateBps: 1e6, QueueBytes: 3500})
+	cs := NewCaptureStats()
+	l.AB.SetCapture(cs.Observe)
+	l.AB.SetFailure(FailEntries(1, 0, 1.0, 9))
+
+	a.tx.Send(&Packet{Entry: 5, Size: 1000}) // delivered
+	a.tx.Send(&Packet{Entry: 9, Size: 1000}) // failure drop
+	a.tx.Send(&Packet{Entry: 5, Size: 1000}) // delivered
+	a.tx.Send(&Packet{Entry: 5, Size: 1000}) // congestion drop (queue full at 3500B)
+	s.Run(0)
+
+	if cs.ByKind[CaptureSend] != 3 {
+		t.Errorf("sends = %d, want 3", cs.ByKind[CaptureSend])
+	}
+	if cs.ByKind[CaptureDeliver] != 2 {
+		t.Errorf("delivers = %d, want 2", cs.ByKind[CaptureDeliver])
+	}
+	if cs.ByKind[CaptureFailureDrop] != 1 {
+		t.Errorf("failure drops = %d, want 1", cs.ByKind[CaptureFailureDrop])
+	}
+	if cs.ByKind[CaptureCongestionDrop] != 1 {
+		t.Errorf("congestion drops = %d, want 1", cs.ByKind[CaptureCongestionDrop])
+	}
+	if cs.ByEntry[5] != 2 || cs.Bytes != 2000 {
+		t.Errorf("per-entry = %v bytes = %d", cs.ByEntry, cs.Bytes)
+	}
+}
+
+func TestCaptureWriterFormat(t *testing.T) {
+	s := sim.New(1)
+	a := &sinkNode{name: "a", s: s}
+	b := &sinkNode{name: "b", s: s}
+	l := Connect(s, a, 0, b, 0, LinkConfig{Delay: 0, RateBps: 1e9})
+	var buf strings.Builder
+	l.AB.SetCapture(NewCaptureWriter(&buf))
+	a.tx.Send(&Packet{Entry: 7, Proto: ProtoUDP, Size: 100})
+	s.Run(0)
+	out := buf.String()
+	if !strings.Contains(out, "send") || !strings.Contains(out, "deliver") {
+		t.Errorf("capture log missing events:\n%s", out)
+	}
+	if !strings.Contains(out, "entry=7") {
+		t.Errorf("capture log missing packet summary:\n%s", out)
+	}
+}
+
+func TestCaptureRemovable(t *testing.T) {
+	s := sim.New(1)
+	a := &sinkNode{name: "a", s: s}
+	b := &sinkNode{name: "b", s: s}
+	l := Connect(s, a, 0, b, 0, LinkConfig{Delay: 0, RateBps: 1e9})
+	n := 0
+	l.AB.SetCapture(func(CaptureEvent) { n++ })
+	a.tx.Send(&Packet{Size: 100})
+	s.Run(0)
+	if n == 0 {
+		t.Fatal("capture saw nothing")
+	}
+	l.AB.SetCapture(nil)
+	before := n
+	a.tx.Send(&Packet{Size: 100})
+	s.Run(0)
+	if n != before {
+		t.Error("capture fired after removal")
+	}
+}
+
+func TestCaptureKindString(t *testing.T) {
+	for k, want := range map[CaptureKind]string{
+		CaptureSend: "send", CaptureDeliver: "deliver",
+		CaptureCongestionDrop: "congestion-drop", CaptureFailureDrop: "failure-drop",
+		CaptureKind(9): "capture(9)",
+	} {
+		if got := k.String(); got != want {
+			t.Errorf("%d.String() = %q, want %q", k, got, want)
+		}
+	}
+}

@@ -1,0 +1,189 @@
+package netsim
+
+import (
+	"math/rand"
+
+	"fancy/internal/sim"
+)
+
+// Failure injects gray-failure packet drops into one link direction. It
+// reproduces the failure classes of Table 1 in the paper:
+//
+//   - per-entry loss (some or all packets of one or a few IP prefixes):
+//     PerEntry maps each affected entry to its drop probability;
+//   - uniform loss (all entries, a fraction of packets — e.g. CRC
+//     corruption on a link): Uniform > 0;
+//   - blackholes: probability 1 in either mode.
+//
+// A Failure is active between Start and End (End == 0 means "until the end
+// of the simulation"). Control-plane packets (ProtoFancy) are only affected
+// by Uniform loss: entry-selective hardware bugs match on header fields the
+// control messages do not carry, whereas link-level corruption hits
+// everything — exactly the property that makes gray failures invisible to
+// hello protocols like BFD yet detectable by FANcY.
+type Failure struct {
+	Start sim.Time
+	End   sim.Time
+
+	Uniform  float64
+	PerEntry map[EntryID]float64
+
+	// FlowFraction selects a deterministic subset of flows (by flow-ID
+	// hash) whose packets are dropped with probability FlowLoss. This
+	// models the Table 1 bugs that hit specific packets — e.g. specific
+	// sizes or header values — which map to specific flows: the failure
+	// class hello protocols and Blink-style retransmission detectors
+	// fundamentally miss when the subset is a minority.
+	FlowFraction float64
+	FlowLoss     float64
+
+	// SizeMin/SizeMax select packets by wire size, dropped with
+	// probability SizeLoss — the Table 1 bug "drops random sized L2TPv3
+	// packets" / "packets with specific sizes" class.
+	SizeMin, SizeMax int
+	SizeLoss         float64
+
+	// BurstOn/BurstOff make the failure intermittent: within the active
+	// window it cycles BurstOn dropping, BurstOff healthy, repeating.
+	// §2.1's operators report that intermittent gray failures are the
+	// hardest to diagnose — "many gray failures are never diagnosed,
+	// e.g., because they appear intermittently".
+	BurstOn, BurstOff sim.Time
+
+	// DropsControl optionally extends per-entry failures to control
+	// packets as well, to test the counting protocol's stop-and-wait
+	// reliability in isolation.
+	DropsControl bool
+
+	rng *rand.Rand
+
+	// Dropped counts packets this failure removed, per class.
+	Dropped struct {
+		Data    uint64
+		Control uint64
+	}
+}
+
+// NewFailure returns a failure with its own deterministic drop RNG.
+func NewFailure(seed int64) *Failure {
+	return &Failure{rng: rand.New(rand.NewSource(seed))}
+}
+
+// ActiveAt reports whether the failure window covers time t, including the
+// intermittent duty cycle when configured.
+func (f *Failure) ActiveAt(t sim.Time) bool {
+	if f == nil {
+		return false
+	}
+	if t < f.Start || (f.End != 0 && t >= f.End) {
+		return false
+	}
+	if f.BurstOn > 0 && f.BurstOff > 0 {
+		phase := (t - f.Start) % (f.BurstOn + f.BurstOff)
+		return phase < f.BurstOn
+	}
+	return true
+}
+
+// Drop decides whether to drop pkt at time t.
+func (f *Failure) Drop(pkt *Packet, t sim.Time) bool {
+	if !f.ActiveAt(t) {
+		return false
+	}
+	if pkt.Proto == ProtoFancy {
+		if f.Uniform > 0 && f.roll(f.Uniform) {
+			f.Dropped.Control++
+			return true
+		}
+		if f.DropsControl && len(f.PerEntry) > 0 {
+			// Apply the maximum per-entry rate to control traffic.
+			max := 0.0
+			for _, p := range f.PerEntry {
+				if p > max {
+					max = p
+				}
+			}
+			if f.roll(max) {
+				f.Dropped.Control++
+				return true
+			}
+		}
+		return false
+	}
+	if f.Uniform > 0 && f.roll(f.Uniform) {
+		f.Dropped.Data++
+		return true
+	}
+	if p, ok := f.PerEntry[pkt.Entry]; ok && f.roll(p) {
+		f.Dropped.Data++
+		return true
+	}
+	if f.FlowFraction > 0 && flowSelected(pkt.Flow, f.FlowFraction) && f.roll(f.FlowLoss) {
+		f.Dropped.Data++
+		return true
+	}
+	if f.SizeLoss > 0 && pkt.Size >= f.SizeMin && pkt.Size <= f.SizeMax && f.roll(f.SizeLoss) {
+		f.Dropped.Data++
+		return true
+	}
+	return false
+}
+
+// FailSizes builds a failure dropping rate of the packets whose wire size
+// lies in [min, max] bytes, from start onward.
+func FailSizes(seed int64, start sim.Time, min, max int, rate float64) *Failure {
+	f := NewFailure(seed)
+	f.Start = start
+	f.SizeMin, f.SizeMax = min, max
+	f.SizeLoss = rate
+	return f
+}
+
+// flowSelected deterministically maps a flow into [0,1) and compares
+// against the selected fraction.
+func flowSelected(flow FlowID, fraction float64) bool {
+	x := uint64(flow) * 0x9e3779b97f4a7c15
+	x ^= x >> 29
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 32
+	return float64(x%1_000_000)/1_000_000 < fraction
+}
+
+// FailFlows builds a failure dropping rate of the packets of a fraction
+// of flows, from start onward.
+func FailFlows(seed int64, start sim.Time, fraction, rate float64) *Failure {
+	f := NewFailure(seed)
+	f.Start = start
+	f.FlowFraction = fraction
+	f.FlowLoss = rate
+	return f
+}
+
+func (f *Failure) roll(p float64) bool {
+	if p >= 1 {
+		return true
+	}
+	if p <= 0 {
+		return false
+	}
+	return f.rng.Float64() < p
+}
+
+// FailEntries builds a per-entry failure dropping rate of each listed entry.
+func FailEntries(seed int64, start sim.Time, rate float64, entries ...EntryID) *Failure {
+	f := NewFailure(seed)
+	f.Start = start
+	f.PerEntry = make(map[EntryID]float64, len(entries))
+	for _, e := range entries {
+		f.PerEntry[e] = rate
+	}
+	return f
+}
+
+// FailUniform builds a uniform random-loss failure starting at start.
+func FailUniform(seed int64, start sim.Time, rate float64) *Failure {
+	f := NewFailure(seed)
+	f.Start = start
+	f.Uniform = rate
+	return f
+}

@@ -1,0 +1,86 @@
+package netsim
+
+import (
+	"fmt"
+
+	"fancy/internal/sim"
+)
+
+// PacketHandler consumes packets delivered to a host for one flow.
+type PacketHandler interface {
+	HandlePacket(pkt *Packet)
+}
+
+// PacketHandlerFunc adapts a function to the PacketHandler interface.
+type PacketHandlerFunc func(pkt *Packet)
+
+// HandlePacket implements PacketHandler.
+func (f PacketHandlerFunc) HandlePacket(pkt *Packet) { f(pkt) }
+
+// Host is an end system with a single uplink port. Transport endpoints
+// (TCP connections, UDP sinks) register per-flow handlers; everything else
+// goes to the Default handler.
+type Host struct {
+	s    *sim.Sim
+	name string
+	tx   *LinkEnd
+
+	handlers map[FlowID]PacketHandler
+
+	// Default, when set, receives packets with no per-flow handler.
+	Default PacketHandler
+
+	Received uint64
+	Dropped  uint64 // no handler
+}
+
+// NewHost creates a host.
+func NewHost(s *sim.Sim, name string) *Host {
+	return &Host{s: s, name: name, handlers: make(map[FlowID]PacketHandler)}
+}
+
+// Name implements Node.
+func (h *Host) Name() string { return h.name }
+
+// Attach implements Node. A host has a single port (0).
+func (h *Host) Attach(port int, tx *LinkEnd) {
+	if port != 0 {
+		panic(fmt.Sprintf("netsim: host %s only has port 0, got %d", h.name, port))
+	}
+	h.tx = tx
+}
+
+// Receive implements Node.
+func (h *Host) Receive(pkt *Packet, port int) {
+	h.Received++
+	if hd, ok := h.handlers[pkt.Flow]; ok {
+		hd.HandlePacket(pkt)
+		return
+	}
+	if h.Default != nil {
+		h.Default.HandlePacket(pkt)
+		return
+	}
+	h.Dropped++
+}
+
+// Send transmits a packet out of the host's uplink. It reports false if the
+// uplink queue dropped the packet or the host is not attached.
+func (h *Host) Send(pkt *Packet) bool {
+	if h.tx == nil {
+		return false
+	}
+	return h.tx.Send(pkt)
+}
+
+// Bind registers handler for a flow. Binding nil removes the handler.
+func (h *Host) Bind(flow FlowID, handler PacketHandler) {
+	if handler == nil {
+		delete(h.handlers, flow)
+		return
+	}
+	h.handlers[flow] = handler
+}
+
+// Sim returns the simulator the host is running on.
+func (h *Host) Sim() *sim.Sim { return h.s }

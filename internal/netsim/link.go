@@ -1,0 +1,161 @@
+package netsim
+
+import (
+	"fmt"
+
+	"fancy/internal/sim"
+)
+
+// LinkConfig describes one link's physical characteristics. The same values
+// apply to both directions.
+type LinkConfig struct {
+	// Delay is the one-way propagation delay. The paper evaluates FANcY
+	// with 10 ms inter-switch delay to represent large ISPs.
+	Delay sim.Time
+	// RateBps is the line rate in bits per second (e.g. 100e9).
+	RateBps float64
+	// QueueBytes bounds the transmit (traffic-manager) queue per
+	// direction; packets beyond it are congestion drops, which FANcY must
+	// NOT attribute to gray failures. Zero means a 1 MB default.
+	QueueBytes int
+}
+
+const defaultQueueBytes = 1 << 20
+
+// LinkEnd is the transmit handle a node uses to send packets into one
+// direction of a link.
+type LinkEnd struct {
+	dir *direction
+}
+
+// Send queues pkt for transmission. It reports false if the packet was
+// dropped at the queue (congestion).
+func (e *LinkEnd) Send(pkt *Packet) bool { return e.dir.send(pkt) }
+
+// SetFailure installs (or clears, with nil) the gray-failure injector on
+// this direction.
+func (e *LinkEnd) SetFailure(f *Failure) { e.dir.failure = f }
+
+// Failure returns the currently installed failure injector, if any.
+func (e *LinkEnd) Failure() *Failure { return e.dir.failure }
+
+// Stats returns transmission statistics for this direction.
+func (e *LinkEnd) Stats() LinkStats { return e.dir.stats }
+
+// Busy reports whether the serializer currently has a backlog.
+func (e *LinkEnd) Busy() bool { return e.dir.busyUntil > e.dir.s.Now() }
+
+// QueueDepthBytes reports the bytes currently waiting or in serialization.
+func (e *LinkEnd) QueueDepthBytes() int { return e.dir.queuedBytes }
+
+// LinkStats counts per-direction outcomes.
+type LinkStats struct {
+	Sent            uint64 // packets accepted for transmission
+	Delivered       uint64 // packets handed to the far end
+	CongestionDrops uint64 // traffic-manager queue overflow
+	FailureDrops    uint64 // removed by the gray-failure injector
+	BytesSent       uint64
+}
+
+// direction is one half of a full-duplex link.
+type direction struct {
+	s        *sim.Sim
+	delay    sim.Time
+	rateBps  float64
+	queueCap int
+
+	dst     Node
+	dstPort int
+
+	// egressHook runs when a packet leaves the traffic-manager queue and
+	// begins serialization — i.e. after the upstream TM, where FANcY's
+	// sender-side counting happens.
+	egressHook func(*Packet)
+
+	busyUntil   sim.Time
+	queuedBytes int
+	failure     *Failure
+	capture     func(CaptureEvent)
+	stats       LinkStats
+}
+
+func (d *direction) captureEvent(kind CaptureKind, pkt *Packet) {
+	if d.capture != nil {
+		d.capture(CaptureEvent{Time: d.s.Now(), Kind: kind, Pkt: pkt})
+	}
+}
+
+func (d *direction) serialization(size int) sim.Time {
+	if d.rateBps <= 0 {
+		return 0
+	}
+	return sim.Time(float64(size*8) / d.rateBps * float64(sim.Second))
+}
+
+func (d *direction) send(pkt *Packet) bool {
+	now := d.s.Now()
+	if d.queuedBytes+pkt.Size > d.queueCap {
+		d.stats.CongestionDrops++
+		d.captureEvent(CaptureCongestionDrop, pkt)
+		return false
+	}
+	d.stats.Sent++
+	d.stats.BytesSent += uint64(pkt.Size)
+	d.queuedBytes += pkt.Size
+	pkt.SentAt = now
+	d.captureEvent(CaptureSend, pkt)
+
+	txStart := d.busyUntil
+	if txStart < now {
+		txStart = now
+	}
+	ser := d.serialization(pkt.Size)
+	serEnd := txStart + ser
+	d.busyUntil = serEnd
+
+	if d.egressHook != nil {
+		if txStart == now {
+			d.egressHook(pkt)
+		} else {
+			d.s.ScheduleAt(txStart, func() { d.egressHook(pkt) })
+		}
+	}
+	// The transmit queue drains when serialization completes; delivery
+	// happens one propagation delay later. Keeping these separate avoids
+	// inflating queue occupancy by the bandwidth-delay product.
+	d.s.ScheduleAt(serEnd, func() { d.queuedBytes -= pkt.Size })
+	d.s.ScheduleAt(serEnd+d.delay, func() {
+		if d.failure.Drop(pkt, d.s.Now()) {
+			d.stats.FailureDrops++
+			d.captureEvent(CaptureFailureDrop, pkt)
+			return
+		}
+		d.stats.Delivered++
+		d.captureEvent(CaptureDeliver, pkt)
+		d.dst.Receive(pkt, d.dstPort)
+	})
+	return true
+}
+
+// Link is a full-duplex point-to-point link between two node ports.
+type Link struct {
+	AB *LinkEnd // direction a → b
+	BA *LinkEnd // direction b → a
+}
+
+// Connect wires port aPort of node a to port bPort of node b and attaches
+// the transmit handles to both nodes.
+func Connect(s *sim.Sim, a Node, aPort int, b Node, bPort int, cfg LinkConfig) *Link {
+	if cfg.QueueBytes == 0 {
+		cfg.QueueBytes = defaultQueueBytes
+	}
+	if cfg.RateBps < 0 {
+		panic(fmt.Sprintf("netsim: negative rate %v", cfg.RateBps))
+	}
+	ab := &direction{s: s, delay: cfg.Delay, rateBps: cfg.RateBps, queueCap: cfg.QueueBytes, dst: b, dstPort: bPort}
+	ba := &direction{s: s, delay: cfg.Delay, rateBps: cfg.RateBps, queueCap: cfg.QueueBytes, dst: a, dstPort: aPort}
+	l := &Link{AB: &LinkEnd{dir: ab}, BA: &LinkEnd{dir: ba}}
+	a.Attach(aPort, l.AB)
+	b.Attach(bPort, l.BA)
+	return l
+}

@@ -1,0 +1,89 @@
+package netsim
+
+import "fmt"
+
+// Route is the forwarding decision for a prefix. Port is the primary egress
+// port; Backup, when non-negative, is the alternate next hop a rerouting
+// application can divert traffic to. UseBackup flips the active choice —
+// this is the per-entry bit FANcY's fast-reroute case study sets when a
+// counter is flagged (§6.1).
+type Route struct {
+	Port      int
+	Backup    int
+	UseBackup bool
+}
+
+// Egress returns the currently active egress port.
+func (r *Route) Egress() int {
+	if r.UseBackup && r.Backup >= 0 {
+		return r.Backup
+	}
+	return r.Port
+}
+
+// RouteTable is a longest-prefix-match table over IPv4 addresses,
+// implemented as a binary trie. The zero value is an empty table.
+type RouteTable struct {
+	root *trieNode
+	n    int
+}
+
+type trieNode struct {
+	children [2]*trieNode
+	route    *Route
+}
+
+// Insert adds a route for addr/plen and returns it so the caller can keep a
+// handle for rerouting. Inserting the same prefix twice replaces the route.
+func (t *RouteTable) Insert(addr uint32, plen int, route Route) (*Route, error) {
+	if plen < 0 || plen > 32 {
+		return nil, fmt.Errorf("netsim: invalid prefix length %d", plen)
+	}
+	if t.root == nil {
+		t.root = &trieNode{}
+	}
+	n := t.root
+	for i := 0; i < plen; i++ {
+		bit := addr >> (31 - i) & 1
+		if n.children[bit] == nil {
+			n.children[bit] = &trieNode{}
+		}
+		n = n.children[bit]
+	}
+	if n.route == nil {
+		t.n++
+	}
+	r := route
+	n.route = &r
+	return n.route, nil
+}
+
+// Lookup returns the longest-prefix-match route for addr, or nil if no
+// prefix covers it.
+func (t *RouteTable) Lookup(addr uint32) *Route {
+	n := t.root
+	var best *Route
+	for i := 0; n != nil; i++ {
+		if n.route != nil {
+			best = n.route
+		}
+		if i == 32 {
+			break
+		}
+		n = n.children[addr>>(31-i)&1]
+	}
+	return best
+}
+
+// Len reports the number of installed prefixes.
+func (t *RouteTable) Len() int { return t.n }
+
+// InsertEntry installs a /24 route for an EntryID under the EntryAddr
+// addressing scheme, the common case in experiments.
+func (t *RouteTable) InsertEntry(e EntryID, route Route) *Route {
+	r, err := t.Insert(uint32(e)<<8, 24, route)
+	if err != nil {
+		panic(err) // /24 is always valid
+	}
+	return r
+}

@@ -1,0 +1,205 @@
+package reroute
+
+import (
+	"testing"
+
+	"fancy/internal/fancy"
+	"fancy/internal/fancy/tree"
+	"fancy/internal/netsim"
+	"fancy/internal/sim"
+)
+
+// fig10bed reproduces the §6.1 testbed topology at simulation scale:
+//
+//	src — up —(primary, failure injected)— down — dst
+//	        \—(backup)————————————————————/
+type fig10bed struct {
+	s        *sim.Sim
+	src, dst *netsim.Host
+	up, down *netsim.Switch
+	primary  *netsim.Link
+	det      *fancy.Detector
+	app      *App
+	arrived  map[netsim.EntryID]int
+}
+
+func newFig10(t *testing.T, cfg fancy.Config) *fig10bed {
+	t.Helper()
+	s := sim.New(1)
+	b := &fig10bed{s: s, arrived: make(map[netsim.EntryID]int)}
+	b.src = netsim.NewHost(s, "src")
+	b.dst = netsim.NewHost(s, "dst")
+	b.up = netsim.NewSwitch(s, "up", 3)
+	b.down = netsim.NewSwitch(s, "down", 3)
+	lc := netsim.LinkConfig{Delay: 2 * sim.Millisecond, RateBps: 10e9}
+	netsim.Connect(s, b.src, 0, b.up, 0, lc)
+	b.primary = netsim.Connect(s, b.up, 1, b.down, 0, lc)
+	netsim.Connect(s, b.up, 2, b.down, 2, lc) // backup
+	netsim.Connect(s, b.down, 1, b.dst, 0, lc)
+	b.down.Routes.Insert(0, 0, netsim.Route{Port: 1, Backup: -1})
+	b.dst.Default = netsim.PacketHandlerFunc(func(p *netsim.Packet) { b.arrived[p.Entry]++ })
+
+	var err error
+	b.det, err = fancy.NewDetector(s, b.up, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	downDet, err := fancy.NewDetector(s, b.down, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	downDet.ListenPort(0)
+	b.det.MonitorPort(1)
+	b.app = New(s, b.det, 1)
+	b.det.OnEvent = func(ev fancy.Event) { b.app.HandleEvent(ev) }
+	return b
+}
+
+func (b *fig10bed) protect(entry netsim.EntryID) {
+	route := b.up.Routes.InsertEntry(entry, netsim.Route{Port: 1, Backup: 2})
+	b.app.Protect(entry, route)
+}
+
+func (b *fig10bed) udp(entry netsim.EntryID, pps int, stop sim.Time) {
+	gap := sim.Second / sim.Time(pps)
+	var tick func()
+	tick = func() {
+		if b.s.Now() >= stop {
+			return
+		}
+		b.src.Send(&netsim.Packet{Entry: entry, Dst: netsim.EntryAddr(entry, 1),
+			Proto: netsim.ProtoUDP, Size: 1000})
+		b.s.Schedule(gap, tick)
+	}
+	b.s.Schedule(0, tick)
+}
+
+var cfg = fancy.Config{
+	HighPriority: []netsim.EntryID{10},
+	Tree:         tree.Params{Width: 32, Depth: 3, Split: 2, Pipelined: true},
+	TreeSeed:     7,
+}
+
+func TestDedicatedEntryReroutedSubSecond(t *testing.T) {
+	b := newFig10(t, cfg)
+	b.protect(10)
+	b.udp(10, 500, 6*sim.Second)
+	const failAt = 2 * sim.Second
+	b.primary.AB.SetFailure(netsim.FailEntries(3, failAt, 1.0, 10))
+	b.s.Run(6 * sim.Second)
+
+	at, ok := b.app.ReroutedAt[10]
+	if !ok {
+		t.Fatal("entry never rerouted")
+	}
+	if lat := at - failAt; lat > sim.Second {
+		t.Errorf("reroute latency = %v, want sub-second (§6.1)", lat)
+	}
+	if !b.app.Rerouted(10) {
+		t.Error("Rerouted(10) = false")
+	}
+	// Traffic must keep flowing after the reroute: ≈500 pps × ≈3.7 s
+	// remaining ≥ 1500 packets beyond what arrived pre-failure (≈1000).
+	if got := b.arrived[10]; got < 2300 {
+		t.Errorf("only %d packets arrived; reroute did not restore traffic", got)
+	}
+}
+
+func TestTreeEntryRerouted(t *testing.T) {
+	b := newFig10(t, cfg)
+	const entry = netsim.EntryID(77) // best effort
+	b.protect(entry)
+	b.udp(entry, 500, 8*sim.Second)
+	const failAt = 2 * sim.Second
+	b.primary.AB.SetFailure(netsim.FailEntries(4, failAt, 1.0, entry))
+	b.s.Run(8 * sim.Second)
+
+	at, ok := b.app.ReroutedAt[entry]
+	if !ok {
+		t.Fatal("tree-monitored entry never rerouted")
+	}
+	// Tree detection needs ≈3 zooming intervals (3×200 ms) plus protocol
+	// overhead: still sub-second as in Figure 10.
+	if lat := at - failAt; lat > 1500*sim.Millisecond {
+		t.Errorf("reroute latency = %v, want ≈3 zooming intervals", lat)
+	}
+}
+
+func TestOnlyAffectedEntryRerouted(t *testing.T) {
+	b := newFig10(t, cfg)
+	b.protect(10)
+	const healthy = netsim.EntryID(80)
+	b.protect(healthy)
+	b.udp(10, 500, 6*sim.Second)
+	b.udp(healthy, 500, 6*sim.Second)
+	b.primary.AB.SetFailure(netsim.FailEntries(5, 2*sim.Second, 1.0, 10))
+	b.s.Run(6 * sim.Second)
+
+	if !b.app.Rerouted(10) {
+		t.Fatal("failed entry not rerouted")
+	}
+	if b.app.Rerouted(healthy) {
+		t.Error("healthy entry rerouted: rerouting is not selective")
+	}
+}
+
+func TestPartialLossReroute(t *testing.T) {
+	// Figure 10 also shows detection at 1% and 10% loss.
+	for _, rate := range []float64{0.10, 0.01} {
+		b := newFig10(t, cfg)
+		b.protect(10)
+		b.udp(10, 2000, 8*sim.Second)
+		b.primary.AB.SetFailure(netsim.FailEntries(6, 2*sim.Second, rate, 10))
+		b.s.Run(8 * sim.Second)
+		at, ok := b.app.ReroutedAt[10]
+		if !ok {
+			t.Fatalf("loss rate %.0f%%: never rerouted", rate*100)
+		}
+		if lat := at - 2*sim.Second; lat > sim.Second {
+			t.Errorf("loss rate %.0f%%: reroute latency %v, want sub-second", rate*100, lat)
+		}
+	}
+}
+
+func TestUniformFailureReroutesEverything(t *testing.T) {
+	b := newFig10(t, cfg)
+	for e := netsim.EntryID(50); e < 70; e++ {
+		b.protect(e)
+		b.udp(e, 100, 6*sim.Second)
+	}
+	b.primary.AB.SetFailure(netsim.FailUniform(8, 2*sim.Second, 0.5))
+	b.s.Run(6 * sim.Second)
+	for e := netsim.EntryID(50); e < 70; e++ {
+		if !b.app.Rerouted(e) {
+			t.Fatalf("entry %d not rerouted on uniform failure", e)
+		}
+	}
+}
+
+func TestRestore(t *testing.T) {
+	b := newFig10(t, cfg)
+	b.protect(10)
+	b.udp(10, 500, 4*sim.Second)
+	b.primary.AB.SetFailure(netsim.FailEntries(9, sim.Second, 1.0, 10))
+	b.s.Run(4 * sim.Second)
+	if !b.app.Rerouted(10) {
+		t.Fatal("precondition: entry rerouted")
+	}
+	b.app.Restore(10)
+	if b.app.Rerouted(10) {
+		t.Error("Restore did not revert the route")
+	}
+	if _, ok := b.app.ReroutedAt[10]; ok {
+		t.Error("Restore did not clear ReroutedAt")
+	}
+}
+
+func TestUnprotectedEntryIgnored(t *testing.T) {
+	b := newFig10(t, cfg)
+	b.udp(10, 500, 4*sim.Second) // entry 10 dedicated but NOT protected
+	b.primary.AB.SetFailure(netsim.FailEntries(10, sim.Second, 1.0, 10))
+	b.s.Run(4 * sim.Second)
+	if len(b.app.ReroutedAt) != 0 {
+		t.Error("unprotected entry was rerouted")
+	}
+}

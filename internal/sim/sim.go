@@ -1,0 +1,194 @@
+// Package sim implements a deterministic discrete-event simulation engine.
+//
+// The engine is the substrate every packet-level experiment in this
+// repository runs on. It provides a virtual clock, an event queue ordered by
+// (time, insertion sequence), cancellable timers, and a seeded random number
+// generator so that every experiment is exactly reproducible from its seed.
+//
+// The design mirrors the scheduling core of ns-3, which the FANcY paper used
+// for its software evaluation: events are closures executed at a virtual
+// timestamp, and the simulation runs until the queue drains or a configured
+// horizon is reached.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math/rand"
+	"time"
+)
+
+// Time is a virtual timestamp measured in nanoseconds since the start of the
+// simulation. It is a distinct type from time.Duration to keep absolute
+// timestamps and durations from being mixed up in scheduling code.
+type Time int64
+
+// Common conversion helpers.
+const (
+	Nanosecond  Time = 1
+	Microsecond      = 1000 * Nanosecond
+	Millisecond      = 1000 * Microsecond
+	Second           = 1000 * Millisecond
+)
+
+// Duration converts a virtual timestamp into a time.Duration from t=0.
+func (t Time) Duration() time.Duration { return time.Duration(t) }
+
+// Seconds reports the timestamp as a floating-point number of seconds.
+func (t Time) Seconds() float64 { return float64(t) / float64(Second) }
+
+// String formats the timestamp with time.Duration rules (e.g. "1.5s").
+func (t Time) String() string { return time.Duration(t).String() }
+
+// FromDuration converts a wall-clock style duration to a virtual duration.
+func FromDuration(d time.Duration) Time { return Time(d) }
+
+// An event is a scheduled closure. Events with equal timestamps execute in
+// insertion order, which keeps simulations deterministic.
+type event struct {
+	at   Time
+	seq  uint64
+	fn   func()
+	dead bool // cancelled
+
+	index int // heap index, maintained by eventQueue
+}
+
+// eventQueue is a min-heap of events ordered by (at, seq).
+type eventQueue []*event
+
+func (q eventQueue) Len() int { return len(q) }
+
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq
+}
+
+func (q eventQueue) Swap(i, j int) {
+	q[i], q[j] = q[j], q[i]
+	q[i].index = i
+	q[j].index = j
+}
+
+func (q *eventQueue) Push(x any) {
+	ev := x.(*event)
+	ev.index = len(*q)
+	*q = append(*q, ev)
+}
+
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	ev.index = -1
+	*q = old[:n-1]
+	return ev
+}
+
+// Timer is a handle to a scheduled event. Its zero value is an inert timer:
+// Stop and Active are safe to call and report false.
+type Timer struct {
+	ev *event
+}
+
+// Stop cancels the timer. It reports whether the event had still been
+// pending (i.e. the cancellation prevented an execution).
+func (t *Timer) Stop() bool {
+	if t == nil || t.ev == nil || t.ev.dead || t.ev.index == -1 {
+		return false
+	}
+	t.ev.dead = true
+	return true
+}
+
+// Active reports whether the timer is still pending.
+func (t *Timer) Active() bool {
+	return t != nil && t.ev != nil && !t.ev.dead && t.ev.index != -1
+}
+
+// Sim is a single-threaded discrete-event simulator. The zero value is not
+// usable; construct one with New.
+type Sim struct {
+	now     Time
+	seq     uint64
+	queue   eventQueue
+	rng     *rand.Rand
+	stopped bool
+
+	// Executed counts events that have run, for diagnostics and tests.
+	Executed uint64
+}
+
+// New returns a simulator whose random generator is seeded with seed.
+func New(seed int64) *Sim {
+	return &Sim{rng: rand.New(rand.NewSource(seed))}
+}
+
+// Now returns the current virtual time.
+func (s *Sim) Now() Time { return s.now }
+
+// Rand exposes the simulation's deterministic random number generator.
+func (s *Sim) Rand() *rand.Rand { return s.rng }
+
+// Schedule runs fn after delay virtual nanoseconds. A negative delay is an
+// error in the caller; Schedule panics to surface it immediately.
+func (s *Sim) Schedule(delay Time, fn func()) *Timer {
+	if delay < 0 {
+		panic(fmt.Sprintf("sim: negative delay %v", delay))
+	}
+	return s.ScheduleAt(s.now+delay, fn)
+}
+
+// ScheduleAt runs fn at the absolute virtual time at, which must not be in
+// the past.
+func (s *Sim) ScheduleAt(at Time, fn func()) *Timer {
+	if at < s.now {
+		panic(fmt.Sprintf("sim: schedule in the past: at=%v now=%v", at, s.now))
+	}
+	ev := &event{at: at, seq: s.seq, fn: fn}
+	s.seq++
+	heap.Push(&s.queue, ev)
+	return &Timer{ev: ev}
+}
+
+// Stop makes Run return after the currently executing event completes.
+func (s *Sim) Stop() { s.stopped = true }
+
+// Run executes events in timestamp order until the queue is empty, until the
+// horizon is crossed, or until Stop is called. A zero horizon means no limit.
+// It returns the virtual time at which the run ended.
+func (s *Sim) Run(horizon Time) Time {
+	s.stopped = false
+	for len(s.queue) > 0 && !s.stopped {
+		ev := s.queue[0]
+		if horizon > 0 && ev.at > horizon {
+			s.now = horizon
+			return s.now
+		}
+		heap.Pop(&s.queue)
+		if ev.dead {
+			continue
+		}
+		s.now = ev.at
+		s.Executed++
+		ev.fn()
+	}
+	if horizon > 0 && s.now < horizon {
+		s.now = horizon
+	}
+	return s.now
+}
+
+// Pending reports the number of live events still queued.
+func (s *Sim) Pending() int {
+	n := 0
+	for _, ev := range s.queue {
+		if !ev.dead {
+			n++
+		}
+	}
+	return n
+}

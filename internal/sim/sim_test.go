@@ -1,0 +1,304 @@
+package sim
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestTimeConversions(t *testing.T) {
+	if got := (2 * Second).Seconds(); got != 2.0 {
+		t.Errorf("Seconds() = %v, want 2.0", got)
+	}
+	if got := (1500 * Microsecond).Duration(); got != 1500*time.Microsecond {
+		t.Errorf("Duration() = %v, want 1.5ms", got)
+	}
+	if got := FromDuration(3 * time.Millisecond); got != 3*Millisecond {
+		t.Errorf("FromDuration = %v, want 3ms", got)
+	}
+	if got := (250 * Millisecond).String(); got != "250ms" {
+		t.Errorf("String() = %q, want 250ms", got)
+	}
+}
+
+func TestScheduleOrdering(t *testing.T) {
+	s := New(1)
+	var order []int
+	s.Schedule(30*Millisecond, func() { order = append(order, 3) })
+	s.Schedule(10*Millisecond, func() { order = append(order, 1) })
+	s.Schedule(20*Millisecond, func() { order = append(order, 2) })
+	s.Run(0)
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Fatalf("execution order = %v, want [1 2 3]", order)
+	}
+	if s.Now() != 30*Millisecond {
+		t.Errorf("final time = %v, want 30ms", s.Now())
+	}
+}
+
+func TestFIFOAtSameTimestamp(t *testing.T) {
+	s := New(1)
+	var order []int
+	for i := 0; i < 100; i++ {
+		i := i
+		s.Schedule(5*Millisecond, func() { order = append(order, i) })
+	}
+	s.Run(0)
+	if !sort.IntsAreSorted(order) {
+		t.Fatalf("events at equal timestamps did not run in insertion order: %v", order)
+	}
+}
+
+func TestNestedScheduling(t *testing.T) {
+	s := New(1)
+	var ticks []Time
+	var tick func()
+	tick = func() {
+		ticks = append(ticks, s.Now())
+		if len(ticks) < 5 {
+			s.Schedule(100*Millisecond, tick)
+		}
+	}
+	s.Schedule(0, tick)
+	s.Run(0)
+	want := []Time{0, 100 * Millisecond, 200 * Millisecond, 300 * Millisecond, 400 * Millisecond}
+	if len(ticks) != len(want) {
+		t.Fatalf("got %d ticks, want %d", len(ticks), len(want))
+	}
+	for i := range want {
+		if ticks[i] != want[i] {
+			t.Errorf("tick %d at %v, want %v", i, ticks[i], want[i])
+		}
+	}
+}
+
+func TestHorizonStopsExecution(t *testing.T) {
+	s := New(1)
+	ran := 0
+	s.Schedule(1*Second, func() { ran++ })
+	s.Schedule(3*Second, func() { ran++ })
+	end := s.Run(2 * Second)
+	if ran != 1 {
+		t.Errorf("ran %d events, want 1", ran)
+	}
+	if end != 2*Second {
+		t.Errorf("Run returned %v, want 2s", end)
+	}
+	if s.Pending() != 1 {
+		t.Errorf("pending = %d, want 1", s.Pending())
+	}
+	// Resuming past the horizon executes the remaining event.
+	s.Run(0)
+	if ran != 2 {
+		t.Errorf("after resume ran = %d, want 2", ran)
+	}
+}
+
+func TestHorizonAdvancesClockWhenQueueEmpty(t *testing.T) {
+	s := New(1)
+	s.Run(5 * Second)
+	if s.Now() != 5*Second {
+		t.Errorf("Now() = %v, want 5s", s.Now())
+	}
+}
+
+func TestTimerStop(t *testing.T) {
+	s := New(1)
+	ran := false
+	tm := s.Schedule(1*Second, func() { ran = true })
+	if !tm.Active() {
+		t.Fatal("timer should be active after scheduling")
+	}
+	if !tm.Stop() {
+		t.Fatal("Stop should report true for a pending timer")
+	}
+	if tm.Active() {
+		t.Error("timer should be inactive after Stop")
+	}
+	if tm.Stop() {
+		t.Error("second Stop should report false")
+	}
+	s.Run(0)
+	if ran {
+		t.Error("cancelled event must not run")
+	}
+}
+
+func TestTimerStopAfterFire(t *testing.T) {
+	s := New(1)
+	tm := s.Schedule(1*Millisecond, func() {})
+	s.Run(0)
+	if tm.Active() {
+		t.Error("timer should be inactive after firing")
+	}
+	if tm.Stop() {
+		t.Error("Stop after firing should report false")
+	}
+}
+
+func TestZeroTimerIsInert(t *testing.T) {
+	var tm Timer
+	if tm.Active() {
+		t.Error("zero Timer reports Active")
+	}
+	if tm.Stop() {
+		t.Error("zero Timer Stop reports true")
+	}
+	var nilTm *Timer
+	if nilTm.Active() || nilTm.Stop() {
+		t.Error("nil *Timer must be inert")
+	}
+}
+
+func TestStopHaltsRun(t *testing.T) {
+	s := New(1)
+	ran := 0
+	s.Schedule(1*Millisecond, func() { ran++; s.Stop() })
+	s.Schedule(2*Millisecond, func() { ran++ })
+	s.Run(0)
+	if ran != 1 {
+		t.Errorf("ran = %d, want 1 (Stop should halt the loop)", ran)
+	}
+	s.Run(0) // resumes
+	if ran != 2 {
+		t.Errorf("after resume ran = %d, want 2", ran)
+	}
+}
+
+func TestSchedulePastPanics(t *testing.T) {
+	s := New(1)
+	s.Schedule(1*Second, func() {})
+	s.Run(0)
+	defer func() {
+		if recover() == nil {
+			t.Error("ScheduleAt in the past should panic")
+		}
+	}()
+	s.ScheduleAt(500*Millisecond, func() {})
+}
+
+func TestNegativeDelayPanics(t *testing.T) {
+	s := New(1)
+	defer func() {
+		if recover() == nil {
+			t.Error("negative delay should panic")
+		}
+	}()
+	s.Schedule(-1, func() {})
+}
+
+func TestDeterminismAcrossRuns(t *testing.T) {
+	trace := func(seed int64) []int64 {
+		s := New(seed)
+		var out []int64
+		for i := 0; i < 50; i++ {
+			d := Time(s.Rand().Intn(1000)) * Microsecond
+			s.Schedule(d, func() { out = append(out, int64(s.Now())) })
+		}
+		s.Run(0)
+		return out
+	}
+	a, b := trace(42), trace(42)
+	if len(a) != len(b) {
+		t.Fatalf("trace lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("traces diverge at %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+}
+
+// Property: for any batch of events with arbitrary non-negative delays, Run
+// executes all of them in non-decreasing timestamp order and the clock ends
+// at the maximum timestamp.
+func TestPropertyEventOrdering(t *testing.T) {
+	f := func(seed int64, raw []uint32) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		if len(raw) > 200 {
+			raw = raw[:200]
+		}
+		s := New(seed)
+		var fired []Time
+		var max Time
+		for _, r := range raw {
+			d := Time(r%1_000_000) * Microsecond
+			if d > max {
+				max = d
+			}
+			s.Schedule(d, func() { fired = append(fired, s.Now()) })
+		}
+		s.Run(0)
+		if len(fired) != len(raw) {
+			return false
+		}
+		for i := 1; i < len(fired); i++ {
+			if fired[i] < fired[i-1] {
+				return false
+			}
+		}
+		return s.Now() == max
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50, Rand: rand.New(rand.NewSource(7))}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: cancelling an arbitrary subset of timers runs exactly the
+// complement.
+func TestPropertyCancellation(t *testing.T) {
+	f := func(mask []bool) bool {
+		if len(mask) > 300 {
+			mask = mask[:300]
+		}
+		s := New(3)
+		ran := make([]bool, len(mask))
+		timers := make([]*Timer, len(mask))
+		for i := range mask {
+			i := i
+			timers[i] = s.Schedule(Time(i+1)*Microsecond, func() { ran[i] = true })
+		}
+		for i, cancel := range mask {
+			if cancel {
+				timers[i].Stop()
+			}
+		}
+		s.Run(0)
+		for i := range mask {
+			if ran[i] == mask[i] {
+				return false // cancelled ran, or non-cancelled didn't
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50, Rand: rand.New(rand.NewSource(8))}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkScheduleRun(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s := New(1)
+		for j := 0; j < 1000; j++ {
+			s.Schedule(Time(j)*Microsecond, func() {})
+		}
+		s.Run(0)
+	}
+}
+
+func BenchmarkTimerWheelChurn(b *testing.B) {
+	// Schedule/cancel churn, the pattern FANcY retransmission timers create.
+	s := New(1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tm := s.Schedule(Time(i+1), func() {})
+		tm.Stop()
+	}
+	s.Run(0)
+}

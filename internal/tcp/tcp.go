@@ -1,0 +1,321 @@
+// Package tcp implements a simplified TCP (Reno-style) on top of the netsim
+// substrate: slow start, AIMD congestion avoidance, fast retransmit on three
+// duplicate ACKs, and a retransmission timeout with exponential backoff.
+//
+// The FANcY evaluation depends on closed-loop TCP dynamics: under a 100 %
+// blackhole all traffic collapses to exponentially spaced retransmissions
+// (making detection *harder* than at 50 % loss, see Table 3 discussion),
+// while moderate loss keeps flows sending. This package reproduces exactly
+// those dynamics. The paper's simulations use a 200 ms retransmission
+// timeout, which is this package's default.
+package tcp
+
+import (
+	"fancy/internal/netsim"
+	"fancy/internal/sim"
+)
+
+// Config parameterizes a TCP sender.
+type Config struct {
+	MSS         int      // payload bytes per segment (default 1460)
+	HeaderBytes int      // header overhead per packet (default 40)
+	RTO         sim.Time // initial retransmission timeout (default 200 ms)
+	MaxRTO      sim.Time // backoff cap (default 60 s)
+	InitialCwnd float64  // initial window in segments (default 10)
+
+	// RateBps paces the application: bytes become available for sending
+	// at this rate, emulating a flow with a target bitrate. Zero means
+	// unpaced (bulk transfer limited only by cwnd).
+	RateBps float64
+}
+
+func (c *Config) fill() {
+	if c.MSS == 0 {
+		c.MSS = 1460
+	}
+	if c.HeaderBytes == 0 {
+		c.HeaderBytes = 40
+	}
+	if c.RTO == 0 {
+		c.RTO = 200 * sim.Millisecond
+	}
+	if c.MaxRTO == 0 {
+		c.MaxRTO = 60 * sim.Second
+	}
+	if c.InitialCwnd == 0 {
+		c.InitialCwnd = 10
+	}
+}
+
+// Stats aggregates a sender's lifetime counters.
+type Stats struct {
+	SegmentsSent    uint64
+	Retransmits     uint64
+	FastRetransmits uint64
+	Timeouts        uint64
+	BytesAcked      int64
+	CompletedAt     sim.Time // zero until the flow finishes
+}
+
+// Sender is the sending side of a flow. Create with NewSender; the receiver
+// side is created automatically on the destination host.
+type Sender struct {
+	cfg   Config
+	s     *sim.Sim
+	host  *netsim.Host
+	flow  netsim.FlowID
+	entry netsim.EntryID
+	src   uint32
+	dst   uint32
+
+	total int64 // application bytes to deliver
+	start sim.Time
+
+	sndUna   int64
+	sndNxt   int64
+	cwnd     float64 // segments
+	ssthresh float64
+	dupAcks  int
+	recover  int64 // highest seq sent when loss was detected (NewReno-lite)
+
+	rto      sim.Time
+	rtoTimer *sim.Timer
+	payTimer *sim.Timer // pending pacing wakeup
+
+	done bool
+
+	Stats Stats
+
+	// OnComplete, if set, fires once when all bytes are acknowledged.
+	OnComplete func()
+}
+
+// NewSender creates a flow sending total bytes from srcHost to dstAddr, and
+// installs the matching receiver on dstHost. Data packets carry entry so
+// that link failure models and FANcY can classify them; ACKs carry
+// netsim.InvalidEntry (they flow on the reverse path).
+func NewSender(s *sim.Sim, srcHost, dstHost *netsim.Host, flow netsim.FlowID,
+	entry netsim.EntryID, srcAddr, dstAddr uint32, total int64, cfg Config) *Sender {
+	cfg.fill()
+	snd := &Sender{
+		cfg: cfg, s: s, host: srcHost, flow: flow, entry: entry,
+		src: srcAddr, dst: dstAddr, total: total,
+		cwnd: cfg.InitialCwnd, ssthresh: 1 << 20, rto: cfg.RTO,
+		start: s.Now(),
+	}
+	rcv := &receiver{s: s, host: dstHost, flow: flow, src: dstAddr, dst: srcAddr,
+		segs: make(map[int64]int)}
+	srcHost.Bind(flow, netsim.PacketHandlerFunc(snd.onAck))
+	dstHost.Bind(flow, netsim.PacketHandlerFunc(rcv.onData))
+	return snd
+}
+
+// Start begins transmission.
+func (t *Sender) Start() { t.trySend() }
+
+// Done reports whether every byte has been acknowledged.
+func (t *Sender) Done() bool { return t.done }
+
+// Outstanding reports unacknowledged bytes in flight.
+func (t *Sender) Outstanding() int64 { return t.sndNxt - t.sndUna }
+
+// available returns application bytes released by pacing at the current time.
+func (t *Sender) available() int64 {
+	if t.cfg.RateBps <= 0 {
+		return t.total
+	}
+	elapsed := t.s.Now() - t.start
+	avail := int64(t.cfg.RateBps * elapsed.Seconds() / 8)
+	// Always allow at least one segment immediately so short flows start.
+	if avail < int64(t.cfg.MSS) {
+		avail = int64(t.cfg.MSS)
+	}
+	if avail > t.total {
+		avail = t.total
+	}
+	return avail
+}
+
+func (t *Sender) trySend() {
+	if t.done {
+		return
+	}
+	wnd := t.sndUna + int64(t.cwnd*float64(t.cfg.MSS))
+	avail := t.available()
+	for t.sndNxt < wnd && t.sndNxt < avail {
+		segLen := int(min64(int64(t.cfg.MSS), avail-t.sndNxt))
+		if segLen < t.cfg.MSS && t.sndNxt+int64(segLen) < t.total {
+			// Wait until pacing releases a full segment; emitting runts
+			// here would let the ACK clock shred the flow into tinygrams.
+			break
+		}
+		t.emit(t.sndNxt, segLen, false)
+		t.sndNxt += int64(segLen)
+	}
+	// If the window has room but pacing has not released a full segment
+	// yet, wake up when the next one becomes available.
+	if t.cfg.RateBps > 0 && t.sndNxt < wnd && avail < t.total &&
+		t.sndNxt+int64(t.cfg.MSS) > avail {
+		if !t.payTimer.Active() {
+			next := sim.Time(float64(t.cfg.MSS*8) / t.cfg.RateBps * float64(sim.Second))
+			if next <= 0 {
+				next = sim.Microsecond
+			}
+			t.payTimer = t.s.Schedule(next, t.trySend)
+		}
+	}
+	t.armRTO()
+}
+
+func (t *Sender) emit(seq int64, segLen int, isRtx bool) {
+	pkt := &netsim.Packet{
+		Flow: t.flow, Entry: t.entry, Src: t.src, Dst: t.dst,
+		Proto: netsim.ProtoTCP, Size: segLen + t.cfg.HeaderBytes,
+		Seq: seq, Len: segLen,
+	}
+	t.Stats.SegmentsSent++
+	if isRtx {
+		t.Stats.Retransmits++
+	}
+	t.host.Send(pkt)
+}
+
+func (t *Sender) armRTO() {
+	if t.done || t.sndNxt == t.sndUna {
+		t.rtoTimer.Stop()
+		return
+	}
+	if t.rtoTimer.Active() {
+		return
+	}
+	t.rtoTimer = t.s.Schedule(t.rto, t.onTimeout)
+}
+
+func (t *Sender) onTimeout() {
+	if t.done || t.sndNxt == t.sndUna {
+		return
+	}
+	t.Stats.Timeouts++
+	t.ssthresh = maxf(t.cwnd/2, 2)
+	t.cwnd = 1
+	t.dupAcks = 0
+	t.rto *= 2
+	if t.rto > t.cfg.MaxRTO {
+		t.rto = t.cfg.MaxRTO
+	}
+	// Retransmit the first unacknowledged segment.
+	segLen := int(min64(int64(t.cfg.MSS), t.total-t.sndUna))
+	if segLen > 0 {
+		t.emit(t.sndUna, segLen, true)
+	}
+	t.rtoTimer = t.s.Schedule(t.rto, t.onTimeout)
+}
+
+func (t *Sender) onAck(pkt *netsim.Packet) {
+	if t.done || pkt.Flags&netsim.FlagACK == 0 {
+		return
+	}
+	ack := pkt.Ack
+	switch {
+	case ack > t.sndUna: // new data acknowledged
+		t.Stats.BytesAcked = ack
+		t.sndUna = ack
+		t.dupAcks = 0
+		t.rto = t.cfg.RTO // fresh RTT estimate proxy
+		t.rtoTimer.Stop()
+		if ack >= t.recover {
+			// Exit recovery: congestion avoidance or slow start resumes.
+			if t.cwnd < t.ssthresh {
+				t.cwnd++
+			} else {
+				t.cwnd += 1 / t.cwnd
+			}
+		} else {
+			// Partial ACK during recovery: retransmit next hole (NewReno).
+			segLen := int(min64(int64(t.cfg.MSS), t.total-t.sndUna))
+			if segLen > 0 {
+				t.emit(t.sndUna, segLen, true)
+				t.Stats.FastRetransmits++
+			}
+		}
+		if t.sndUna >= t.total {
+			t.done = true
+			t.Stats.CompletedAt = t.s.Now()
+			t.rtoTimer.Stop()
+			t.payTimer.Stop()
+			if t.OnComplete != nil {
+				t.OnComplete()
+			}
+			return
+		}
+		t.trySend()
+	case ack == t.sndUna: // duplicate
+		t.dupAcks++
+		if t.dupAcks == 3 {
+			t.Stats.FastRetransmits++
+			t.ssthresh = maxf(t.cwnd/2, 2)
+			t.cwnd = t.ssthresh
+			t.recover = t.sndNxt
+			segLen := int(min64(int64(t.cfg.MSS), t.total-t.sndUna))
+			if segLen > 0 {
+				t.emit(t.sndUna, segLen, true)
+			}
+			t.rtoTimer.Stop()
+			t.armRTO()
+		}
+	}
+}
+
+// receiver implements cumulative ACKs with out-of-order buffering.
+type receiver struct {
+	s    *sim.Sim
+	host *netsim.Host
+	flow netsim.FlowID
+	src  uint32 // our address (ACK source)
+	dst  uint32 // sender address
+
+	rcvNxt int64
+	segs   map[int64]int // buffered out-of-order segments: seq → len
+
+	BytesReceived int64
+}
+
+func (r *receiver) onData(pkt *netsim.Packet) {
+	if pkt.Len == 0 {
+		return
+	}
+	r.BytesReceived += int64(pkt.Len)
+	if pkt.Seq == r.rcvNxt {
+		r.rcvNxt += int64(pkt.Len)
+		// Drain any buffered continuation.
+		for {
+			l, ok := r.segs[r.rcvNxt]
+			if !ok {
+				break
+			}
+			delete(r.segs, r.rcvNxt)
+			r.rcvNxt += int64(l)
+		}
+	} else if pkt.Seq > r.rcvNxt {
+		r.segs[pkt.Seq] = pkt.Len
+	}
+	// ACK every segment (no delayed ACKs).
+	r.host.Send(&netsim.Packet{
+		Flow: r.flow, Entry: netsim.InvalidEntry, Src: r.src, Dst: r.dst,
+		Proto: netsim.ProtoTCP, Size: 40, Ack: r.rcvNxt, Flags: netsim.FlagACK,
+	})
+}
+
+func min64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func maxf(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,300 @@
+package tcp
+
+import (
+	"testing"
+
+	"fancy/internal/netsim"
+	"fancy/internal/sim"
+)
+
+// pair builds two hosts connected by a direct link and returns them with the
+// link for failure injection.
+func pair(s *sim.Sim, rateBps float64, delay sim.Time) (*netsim.Host, *netsim.Host, *netsim.Link) {
+	a := netsim.NewHost(s, "a")
+	b := netsim.NewHost(s, "b")
+	l := netsim.Connect(s, a, 0, b, 0, netsim.LinkConfig{Delay: delay, RateBps: rateBps, QueueBytes: 1 << 22})
+	return a, b, l
+}
+
+func TestBulkTransferCompletes(t *testing.T) {
+	s := sim.New(1)
+	a, b, _ := pair(s, 10e6, 5*sim.Millisecond)
+	const total = 200_000
+	snd := NewSender(s, a, b, 1, 100, netsim.IPv4(10, 0, 0, 1), netsim.IPv4(10, 0, 0, 2), total, Config{})
+	snd.Start()
+	s.Run(30 * sim.Second)
+	if !snd.Done() {
+		t.Fatalf("flow did not complete; acked %d of %d", snd.Stats.BytesAcked, int64(total))
+	}
+	if snd.Stats.BytesAcked != total {
+		t.Errorf("BytesAcked = %d, want %d", snd.Stats.BytesAcked, int64(total))
+	}
+	if snd.Stats.Retransmits != 0 {
+		t.Errorf("lossless transfer had %d retransmits", snd.Stats.Retransmits)
+	}
+	if snd.Stats.CompletedAt == 0 {
+		t.Error("CompletedAt not recorded")
+	}
+}
+
+func TestOnCompleteFires(t *testing.T) {
+	s := sim.New(1)
+	a, b, _ := pair(s, 10e6, sim.Millisecond)
+	snd := NewSender(s, a, b, 1, 100, 1, 2, 10_000, Config{})
+	fired := 0
+	snd.OnComplete = func() { fired++ }
+	snd.Start()
+	s.Run(10 * sim.Second)
+	if fired != 1 {
+		t.Errorf("OnComplete fired %d times, want 1", fired)
+	}
+}
+
+func TestPacedFlowDuration(t *testing.T) {
+	// A 125 KB flow paced at 1 Mbps should take ≈1 s, like the ≈1 s flows
+	// in the paper's synthetic workloads.
+	s := sim.New(1)
+	a, b, _ := pair(s, 100e6, 5*sim.Millisecond)
+	const total = 125_000
+	snd := NewSender(s, a, b, 1, 100, 1, 2, total, Config{RateBps: 1e6})
+	snd.Start()
+	s.Run(30 * sim.Second)
+	if !snd.Done() {
+		t.Fatal("paced flow did not complete")
+	}
+	dur := snd.Stats.CompletedAt.Seconds()
+	if dur < 0.8 || dur > 1.5 {
+		t.Errorf("paced flow took %.2fs, want ≈1s", dur)
+	}
+}
+
+func TestLossRecoveryUniform(t *testing.T) {
+	s := sim.New(1)
+	a, b, l := pair(s, 10e6, 5*sim.Millisecond)
+	l.AB.SetFailure(netsim.FailUniform(7, 0, 0.05)) // 5% data loss a→b
+	const total = 500_000
+	snd := NewSender(s, a, b, 1, 100, 1, 2, total, Config{})
+	snd.Start()
+	s.Run(120 * sim.Second)
+	if !snd.Done() {
+		t.Fatalf("flow did not recover from 5%% loss; acked %d", snd.Stats.BytesAcked)
+	}
+	if snd.Stats.Retransmits == 0 {
+		t.Error("expected retransmissions under 5% loss")
+	}
+	if snd.Stats.FastRetransmits == 0 {
+		t.Error("expected fast retransmits under 5% loss")
+	}
+}
+
+func TestBlackholeBacksOffExponentially(t *testing.T) {
+	// Under a 100% blackhole the sender must fall back to RTO-driven
+	// retransmissions at exponentially increasing intervals — this is the
+	// TCP behaviour that makes blackholes *harder* for FANcY than 50%
+	// loss (Table 3 discussion).
+	s := sim.New(1)
+	a, b, l := pair(s, 10e6, 5*sim.Millisecond)
+	l.AB.SetFailure(netsim.FailEntries(7, 0, 1.0, 100))
+	snd := NewSender(s, a, b, 1, 100, 1, 2, 100_000, Config{})
+	snd.Start()
+	s.Run(10 * sim.Second)
+	if snd.Done() {
+		t.Fatal("flow completed through a blackhole")
+	}
+	if snd.Stats.Timeouts < 4 {
+		t.Errorf("timeouts = %d, want ≥4 in 10s with 200ms base RTO", snd.Stats.Timeouts)
+	}
+	// 200ms + 400 + 800 + 1600 + 3200 = 6.2s for 5 timeouts; with doubling
+	// we cannot see more than ~6 timeouts in 10s.
+	if snd.Stats.Timeouts > 7 {
+		t.Errorf("timeouts = %d: backoff does not seem exponential", snd.Stats.Timeouts)
+	}
+}
+
+func TestBlackholeHealsAndCompletes(t *testing.T) {
+	s := sim.New(1)
+	a, b, l := pair(s, 10e6, 5*sim.Millisecond)
+	f := netsim.FailEntries(7, 0, 1.0, 100)
+	f.End = 1 * sim.Second
+	l.AB.SetFailure(f)
+	snd := NewSender(s, a, b, 1, 100, 1, 2, 50_000, Config{})
+	snd.Start()
+	s.Run(60 * sim.Second)
+	if !snd.Done() {
+		t.Fatal("flow did not complete after failure healed")
+	}
+	if snd.Stats.Timeouts == 0 {
+		t.Error("expected at least one timeout during the blackhole")
+	}
+}
+
+func TestReverseDirectionLossRecovers(t *testing.T) {
+	// ACK loss must not stall the connection (cumulative ACKs).
+	s := sim.New(1)
+	a, b, l := pair(s, 10e6, 5*sim.Millisecond)
+	l.BA.SetFailure(netsim.FailUniform(9, 0, 0.2)) // 20% ACK loss
+	snd := NewSender(s, a, b, 1, 100, 1, 2, 200_000, Config{})
+	snd.Start()
+	s.Run(120 * sim.Second)
+	if !snd.Done() {
+		t.Fatalf("flow did not complete under ACK loss; acked %d", snd.Stats.BytesAcked)
+	}
+}
+
+func TestThroughputTracksPacingRate(t *testing.T) {
+	s := sim.New(1)
+	a, b, _ := pair(s, 100e6, 5*sim.Millisecond)
+	const rate = 5e6 // 5 Mbps
+	const dur = 4    // seconds
+	total := int64(rate / 8 * dur)
+	snd := NewSender(s, a, b, 1, 100, 1, 2, total, Config{RateBps: rate})
+	snd.Start()
+	s.Run(30 * sim.Second)
+	if !snd.Done() {
+		t.Fatal("flow did not complete")
+	}
+	goodput := float64(snd.Stats.BytesAcked*8) / snd.Stats.CompletedAt.Seconds()
+	if goodput < 0.7*rate || goodput > 1.3*rate {
+		t.Errorf("goodput = %.0f bps, want ≈%.0f", goodput, float64(rate))
+	}
+}
+
+func TestMultipleConcurrentFlows(t *testing.T) {
+	s := sim.New(1)
+	a, b, _ := pair(s, 50e6, 2*sim.Millisecond)
+	var snds []*Sender
+	for i := 0; i < 20; i++ {
+		snd := NewSender(s, a, b, netsim.FlowID(i), netsim.EntryID(i), 1, 2, 50_000,
+			Config{RateBps: 1e6})
+		snd.Start()
+		snds = append(snds, snd)
+	}
+	s.Run(60 * sim.Second)
+	for i, snd := range snds {
+		if !snd.Done() {
+			t.Errorf("flow %d did not complete", i)
+		}
+	}
+}
+
+func TestSegmentationRespectsTotal(t *testing.T) {
+	// A flow whose size is not a multiple of MSS must still complete with
+	// a short final segment.
+	s := sim.New(1)
+	a, b, _ := pair(s, 10e6, sim.Millisecond)
+	snd := NewSender(s, a, b, 1, 100, 1, 2, 1460*3+37, Config{})
+	snd.Start()
+	s.Run(10 * sim.Second)
+	if !snd.Done() {
+		t.Fatal("odd-sized flow did not complete")
+	}
+	if snd.Stats.BytesAcked != 1460*3+37 {
+		t.Errorf("BytesAcked = %d, want %d", snd.Stats.BytesAcked, 1460*3+37)
+	}
+}
+
+func TestSlowPacedFlowNeverStalls(t *testing.T) {
+	// Regression: a paced flow whose rate releases less than one MSS per
+	// ACK round-trip must keep arming its pacing wakeup even when the
+	// available bytes sit strictly between segment boundaries; an early
+	// version deadlocked here after the first segment.
+	s := sim.New(1)
+	a, b, _ := pair(s, 10e6, 5*sim.Millisecond)
+	for i, total := range []int64{2000, 3333, 14600, 1461} {
+		snd := NewSender(s, a, b, netsim.FlowID(i), 100, 1, 2, total,
+			Config{RateBps: 16_000 + float64(i)*777}) // awkward rates
+		snd.Start()
+		s.Run(s.Now() + 60*sim.Second)
+		if !snd.Done() {
+			t.Fatalf("flow %d (total=%d) stalled: acked=%d outstanding=%d",
+				i, total, snd.Stats.BytesAcked, snd.Outstanding())
+		}
+	}
+}
+
+func TestTinyFlowSingleSegment(t *testing.T) {
+	s := sim.New(1)
+	a, b, _ := pair(s, 10e6, sim.Millisecond)
+	snd := NewSender(s, a, b, 1, 100, 1, 2, 100, Config{RateBps: 8000})
+	snd.Start()
+	s.Run(10 * sim.Second)
+	if !snd.Done() {
+		t.Fatal("tiny flow did not complete")
+	}
+	if snd.Stats.SegmentsSent != 1 {
+		t.Errorf("SegmentsSent = %d, want 1", snd.Stats.SegmentsSent)
+	}
+}
+
+func TestRTOBackoffCapped(t *testing.T) {
+	s := sim.New(1)
+	a, b, l := pair(s, 10e6, sim.Millisecond)
+	l.AB.SetFailure(netsim.FailEntries(7, 0, 1.0, 100))
+	snd := NewSender(s, a, b, 1, 100, 1, 2, 50_000,
+		Config{RTO: 100 * sim.Millisecond, MaxRTO: 400 * sim.Millisecond})
+	snd.Start()
+	s.Run(10 * sim.Second)
+	// With doubling capped at 400ms: timeouts at 0.1, 0.3, 0.7, then
+	// every 0.4s → ≈25 timeouts in 10s. Uncapped doubling would give ≈7.
+	if snd.Stats.Timeouts < 15 {
+		t.Errorf("timeouts = %d; MaxRTO cap not applied", snd.Stats.Timeouts)
+	}
+}
+
+func TestInitialCwndLimitsBurst(t *testing.T) {
+	// With cwnd=2 and a long RTT, only two segments leave before the
+	// first ACK returns.
+	s := sim.New(1)
+	a, b, l := pair(s, 10e9, 50*sim.Millisecond)
+	var firstBurst int
+	l.AB.SetCapture(func(ev netsim.CaptureEvent) {
+		if ev.Kind == netsim.CaptureSend && ev.Time < 40*sim.Millisecond {
+			firstBurst++
+		}
+	})
+	snd := NewSender(s, a, b, 1, 100, 1, 2, 100_000, Config{InitialCwnd: 2})
+	snd.Start()
+	s.Run(5 * sim.Second)
+	if firstBurst != 2 {
+		t.Errorf("initial burst = %d segments, want 2 (InitialCwnd)", firstBurst)
+	}
+	if !snd.Done() {
+		t.Error("flow did not complete")
+	}
+}
+
+func TestDuplicateDataReACKed(t *testing.T) {
+	// Out-of-order and duplicate segments must still elicit cumulative
+	// ACKs (the dup-ACK signal fast retransmit relies on).
+	s := sim.New(1)
+	a, b, l := pair(s, 10e6, 5*sim.Millisecond)
+	acks := 0
+	l.BA.SetCapture(func(ev netsim.CaptureEvent) {
+		if ev.Kind == netsim.CaptureSend {
+			acks++
+		}
+	})
+	snd := NewSender(s, a, b, 1, 100, 1, 2, 14600, Config{})
+	snd.Start()
+	s.Run(5 * sim.Second)
+	if !snd.Done() {
+		t.Fatal("flow did not complete")
+	}
+	if acks < 10 {
+		t.Errorf("acks = %d, want one per segment", acks)
+	}
+}
+
+func BenchmarkBulkTransfer(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s := sim.New(1)
+		a, dst, _ := pair(s, 100e6, sim.Millisecond)
+		snd := NewSender(s, a, dst, 1, 100, 1, 2, 1_000_000, Config{})
+		snd.Start()
+		s.Run(0)
+		if !snd.Done() {
+			b.Fatal("incomplete")
+		}
+	}
+}

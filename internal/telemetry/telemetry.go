@@ -1,0 +1,225 @@
+// Package telemetry exposes a FANcY detector's state through a
+// gNMI-inspired path-based interface: Get for point reads, Subscribe for
+// ON_CHANGE streams of detection updates and SAMPLE streams of counters.
+//
+// The paper's Figure 1 frames FANcY as a component other applications
+// drive: operators push monitoring requirements in and consume mismatching
+// entries out. This package is that interface for the Go implementation —
+// the same role gNMI plays for production switch telemetry. Paths:
+//
+//	/fancy/ports/<port>/flags/dedicated/<slot>   bool, dedicated flag bit
+//	/fancy/ports/<port>/flags/count              int, flagged slots
+//	/fancy/ports/<port>/bloom/inserted           int, flagged hash paths
+//	/fancy/ports/<port>/sessions/completed       int
+//	/fancy/control/messages                      int
+//	/fancy/control/bytes                         int
+//	/fancy/layout                                string
+//
+// Paths are validated at Get/Sample time, so misspellings fail fast.
+package telemetry
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"fancy/internal/fancy"
+	"fancy/internal/sim"
+)
+
+// Update is one telemetry notification.
+type Update struct {
+	Time  sim.Time
+	Path  string
+	Value any
+}
+
+// Server serves one detector's state.
+type Server struct {
+	s   *sim.Sim
+	det *fancy.Detector
+
+	ports []int // monitored ports, for iteration
+
+	subs []*subscription
+
+	// Delivered counts updates pushed to subscribers.
+	Delivered uint64
+}
+
+type subscription struct {
+	prefix string
+	fn     func(Update)
+	timer  *sim.Timer
+}
+
+// NewServer builds a telemetry server over det. The monitored ports must
+// be passed explicitly (the detector does not expose its port map).
+func NewServer(s *sim.Sim, det *fancy.Detector, monitoredPorts ...int) *Server {
+	srv := &Server{s: s, det: det, ports: monitoredPorts}
+	sort.Ints(srv.ports)
+	return srv
+}
+
+// AttachEvents chains the server into the detector's OnEvent callback and
+// returns the wrapped handler so callers can compose their own:
+//
+//	det.OnEvent = srv.AttachEvents(myHandler)
+func (srv *Server) AttachEvents(next func(fancy.Event)) func(fancy.Event) {
+	return func(ev fancy.Event) {
+		srv.publishEvent(ev)
+		if next != nil {
+			next(ev)
+		}
+	}
+}
+
+func (srv *Server) publishEvent(ev fancy.Event) {
+	var u Update
+	u.Time = ev.Time
+	switch ev.Kind {
+	case fancy.EventDedicated:
+		u.Path = fmt.Sprintf("/fancy/ports/%d/events/dedicated/%d", ev.Port, ev.Entry)
+		u.Value = ev.Diff
+	case fancy.EventTreeLeaf:
+		u.Path = fmt.Sprintf("/fancy/ports/%d/events/tree-leaf", ev.Port)
+		u.Value = fmt.Sprint(ev.Path)
+	case fancy.EventUniform:
+		u.Path = fmt.Sprintf("/fancy/ports/%d/events/uniform", ev.Port)
+		u.Value = true
+	case fancy.EventLinkDown:
+		u.Path = fmt.Sprintf("/fancy/ports/%d/events/link-down", ev.Port)
+		u.Value = true
+	case fancy.EventTreeZoomStart:
+		u.Path = fmt.Sprintf("/fancy/ports/%d/events/zooming", ev.Port)
+		u.Value = true
+	default:
+		return
+	}
+	srv.push(u)
+}
+
+func (srv *Server) push(u Update) {
+	for _, sub := range srv.subs {
+		if strings.HasPrefix(u.Path, sub.prefix) {
+			srv.Delivered++
+			sub.fn(u)
+		}
+	}
+}
+
+// Get reads one path.
+func (srv *Server) Get(path string) (any, error) {
+	parts := strings.Split(strings.TrimPrefix(path, "/"), "/")
+	if len(parts) < 2 || parts[0] != "fancy" {
+		return nil, fmt.Errorf("telemetry: unknown path %q", path)
+	}
+	switch parts[1] {
+	case "layout":
+		return srv.det.Layout.String(), nil
+	case "control":
+		if len(parts) != 3 {
+			return nil, fmt.Errorf("telemetry: unknown path %q", path)
+		}
+		switch parts[2] {
+		case "messages":
+			return int(srv.det.CtlMsgsSent), nil
+		case "bytes":
+			return int(srv.det.CtlBytesSent), nil
+		}
+		return nil, fmt.Errorf("telemetry: unknown path %q", path)
+	case "ports":
+		return srv.getPort(parts[2:], path)
+	}
+	return nil, fmt.Errorf("telemetry: unknown path %q", path)
+}
+
+func (srv *Server) getPort(parts []string, full string) (any, error) {
+	if len(parts) < 2 {
+		return nil, fmt.Errorf("telemetry: unknown path %q", full)
+	}
+	port, err := strconv.Atoi(parts[0])
+	if err != nil {
+		return nil, fmt.Errorf("telemetry: bad port in %q", full)
+	}
+	out := srv.det.Outputs(port)
+	if out == nil {
+		return nil, fmt.Errorf("telemetry: port %d not monitored", port)
+	}
+	switch strings.Join(parts[1:], "/") {
+	case "flags/count":
+		return out.Flags.Count(), nil
+	case "bloom/inserted":
+		return out.Bloom.Inserted(), nil
+	case "sessions/completed":
+		return int(srv.det.SessionsCompleted(port)), nil
+	case "link/down":
+		return srv.det.LinkDown(port), nil
+	}
+	if len(parts) == 4 && parts[1] == "flags" && parts[2] == "dedicated" {
+		slot, err := strconv.Atoi(parts[3])
+		if err != nil {
+			return nil, fmt.Errorf("telemetry: bad slot in %q", full)
+		}
+		if slot < 0 || slot >= out.Flags.Len() {
+			return nil, fmt.Errorf("telemetry: slot %d out of range", slot)
+		}
+		return out.Flags.Get(slot), nil
+	}
+	return nil, fmt.Errorf("telemetry: unknown path %q", full)
+}
+
+// Subscribe delivers ON_CHANGE updates for every event path under prefix.
+// It returns a cancel function.
+func (srv *Server) Subscribe(prefix string, fn func(Update)) (cancel func()) {
+	sub := &subscription{prefix: prefix, fn: fn}
+	srv.subs = append(srv.subs, sub)
+	return func() { srv.unsubscribe(sub) }
+}
+
+// Sample delivers the value at path every interval (gNMI SAMPLE mode).
+// Sampling stops when cancel is called or the path becomes invalid.
+func (srv *Server) Sample(path string, interval sim.Time, fn func(Update)) (cancel func(), err error) {
+	if _, err := srv.Get(path); err != nil {
+		return nil, err
+	}
+	sub := &subscription{prefix: path, fn: fn}
+	var tick func()
+	tick = func() {
+		v, err := srv.Get(path)
+		if err != nil {
+			return
+		}
+		srv.Delivered++
+		fn(Update{Time: srv.s.Now(), Path: path, Value: v})
+		sub.timer = srv.s.Schedule(interval, tick)
+	}
+	sub.timer = srv.s.Schedule(interval, tick)
+	srv.subs = append(srv.subs, sub)
+	return func() { srv.unsubscribe(sub) }, nil
+}
+
+func (srv *Server) unsubscribe(sub *subscription) {
+	sub.timer.Stop()
+	for i, s := range srv.subs {
+		if s == sub {
+			srv.subs = append(srv.subs[:i], srv.subs[i+1:]...)
+			return
+		}
+	}
+}
+
+// Paths lists the Get-able paths for the monitored ports, for discovery.
+func (srv *Server) Paths() []string {
+	paths := []string{"/fancy/layout", "/fancy/control/messages", "/fancy/control/bytes"}
+	for _, p := range srv.ports {
+		paths = append(paths,
+			fmt.Sprintf("/fancy/ports/%d/flags/count", p),
+			fmt.Sprintf("/fancy/ports/%d/bloom/inserted", p),
+			fmt.Sprintf("/fancy/ports/%d/sessions/completed", p),
+			fmt.Sprintf("/fancy/ports/%d/link/down", p),
+		)
+	}
+	return paths
+}

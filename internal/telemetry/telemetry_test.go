@@ -1,0 +1,258 @@
+package telemetry
+
+import (
+	"strings"
+	"testing"
+
+	"fancy/internal/fancy"
+	"fancy/internal/fancy/tree"
+	"fancy/internal/netsim"
+	"fancy/internal/sim"
+)
+
+// bed builds the canonical monitored link with a telemetry server on the
+// upstream detector.
+type bed struct {
+	s    *sim.Sim
+	src  *netsim.Host
+	link *netsim.Link
+	det  *fancy.Detector
+	srv  *Server
+}
+
+func newBed(t *testing.T) *bed {
+	t.Helper()
+	s := sim.New(1)
+	b := &bed{s: s}
+	b.src = netsim.NewHost(s, "src")
+	dst := netsim.NewHost(s, "dst")
+	up := netsim.NewSwitch(s, "up", 2)
+	down := netsim.NewSwitch(s, "down", 2)
+	lc := netsim.LinkConfig{Delay: 10 * sim.Millisecond, RateBps: 10e9}
+	netsim.Connect(s, b.src, 0, up, 0, lc)
+	b.link = netsim.Connect(s, up, 1, down, 0, lc)
+	netsim.Connect(s, down, 1, dst, 0, lc)
+	up.Routes.Insert(0, 0, netsim.Route{Port: 1, Backup: -1})
+	down.Routes.Insert(0, 0, netsim.Route{Port: 1, Backup: -1})
+	dst.Default = netsim.PacketHandlerFunc(func(*netsim.Packet) {})
+
+	cfg := fancy.Config{
+		HighPriority: []netsim.EntryID{10, 11},
+		Tree:         tree.Params{Width: 32, Depth: 3, Split: 2, Pipelined: true},
+	}
+	var err error
+	b.det, err = fancy.NewDetector(s, up, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	downDet, err := fancy.NewDetector(s, down, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	downDet.ListenPort(0)
+	b.det.MonitorPort(1)
+	b.srv = NewServer(s, b.det, 1)
+	b.det.OnEvent = b.srv.AttachEvents(nil)
+	return b
+}
+
+func (b *bed) traffic(entry netsim.EntryID, stop sim.Time) {
+	var tick func()
+	tick = func() {
+		if b.s.Now() >= stop {
+			return
+		}
+		b.src.Send(&netsim.Packet{Entry: entry, Dst: netsim.EntryAddr(entry, 1),
+			Proto: netsim.ProtoUDP, Size: 1000})
+		b.s.Schedule(4*sim.Millisecond, tick)
+	}
+	b.s.Schedule(0, tick)
+}
+
+func TestGetPaths(t *testing.T) {
+	b := newBed(t)
+	b.traffic(10, 2*sim.Second)
+	b.s.Run(2 * sim.Second)
+
+	if v, err := b.srv.Get("/fancy/ports/1/flags/count"); err != nil || v != 0 {
+		t.Errorf("flags/count = %v, %v; want 0", v, err)
+	}
+	if v, err := b.srv.Get("/fancy/ports/1/flags/dedicated/0"); err != nil || v != false {
+		t.Errorf("dedicated/0 = %v, %v; want false", v, err)
+	}
+	if v, err := b.srv.Get("/fancy/ports/1/sessions/completed"); err != nil || v.(int) == 0 {
+		t.Errorf("sessions = %v, %v; want > 0", v, err)
+	}
+	if v, err := b.srv.Get("/fancy/control/messages"); err != nil || v.(int) == 0 {
+		t.Errorf("control/messages = %v, %v", v, err)
+	}
+	if v, err := b.srv.Get("/fancy/layout"); err != nil || !strings.Contains(v.(string), "dedicated=2") {
+		t.Errorf("layout = %v, %v", v, err)
+	}
+}
+
+func TestGetErrors(t *testing.T) {
+	b := newBed(t)
+	bad := []string{
+		"/nope", "/fancy/bogus", "/fancy/ports/9/flags/count",
+		"/fancy/ports/1/flags/dedicated/99", "/fancy/ports/x/flags/count",
+		"/fancy/control/quux", "/fancy/ports/1/unknown",
+	}
+	for _, p := range bad {
+		if _, err := b.srv.Get(p); err == nil {
+			t.Errorf("Get(%q) succeeded", p)
+		}
+	}
+}
+
+func TestSubscribeOnChange(t *testing.T) {
+	b := newBed(t)
+	var got []Update
+	cancel := b.srv.Subscribe("/fancy/ports/1/events/", func(u Update) { got = append(got, u) })
+
+	b.traffic(10, 4*sim.Second)
+	b.link.AB.SetFailure(netsim.FailEntries(3, sim.Second, 1.0, 10))
+	b.s.Run(4 * sim.Second)
+
+	if len(got) == 0 {
+		t.Fatal("no updates delivered")
+	}
+	first := got[0]
+	if !strings.HasPrefix(first.Path, "/fancy/ports/1/events/dedicated/10") {
+		t.Errorf("first update path = %q", first.Path)
+	}
+	if first.Time < sim.Second {
+		t.Errorf("update before the failure: %v", first.Time)
+	}
+	// Flag readable through Get after the event.
+	if v, _ := b.srv.Get("/fancy/ports/1/flags/dedicated/0"); v != true {
+		t.Error("flag not visible through Get after detection")
+	}
+
+	// After cancel, no more deliveries.
+	n := len(got)
+	cancel()
+	b.traffic(11, b.s.Now()+2*sim.Second)
+	b.s.Run(b.s.Now() + 2*sim.Second)
+	if len(got) != n {
+		t.Errorf("updates after cancel: %d → %d", n, len(got))
+	}
+}
+
+func TestSubscribePrefixFiltering(t *testing.T) {
+	b := newBed(t)
+	var uniform, dedicated int
+	b.srv.Subscribe("/fancy/ports/1/events/uniform", func(Update) { uniform++ })
+	b.srv.Subscribe("/fancy/ports/1/events/dedicated/", func(Update) { dedicated++ })
+
+	b.traffic(10, 4*sim.Second)
+	b.link.AB.SetFailure(netsim.FailEntries(3, sim.Second, 1.0, 10))
+	b.s.Run(4 * sim.Second)
+
+	if dedicated == 0 {
+		t.Error("dedicated subscription got nothing")
+	}
+	if uniform != 0 {
+		t.Errorf("uniform subscription got %d updates for a per-entry failure", uniform)
+	}
+}
+
+func TestSampleMode(t *testing.T) {
+	b := newBed(t)
+	var samples []Update
+	cancel, err := b.srv.Sample("/fancy/ports/1/sessions/completed", 100*sim.Millisecond,
+		func(u Update) { samples = append(samples, u) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	b.traffic(10, 1*sim.Second)
+	b.s.Run(1 * sim.Second)
+	if len(samples) < 8 || len(samples) > 11 {
+		t.Fatalf("got %d samples in 1s at 100ms, want ≈10", len(samples))
+	}
+	// Monotone non-decreasing session counts.
+	for i := 1; i < len(samples); i++ {
+		if samples[i].Value.(int) < samples[i-1].Value.(int) {
+			t.Fatal("session counter went backwards")
+		}
+	}
+	cancel()
+	n := len(samples)
+	b.s.Run(b.s.Now() + 500*sim.Millisecond)
+	if len(samples) != n {
+		t.Error("samples delivered after cancel")
+	}
+}
+
+func TestSampleInvalidPath(t *testing.T) {
+	b := newBed(t)
+	if _, err := b.srv.Sample("/fancy/bogus", sim.Second, func(Update) {}); err == nil {
+		t.Fatal("invalid sample path accepted")
+	}
+}
+
+func TestPathsDiscovery(t *testing.T) {
+	b := newBed(t)
+	paths := b.srv.Paths()
+	if len(paths) < 5 {
+		t.Fatalf("Paths() = %v", paths)
+	}
+	for _, p := range paths {
+		if _, err := b.srv.Get(p); err != nil {
+			t.Errorf("discovered path %q not Get-able: %v", p, err)
+		}
+	}
+}
+
+func TestPublishAllEventKinds(t *testing.T) {
+	b := newBed(t)
+	var paths []string
+	b.srv.Subscribe("/fancy/ports/1/events/", func(u Update) { paths = append(paths, u.Path) })
+
+	// Chain a downstream consumer through AttachEvents.
+	chained := 0
+	b.det.OnEvent = b.srv.AttachEvents(func(fancy.Event) { chained++ })
+
+	for _, ev := range []fancy.Event{
+		{Port: 1, Kind: fancy.EventDedicated, Entry: 10, Diff: 3},
+		{Port: 1, Kind: fancy.EventTreeZoomStart},
+		{Port: 1, Kind: fancy.EventTreeLeaf, Path: []uint16{1, 2, 3}, Diff: 5},
+		{Port: 1, Kind: fancy.EventUniform},
+		{Port: 1, Kind: fancy.EventLinkDown},
+		{Port: 1, Kind: fancy.EventKind(200)}, // unknown kind: no update
+	} {
+		b.det.OnEvent(ev)
+	}
+	want := []string{
+		"/fancy/ports/1/events/dedicated/10",
+		"/fancy/ports/1/events/zooming",
+		"/fancy/ports/1/events/tree-leaf",
+		"/fancy/ports/1/events/uniform",
+		"/fancy/ports/1/events/link-down",
+	}
+	if len(paths) != len(want) {
+		t.Fatalf("published %v, want %v", paths, want)
+	}
+	for i := range want {
+		if paths[i] != want[i] {
+			t.Errorf("path[%d] = %q, want %q", i, paths[i], want[i])
+		}
+	}
+	if chained != 6 {
+		t.Errorf("chained handler saw %d events, want all 6", chained)
+	}
+}
+
+func TestLinkDownPath(t *testing.T) {
+	b := newBed(t)
+	if v, err := b.srv.Get("/fancy/ports/1/link/down"); err != nil || v != false {
+		t.Errorf("link/down = %v, %v; want false", v, err)
+	}
+	// Kill everything including control: link-down must show through Get.
+	b.link.AB.SetFailure(netsim.FailUniform(3, 0, 1.0))
+	b.traffic(10, 2*sim.Second)
+	b.s.Run(2 * sim.Second)
+	if v, _ := b.srv.Get("/fancy/ports/1/link/down"); v != true {
+		t.Error("link/down = false after a total blackhole")
+	}
+}

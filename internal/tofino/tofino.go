@@ -1,0 +1,221 @@
+// Package tofino models the hardware resource consumption of FANcY's P4
+// implementation on an Intel Tofino switch, reproducing the memory
+// accounting of Appendix B.2 and the resource-utilization comparison of
+// Table 4.
+//
+// The model is component-based: each FANcY building block (state machines,
+// dedicated counters, hash-based tree, rerouting) consumes register SRAM
+// derived from its exact layout plus fixed costs for its match-action
+// tables, stateful ALUs, VLIW actions, hash distribution units and crossbar
+// bytes. Chip capacities follow the public Tofino 1 architecture (12 match
+// stages). The switch.p4 reference column reproduces the paper's measured
+// baseline.
+package tofino
+
+import "math"
+
+// Resources is a bundle of per-resource consumption or capacity.
+type Resources struct {
+	SRAMBlocks       float64
+	SALUs            float64
+	VLIWActions      float64
+	TCAMBlocks       float64
+	HashBits         float64
+	TernaryXbarBytes float64
+	ExactXbarBytes   float64
+}
+
+// Add returns the element-wise sum.
+func (r Resources) Add(o Resources) Resources {
+	return Resources{
+		SRAMBlocks:       r.SRAMBlocks + o.SRAMBlocks,
+		SALUs:            r.SALUs + o.SALUs,
+		VLIWActions:      r.VLIWActions + o.VLIWActions,
+		TCAMBlocks:       r.TCAMBlocks + o.TCAMBlocks,
+		HashBits:         r.HashBits + o.HashBits,
+		TernaryXbarBytes: r.TernaryXbarBytes + o.TernaryXbarBytes,
+		ExactXbarBytes:   r.ExactXbarBytes + o.ExactXbarBytes,
+	}
+}
+
+// Chip describes a Tofino pipeline's total resources.
+type Chip struct {
+	Name     string
+	Stages   int
+	Capacity Resources
+	// SRAMBlockBytes is the allocation granularity of register memory.
+	SRAMBlockBytes int
+}
+
+// Tofino32 is the 32-port Wedge 100BF-32X used by the paper's prototype:
+// 12 stages with 80×16 KB SRAM blocks, 4 stateful ALUs, 32 VLIW action
+// slots, 24 TCAM blocks, 416 hash bits and 66/128 crossbar bytes per stage.
+func Tofino32() Chip {
+	const stages = 12
+	return Chip{
+		Name:   "Wedge100BF-32X",
+		Stages: stages,
+		Capacity: Resources{
+			SRAMBlocks:       stages * 80,
+			SALUs:            stages * 4,
+			VLIWActions:      stages * 32,
+			TCAMBlocks:       stages * 24,
+			HashBits:         stages * 416,
+			TernaryXbarBytes: stages * 66,
+			ExactXbarBytes:   stages * 128,
+		},
+		SRAMBlockBytes: 16 * 1024,
+	}
+}
+
+// Utilization is per-resource usage as a fraction of chip capacity.
+type Utilization struct {
+	SRAM        float64
+	SALU        float64
+	VLIW        float64
+	TCAM        float64
+	HashBits    float64
+	TernaryXbar float64
+	ExactXbar   float64
+}
+
+// Utilization computes fractions of the chip's capacity.
+func (c Chip) Utilization(r Resources) Utilization {
+	return Utilization{
+		SRAM:        r.SRAMBlocks / c.Capacity.SRAMBlocks,
+		SALU:        r.SALUs / c.Capacity.SALUs,
+		VLIW:        r.VLIWActions / c.Capacity.VLIWActions,
+		TCAM:        r.TCAMBlocks / c.Capacity.TCAMBlocks,
+		HashBits:    r.HashBits / c.Capacity.HashBits,
+		TernaryXbar: r.TernaryXbarBytes / c.Capacity.TernaryXbarBytes,
+		ExactXbar:   r.ExactXbarBytes / c.Capacity.ExactXbarBytes,
+	}
+}
+
+// DeployConfig is the FANcY deployment the resources are computed for. The
+// paper's prototype: 32 ports, 512 dedicated entries per port, one
+// non-pipelined width-190 depth-3 tree per port, 2×100K-cell reroute Bloom.
+type DeployConfig struct {
+	Ports            int
+	DedicatedPerPort int
+	TreeWidth        int
+	TreeDepth        int
+	BloomCells       int
+	MachinesPerPort  int // counting-protocol sub-state-machines
+}
+
+// PaperConfig returns the prototype configuration of §6/Appendix B.2.
+func PaperConfig() DeployConfig {
+	return DeployConfig{
+		Ports: 32, DedicatedPerPort: 512,
+		TreeWidth: 190, TreeDepth: 3,
+		BloomCells: 100_000, MachinesPerPort: 512,
+	}
+}
+
+// --- Appendix B.2 register memory accounting ---
+
+// StateMachineBytes: each state-machine pair needs (32+8+8)·2 = 96 bits
+// (state counter/timer, current state, state lock, at ingress and egress).
+func (d DeployConfig) StateMachineBytes() int {
+	return 96 * d.MachinesPerPort * d.Ports / 8
+}
+
+// DedicatedCounterBytes: one pair of 32-bit registers per entry (64 bits).
+func (d DeployConfig) DedicatedCounterBytes() int {
+	return 64 * d.DedicatedPerPort * d.Ports / 8
+}
+
+// TreeBytes: two 32-bit node registers of the tree's width plus 40 bits of
+// zooming state (stage, max0, max1) per port — the non-pipelined layout
+// that reuses one node's memory across levels.
+func (d DeployConfig) TreeBytes() int {
+	perPort := 32*2*d.TreeWidth + 40
+	return perPort * d.Ports / 8
+}
+
+// RerouteBytes: a 1-bit flag per dedicated entry per port plus the
+// two-register Bloom filter.
+func (d DeployConfig) RerouteBytes() int {
+	return (d.DedicatedPerPort*d.Ports + 2*d.BloomCells) / 8
+}
+
+// TotalBytes sums the register memory of the full deployment with
+// rerouting (Appendix B.2 reports 367.6 KB, 394 KB with rerouting).
+func (d DeployConfig) TotalBytes(withReroute bool) int {
+	n := d.StateMachineBytes() + d.DedicatedCounterBytes() + d.TreeBytes()
+	if withReroute {
+		n += d.RerouteBytes()
+	}
+	return n
+}
+
+// --- Component resource models (Table 4) ---
+
+// sramBlocks converts register bytes to SRAM blocks with allocation
+// rounding, plus the component's match-action table blocks.
+func (c Chip) sramBlocks(regBytes, tableBlocks int) float64 {
+	return math.Ceil(float64(regBytes)/float64(c.SRAMBlockBytes)) + float64(tableBlocks)
+}
+
+// DedicatedComponent: dedicated counters and their counting-protocol state
+// machines — registers, the next_state transition tables, per-state SALU
+// updates and recirculation actions.
+func (c Chip) DedicatedComponent(d DeployConfig) Resources {
+	regBytes := d.StateMachineBytes() + d.DedicatedCounterBytes()
+	return Resources{
+		SRAMBlocks:       c.sramBlocks(regBytes, 26),
+		SALUs:            8,
+		VLIWActions:      36,
+		TCAMBlocks:       4,
+		HashBits:         290,
+		TernaryXbarBytes: 14,
+		ExactXbarBytes:   78,
+	}
+}
+
+// TreeComponent: the hash-based tree registers, per-level hash units, the
+// zooming-state SALUs and the counter comparison/recirculation logic.
+func (c Chip) TreeComponent(d DeployConfig) Resources {
+	return Resources{
+		SRAMBlocks:       c.sramBlocks(d.TreeBytes(), 15),
+		SALUs:            5,
+		VLIWActions:      18,
+		TCAMBlocks:       2,
+		HashBits:         300,
+		TernaryXbarBytes: 11,
+		ExactXbarBytes:   88,
+	}
+}
+
+// RerouteComponent: the output flag array, the path Bloom filter and the
+// backup next-hop selection table.
+func (c Chip) RerouteComponent(d DeployConfig) Resources {
+	return Resources{
+		SRAMBlocks:       c.sramBlocks(d.RerouteBytes(), 12),
+		SALUs:            3,
+		VLIWActions:      6,
+		TCAMBlocks:       0,
+		HashBits:         64,
+		TernaryXbarBytes: 0,
+		ExactXbarBytes:   23,
+	}
+}
+
+// FancyResources composes the deployment's total resource usage.
+func (c Chip) FancyResources(d DeployConfig, withReroute bool) Resources {
+	r := c.DedicatedComponent(d).Add(c.TreeComponent(d))
+	if withReroute {
+		r = r.Add(c.RerouteComponent(d))
+	}
+	return r
+}
+
+// SwitchP4Reference is the paper's measured utilization of the reference
+// switch.p4 program on the same chip (Table 4, rightmost column).
+func SwitchP4Reference() Utilization {
+	return Utilization{
+		SRAM: 0.2958, SALU: 0.1458, VLIW: 0.3672, TCAM: 0.3229,
+		HashBits: 0.3474, TernaryXbar: 0.4318, ExactXbar: 0.2936,
+	}
+}

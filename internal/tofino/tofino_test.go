@@ -1,0 +1,135 @@
+package tofino
+
+import "testing"
+
+func TestAppendixB2MemoryAccounting(t *testing.T) {
+	d := PaperConfig()
+	// Appendix B.2 figures: 192 KB of state machines, 128 KB of dedicated
+	// counters, 47.6 KB of tree, ≈26.4 KB of rerouting, 367.6 KB total
+	// (394 KB with rerouting).
+	if got := d.StateMachineBytes(); got != 196_608 {
+		t.Errorf("state machines = %d B, want 196608 (192 KB)", got)
+	}
+	if got := d.DedicatedCounterBytes(); got != 131_072 {
+		t.Errorf("dedicated counters = %d B, want 131072 (128 KB)", got)
+	}
+	if got := d.TreeBytes(); got != 48_800 {
+		t.Errorf("tree = %d B, want 48800 (≈47.6 KB)", got)
+	}
+	if got := d.RerouteBytes(); got < 26_000 || got > 28_000 {
+		t.Errorf("reroute = %d B, want ≈27 KB", got)
+	}
+	if got := d.TotalBytes(false); got < 360_000 || got > 385_000 {
+		t.Errorf("total = %d B, want ≈376 KB (paper: 367.6 KB)", got)
+	}
+	if got := d.TotalBytes(true); got < 390_000 || got > 415_000 {
+		t.Errorf("total with reroute = %d B, want ≈403 KB (paper: 394 KB)", got)
+	}
+}
+
+func approxPct(got, want float64) bool {
+	diff := got - want
+	if diff < 0 {
+		diff = -diff
+	}
+	return diff <= 0.25*want+0.005
+}
+
+func TestTable4Utilization(t *testing.T) {
+	chip := Tofino32()
+	d := PaperConfig()
+
+	ded := chip.Utilization(chip.DedicatedComponent(d))
+	full := chip.Utilization(chip.FancyResources(d, false))
+	rer := chip.Utilization(chip.FancyResources(d, true))
+
+	type row struct {
+		name  string
+		got   [3]float64
+		paper [3]float64
+	}
+	rows := []row{
+		{"SRAM", [3]float64{ded.SRAM, full.SRAM, rer.SRAM}, [3]float64{0.048, 0.0665, 0.081}},
+		{"SALU", [3]float64{ded.SALU, full.SALU, rer.SALU}, [3]float64{0.1666, 0.2708, 0.3333}},
+		{"VLIW", [3]float64{ded.VLIW, full.VLIW, rer.VLIW}, [3]float64{0.094, 0.141, 0.156}},
+		{"TCAM", [3]float64{ded.TCAM, full.TCAM, rer.TCAM}, [3]float64{0.014, 0.021, 0.021}},
+		{"Hash", [3]float64{ded.HashBits, full.HashBits, rer.HashBits}, [3]float64{0.058, 0.118, 0.131}},
+		{"TernaryXbar", [3]float64{ded.TernaryXbar, full.TernaryXbar, rer.TernaryXbar}, [3]float64{0.018, 0.031, 0.031}},
+		{"ExactXbar", [3]float64{ded.ExactXbar, full.ExactXbar, rer.ExactXbar}, [3]float64{0.051, 0.108, 0.123}},
+	}
+	cols := []string{"dedicated", "full", "full+reroute"}
+	for _, r := range rows {
+		for i := range r.got {
+			if !approxPct(r.got[i], r.paper[i]) {
+				t.Errorf("%s/%s = %.3f, paper %.3f", r.name, cols[i], r.got[i], r.paper[i])
+			}
+		}
+	}
+}
+
+func TestFancyIsSmallerThanSwitchP4ExceptSALU(t *testing.T) {
+	// The paper's headline for Table 4: FANcY uses a modest amount of
+	// resources; stateful ALUs are the ONLY resource where it exceeds
+	// switch.p4.
+	chip := Tofino32()
+	full := chip.Utilization(chip.FancyResources(PaperConfig(), true))
+	ref := SwitchP4Reference()
+	if full.SALU <= ref.SALU {
+		t.Errorf("SALU: fancy %.3f should exceed switch.p4 %.3f", full.SALU, ref.SALU)
+	}
+	checks := []struct {
+		name       string
+		fancy, ref float64
+	}{
+		{"SRAM", full.SRAM, ref.SRAM},
+		{"VLIW", full.VLIW, ref.VLIW},
+		{"TCAM", full.TCAM, ref.TCAM},
+		{"Hash", full.HashBits, ref.HashBits},
+		{"TernaryXbar", full.TernaryXbar, ref.TernaryXbar},
+		{"ExactXbar", full.ExactXbar, ref.ExactXbar},
+	}
+	for _, c := range checks {
+		if c.fancy >= c.ref {
+			t.Errorf("%s: fancy %.3f should be below switch.p4 %.3f", c.name, c.fancy, c.ref)
+		}
+	}
+}
+
+func TestSRAMScalesWithMemoryBudget(t *testing.T) {
+	// §6: "SRAM is the only resource that increases when FANcY is given a
+	// higher memory budget".
+	chip := Tofino32()
+	small := PaperConfig()
+	big := PaperConfig()
+	big.DedicatedPerPort = 2048
+	big.MachinesPerPort = 2048
+	big.TreeWidth = 250
+
+	rs, rb := chip.FancyResources(small, true), chip.FancyResources(big, true)
+	if rb.SRAMBlocks <= rs.SRAMBlocks {
+		t.Error("SRAM did not grow with the memory budget")
+	}
+	if rb.SALUs != rs.SALUs || rb.VLIWActions != rs.VLIWActions ||
+		rb.TCAMBlocks != rs.TCAMBlocks || rb.HashBits != rs.HashBits ||
+		rb.TernaryXbarBytes != rs.TernaryXbarBytes || rb.ExactXbarBytes != rs.ExactXbarBytes {
+		t.Error("non-SRAM resources changed with the memory budget")
+	}
+}
+
+func TestResourcesAdd(t *testing.T) {
+	a := Resources{SRAMBlocks: 1, SALUs: 2, VLIWActions: 3, TCAMBlocks: 4,
+		HashBits: 5, TernaryXbarBytes: 6, ExactXbarBytes: 7}
+	sum := a.Add(a)
+	if sum.SRAMBlocks != 2 || sum.SALUs != 4 || sum.VLIWActions != 6 ||
+		sum.TCAMBlocks != 8 || sum.HashBits != 10 || sum.TernaryXbarBytes != 12 ||
+		sum.ExactXbarBytes != 14 {
+		t.Errorf("Add = %+v", sum)
+	}
+}
+
+func TestChipCapacityPositive(t *testing.T) {
+	c := Tofino32()
+	if c.Stages != 12 || c.Capacity.SRAMBlocks != 960 || c.Capacity.SALUs != 48 {
+		t.Errorf("unexpected chip capacities: %+v", c)
+	}
+}

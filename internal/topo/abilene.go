@@ -1,0 +1,33 @@
+package topo
+
+import "fancy/internal/sim"
+
+// Abilene returns the 11-node Abilene research backbone, the classic
+// reference topology for ISP-scale evaluations. Link delays approximate
+// the fiber distances between the PoPs; rates default to 100 Gbps. Hosts
+// are not included — append them to the returned Spec before Build.
+func Abilene() Spec {
+	ms := func(d int) sim.Time { return sim.Time(d) * sim.Millisecond }
+	return Spec{
+		Switches: []string{
+			"seattle", "sunnyvale", "losangeles", "denver", "kansascity",
+			"houston", "chicago", "indianapolis", "atlanta", "washington", "newyork",
+		},
+		Links: []LinkSpec{
+			{A: "seattle", B: "sunnyvale", Delay: ms(7)},
+			{A: "seattle", B: "denver", Delay: ms(10)},
+			{A: "sunnyvale", B: "losangeles", Delay: ms(3)},
+			{A: "sunnyvale", B: "denver", Delay: ms(9)},
+			{A: "losangeles", B: "houston", Delay: ms(12)},
+			{A: "denver", B: "kansascity", Delay: ms(5)},
+			{A: "kansascity", B: "houston", Delay: ms(7)},
+			{A: "kansascity", B: "indianapolis", Delay: ms(4)},
+			{A: "houston", B: "atlanta", Delay: ms(8)},
+			{A: "chicago", B: "indianapolis", Delay: ms(2)},
+			{A: "chicago", B: "newyork", Delay: ms(9)},
+			{A: "indianapolis", B: "atlanta", Delay: ms(5)},
+			{A: "atlanta", B: "washington", Delay: ms(6)},
+			{A: "washington", B: "newyork", Delay: ms(3)},
+		},
+	}
+}

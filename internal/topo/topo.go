@@ -1,0 +1,294 @@
+// Package topo builds multi-switch ISP topologies on the netsim substrate:
+// named switches and hosts, links with per-link characteristics,
+// shortest-path (Dijkstra) route installation, and one-call FANcY
+// deployment at every switch — the full deployment of §4.3 in which FANcY
+// "monitors all links, one by one", maximizing detection and localization
+// accuracy.
+package topo
+
+import (
+	"fmt"
+	"sort"
+
+	"fancy/internal/fancy"
+	"fancy/internal/netsim"
+	"fancy/internal/sim"
+)
+
+// LinkSpec is one bidirectional link between two named switches.
+type LinkSpec struct {
+	A, B    string
+	Delay   sim.Time
+	RateBps float64
+}
+
+// HostSpec attaches a named host to a switch.
+type HostSpec struct {
+	Name   string
+	Attach string
+}
+
+// Spec describes a topology.
+type Spec struct {
+	Switches []string
+	Links    []LinkSpec
+	Hosts    []HostSpec
+}
+
+// Network is a built topology.
+type Network struct {
+	Sim      *sim.Sim
+	Switches map[string]*netsim.Switch
+	Hosts    map[string]*netsim.Host
+
+	// PortOf[a][b] is switch a's port toward neighbor (switch or host) b.
+	PortOf map[string]map[string]int
+
+	links     map[string]*netsim.Link // key "a|b" in spec order
+	adjacency map[string][]edge
+	hostAddr  map[string]uint32
+	hostAt    map[string]string
+}
+
+type edge struct {
+	to    string
+	delay sim.Time
+}
+
+// Build instantiates the topology. Hosts receive addresses 172.16.0.1,
+// 172.16.0.2, … in spec order.
+func Build(s *sim.Sim, spec Spec) (*Network, error) {
+	n := &Network{
+		Sim:       s,
+		Switches:  make(map[string]*netsim.Switch),
+		Hosts:     make(map[string]*netsim.Host),
+		PortOf:    make(map[string]map[string]int),
+		links:     make(map[string]*netsim.Link),
+		adjacency: make(map[string][]edge),
+		hostAddr:  make(map[string]uint32),
+		hostAt:    make(map[string]string),
+	}
+	ports := make(map[string]int) // next free port per switch
+	degree := make(map[string]int)
+	for _, l := range spec.Links {
+		degree[l.A]++
+		degree[l.B]++
+	}
+	for _, h := range spec.Hosts {
+		degree[h.Attach]++
+	}
+	for _, name := range spec.Switches {
+		if _, dup := n.Switches[name]; dup {
+			return nil, fmt.Errorf("topo: duplicate switch %q", name)
+		}
+		n.Switches[name] = netsim.NewSwitch(s, name, degree[name])
+		n.PortOf[name] = make(map[string]int)
+	}
+	alloc := func(sw string) int {
+		p := ports[sw]
+		ports[sw]++
+		return p
+	}
+	for _, l := range spec.Links {
+		a, okA := n.Switches[l.A]
+		b, okB := n.Switches[l.B]
+		if !okA || !okB {
+			return nil, fmt.Errorf("topo: link %s—%s references unknown switch", l.A, l.B)
+		}
+		pa, pb := alloc(l.A), alloc(l.B)
+		cfg := netsim.LinkConfig{Delay: l.Delay, RateBps: l.RateBps}
+		if cfg.RateBps == 0 {
+			cfg.RateBps = 100e9
+		}
+		n.links[l.A+"|"+l.B] = netsim.Connect(s, a, pa, b, pb, cfg)
+		n.PortOf[l.A][l.B] = pa
+		n.PortOf[l.B][l.A] = pb
+		n.adjacency[l.A] = append(n.adjacency[l.A], edge{l.B, l.Delay})
+		n.adjacency[l.B] = append(n.adjacency[l.B], edge{l.A, l.Delay})
+	}
+	for i, h := range spec.Hosts {
+		sw, ok := n.Switches[h.Attach]
+		if !ok {
+			return nil, fmt.Errorf("topo: host %q attaches to unknown switch %q", h.Name, h.Attach)
+		}
+		host := netsim.NewHost(s, h.Name)
+		host.Default = netsim.PacketHandlerFunc(func(*netsim.Packet) {})
+		p := alloc(h.Attach)
+		netsim.Connect(s, host, 0, sw, p, netsim.LinkConfig{Delay: sim.Millisecond, RateBps: 100e9})
+		n.Hosts[h.Name] = host
+		n.PortOf[h.Attach][h.Name] = p
+		n.hostAddr[h.Name] = netsim.IPv4(172, 16, 0, byte(i+1))
+		n.hostAt[h.Name] = h.Attach
+	}
+	return n, nil
+}
+
+// Link returns the link between two switches, in either spec order.
+func (n *Network) Link(a, b string) *netsim.Link {
+	if l, ok := n.links[a+"|"+b]; ok {
+		return l
+	}
+	return nil
+}
+
+// Direction returns the transmit end of the a→b direction of a link.
+func (n *Network) Direction(a, b string) *netsim.LinkEnd {
+	if l, ok := n.links[a+"|"+b]; ok {
+		return l.AB
+	}
+	if l, ok := n.links[b+"|"+a]; ok {
+		return l.BA
+	}
+	return nil
+}
+
+// HostAddr returns a host's address.
+func (n *Network) HostAddr(name string) uint32 { return n.hostAddr[name] }
+
+// paths computes Dijkstra next hops toward dst (a switch name): for every
+// switch, the neighbor on its shortest path to dst.
+func (n *Network) paths(dst string) map[string]string {
+	const inf = int64(1) << 62
+	dist := make(map[string]int64)
+	next := make(map[string]string) // next hop toward dst
+	for sw := range n.Switches {
+		dist[sw] = inf
+	}
+	dist[dst] = 0
+	visited := make(map[string]bool)
+	for {
+		// Extract the closest unvisited switch (deterministic tie-break
+		// by name for reproducibility).
+		var u string
+		best := inf
+		var names []string
+		for sw := range n.Switches {
+			names = append(names, sw)
+		}
+		sort.Strings(names)
+		for _, sw := range names {
+			if !visited[sw] && dist[sw] < best {
+				best = dist[sw]
+				u = sw
+			}
+		}
+		if u == "" {
+			break
+		}
+		visited[u] = true
+		for _, e := range n.adjacency[u] {
+			d := dist[u] + int64(e.delay) + 1 // +1: hop count tie-break
+			if d < dist[e.to] {
+				dist[e.to] = d
+				next[e.to] = u
+			}
+		}
+	}
+	return next
+}
+
+// InstallShortestPaths installs routes so that each entry's traffic reaches
+// its owning host over delay-weighted shortest paths, and each host's own
+// address is routable from everywhere (for reverse traffic and remote
+// FANcY control messages).
+func (n *Network) InstallShortestPaths(entryOwner map[netsim.EntryID]string) error {
+	for host := range n.hostAddr {
+		attach := n.hostAt[host]
+		next := n.paths(attach)
+		for sw := range n.Switches {
+			var port int
+			if sw == attach {
+				port = n.PortOf[sw][host]
+			} else {
+				nh, ok := next[sw]
+				if !ok {
+					return fmt.Errorf("topo: switch %q cannot reach host %q", sw, host)
+				}
+				port = n.PortOf[sw][nh]
+			}
+			// The host's own /32.
+			if _, err := n.Switches[sw].Routes.Insert(n.hostAddr[host], 32,
+				netsim.Route{Port: port, Backup: -1}); err != nil {
+				return err
+			}
+			// Entries owned by this host.
+			for e, owner := range entryOwner {
+				if owner != host {
+					continue
+				}
+				n.Switches[sw].Routes.InsertEntry(e, netsim.Route{Port: port, Backup: -1})
+			}
+		}
+	}
+	return nil
+}
+
+// Deployment is a full FANcY deployment: one detector per switch, every
+// inter-switch link monitored in both directions.
+type Deployment struct {
+	Detectors map[string]*fancy.Detector
+
+	// Events records every event with the switch that raised it.
+	Events []DeployEvent
+}
+
+// DeployEvent pairs an event with its reporting switch.
+type DeployEvent struct {
+	Switch string
+	Event  fancy.Event
+}
+
+// DeployFancy attaches a detector to every switch and opens counting
+// sessions on both directions of every inter-switch link.
+func (n *Network) DeployFancy(cfg fancy.Config) (*Deployment, error) {
+	d := &Deployment{Detectors: make(map[string]*fancy.Detector)}
+	var names []string
+	for sw := range n.Switches {
+		names = append(names, sw)
+	}
+	sort.Strings(names)
+	for _, sw := range names {
+		det, err := fancy.NewDetector(n.Sim, n.Switches[sw], cfg)
+		if err != nil {
+			return nil, fmt.Errorf("topo: detector at %q: %w", sw, err)
+		}
+		name := sw
+		det.OnEvent = func(ev fancy.Event) {
+			d.Events = append(d.Events, DeployEvent{Switch: name, Event: ev})
+		}
+		d.Detectors[sw] = det
+	}
+	// Monitor/listen both directions of each link.
+	for key, l := range n.links {
+		_ = l
+		var a, b string
+		for i := 0; i < len(key); i++ {
+			if key[i] == '|' {
+				a, b = key[:i], key[i+1:]
+			}
+		}
+		d.Detectors[a].MonitorPort(n.PortOf[a][b])
+		d.Detectors[b].ListenPort(n.PortOf[b][a])
+		d.Detectors[b].MonitorPort(n.PortOf[b][a])
+		d.Detectors[a].ListenPort(n.PortOf[a][b])
+	}
+	return d, nil
+}
+
+// FlaggedAt reports the switches that flagged entry on any monitored port,
+// with the port names resolved back to neighbors.
+func (n *Network) FlaggedAt(d *Deployment, entry netsim.EntryID) []string {
+	var out []string
+	for sw, det := range d.Detectors {
+		for nb, port := range n.PortOf[sw] {
+			if _, isHost := n.Hosts[nb]; isHost {
+				continue
+			}
+			if det.Outputs(port) != nil && det.Flagged(port, entry) {
+				out = append(out, sw+"->"+nb)
+			}
+		}
+	}
+	sort.Strings(out)
+	return out
+}

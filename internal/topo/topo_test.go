@@ -1,0 +1,263 @@
+package topo
+
+import (
+	"testing"
+
+	"fancy/internal/fancy"
+	"fancy/internal/fancy/tree"
+	"fancy/internal/netsim"
+	"fancy/internal/sim"
+)
+
+// line builds H1 — A — B — C — H2.
+func lineSpec() Spec {
+	return Spec{
+		Switches: []string{"A", "B", "C"},
+		Links: []LinkSpec{
+			{A: "A", B: "B", Delay: 5 * sim.Millisecond},
+			{A: "B", B: "C", Delay: 5 * sim.Millisecond},
+		},
+		Hosts: []HostSpec{
+			{Name: "H1", Attach: "A"},
+			{Name: "H2", Attach: "C"},
+		},
+	}
+}
+
+func deployCfg() fancy.Config {
+	return fancy.Config{
+		HighPriority: []netsim.EntryID{10},
+		Tree:         tree.Params{Width: 32, Depth: 3, Split: 2, Pipelined: true},
+		TreeSeed:     3,
+	}
+}
+
+func udp(n *Network, from string, entry netsim.EntryID, rateBps float64, stop sim.Time) {
+	host := n.Hosts[from]
+	const size = 1000
+	gap := sim.Time(float64(size*8) / rateBps * float64(sim.Second))
+	var tick func()
+	tick = func() {
+		if n.Sim.Now() >= stop {
+			return
+		}
+		host.Send(&netsim.Packet{Entry: entry, Dst: netsim.EntryAddr(entry, 1),
+			Src: n.HostAddr(from), Proto: netsim.ProtoUDP, Size: size})
+		n.Sim.Schedule(gap, tick)
+	}
+	n.Sim.Schedule(0, tick)
+}
+
+func TestBuildErrors(t *testing.T) {
+	s := sim.New(1)
+	if _, err := Build(s, Spec{Switches: []string{"A", "A"}}); err == nil {
+		t.Error("duplicate switch accepted")
+	}
+	if _, err := Build(s, Spec{Switches: []string{"A"},
+		Links: []LinkSpec{{A: "A", B: "ZZ"}}}); err == nil {
+		t.Error("link to unknown switch accepted")
+	}
+	if _, err := Build(s, Spec{Switches: []string{"A"},
+		Hosts: []HostSpec{{Name: "H", Attach: "ZZ"}}}); err == nil {
+		t.Error("host on unknown switch accepted")
+	}
+}
+
+func TestShortestPathForwarding(t *testing.T) {
+	s := sim.New(1)
+	n, err := Build(s, lineSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := n.InstallShortestPaths(map[netsim.EntryID]string{10: "H2"}); err != nil {
+		t.Fatal(err)
+	}
+	got := 0
+	n.Hosts["H2"].Default = netsim.PacketHandlerFunc(func(p *netsim.Packet) { got++ })
+	udp(n, "H1", 10, 1e6, 100*sim.Millisecond)
+	s.Run(sim.Second)
+	if got == 0 {
+		t.Fatal("no packets delivered across the line topology")
+	}
+	// Reverse reachability: H2 → H1 by address.
+	back := 0
+	n.Hosts["H1"].Default = netsim.PacketHandlerFunc(func(p *netsim.Packet) { back++ })
+	n.Hosts["H2"].Send(&netsim.Packet{Dst: n.HostAddr("H1"), Proto: netsim.ProtoUDP, Size: 100})
+	s.Run(2 * sim.Second)
+	if back != 1 {
+		t.Fatalf("reverse delivery = %d, want 1", back)
+	}
+}
+
+func TestShortestPathPicksLowDelay(t *testing.T) {
+	// Square with a fast diagonal: A—B slow (50ms), A—C—B fast (2×5ms).
+	s := sim.New(1)
+	n, err := Build(s, Spec{
+		Switches: []string{"A", "B", "C"},
+		Links: []LinkSpec{
+			{A: "A", B: "B", Delay: 50 * sim.Millisecond},
+			{A: "A", B: "C", Delay: 5 * sim.Millisecond},
+			{A: "C", B: "B", Delay: 5 * sim.Millisecond},
+		},
+		Hosts: []HostSpec{{Name: "H1", Attach: "A"}, {Name: "H2", Attach: "B"}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := n.InstallShortestPaths(map[netsim.EntryID]string{10: "H2"}); err != nil {
+		t.Fatal(err)
+	}
+	// Traffic through the fast path crosses C.
+	var viaC int
+	n.Switches["C"].OnForwarded(func(*netsim.Packet, int, int) { viaC++ })
+	udp(n, "H1", 10, 1e6, 100*sim.Millisecond)
+	s.Run(sim.Second)
+	if viaC == 0 {
+		t.Fatal("shortest path did not route via the fast two-hop path")
+	}
+}
+
+func TestFullDeploymentLocalizesFailure(t *testing.T) {
+	// FANcY at every switch: a failure on B→C must be flagged by B on its
+	// port toward C — and nowhere else. This is the paper's localization
+	// claim ("identifying both the switch port suffering from a gray
+	// failure and the affected traffic").
+	s := sim.New(2)
+	n, err := Build(s, lineSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := n.InstallShortestPaths(map[netsim.EntryID]string{10: "H2", 500: "H2"}); err != nil {
+		t.Fatal(err)
+	}
+	dep, err := n.DeployFancy(deployCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	udp(n, "H1", 10, 2e6, 8*sim.Second)
+	n.Direction("B", "C").SetFailure(netsim.FailEntries(7, 2*sim.Second, 1.0, 10))
+	s.Run(8 * sim.Second)
+
+	flagged := n.FlaggedAt(dep, 10)
+	if len(flagged) != 1 || flagged[0] != "B->C" {
+		t.Fatalf("flagged at %v, want exactly [B->C]", flagged)
+	}
+	// The A→B hop saw the same traffic but no loss: it must stay silent.
+	for _, de := range dep.Events {
+		if de.Event.Kind == fancy.EventDedicated && de.Switch != "B" {
+			t.Errorf("switch %s raised %v; only B should detect", de.Switch, de.Event)
+		}
+	}
+}
+
+func TestFullDeploymentReverseDirection(t *testing.T) {
+	// Sessions run in both directions: a failure on C→B (the reverse
+	// path) is flagged by C.
+	s := sim.New(3)
+	n, err := Build(s, lineSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := n.InstallShortestPaths(map[netsim.EntryID]string{20: "H1"}); err != nil {
+		t.Fatal(err)
+	}
+	dep, err := n.DeployFancy(fancy.Config{
+		HighPriority: []netsim.EntryID{20},
+		Tree:         tree.Params{Width: 32, Depth: 3, Split: 2, Pipelined: true},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	udp(n, "H2", 20, 2e6, 8*sim.Second) // H2 → H1 crosses C→B→A
+	n.Direction("C", "B").SetFailure(netsim.FailEntries(9, 2*sim.Second, 1.0, 20))
+	s.Run(8 * sim.Second)
+
+	flagged := n.FlaggedAt(dep, 20)
+	if len(flagged) != 1 || flagged[0] != "C->B" {
+		t.Fatalf("flagged at %v, want exactly [C->B]", flagged)
+	}
+}
+
+func TestFullDeploymentTreeEntryLocalized(t *testing.T) {
+	s := sim.New(4)
+	n, err := Build(s, lineSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	const entry = netsim.EntryID(777) // best effort
+	if err := n.InstallShortestPaths(map[netsim.EntryID]string{entry: "H2"}); err != nil {
+		t.Fatal(err)
+	}
+	dep, err := n.DeployFancy(deployCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	udp(n, "H1", entry, 2e6, 10*sim.Second)
+	n.Direction("A", "B").SetFailure(netsim.FailEntries(11, 2*sim.Second, 1.0, entry))
+	s.Run(10 * sim.Second)
+
+	flagged := n.FlaggedAt(dep, entry)
+	if len(flagged) != 1 || flagged[0] != "A->B" {
+		t.Fatalf("flagged at %v, want exactly [A->B]", flagged)
+	}
+}
+
+func TestDeploymentSessionsOnAllLinks(t *testing.T) {
+	s := sim.New(5)
+	n, err := Build(s, lineSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := n.InstallShortestPaths(nil); err != nil {
+		t.Fatal(err)
+	}
+	dep, err := n.DeployFancy(deployCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Run(2 * sim.Second)
+	// Every monitored direction must be cycling sessions even without
+	// traffic (control messages keep flowing).
+	checks := [][2]string{{"A", "B"}, {"B", "A"}, {"B", "C"}, {"C", "B"}}
+	for _, c := range checks {
+		det := dep.Detectors[c[0]]
+		port := n.PortOf[c[0]][c[1]]
+		if det.SessionsCompleted(port) == 0 {
+			t.Errorf("no sessions on %s→%s", c[0], c[1])
+		}
+	}
+}
+
+func TestAbileneSpec(t *testing.T) {
+	spec := Abilene()
+	if len(spec.Switches) != 11 || len(spec.Links) != 14 {
+		t.Fatalf("Abilene: %d switches, %d links; want 11/14", len(spec.Switches), len(spec.Links))
+	}
+	spec.Hosts = []HostSpec{{Name: "h1", Attach: "seattle"}, {Name: "h2", Attach: "newyork"}}
+	s := sim.New(9)
+	n, err := Build(s, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := n.InstallShortestPaths(map[netsim.EntryID]string{5: "h2"}); err != nil {
+		t.Fatal(err)
+	}
+	// Coast-to-coast delivery works over shortest paths.
+	got := 0
+	n.Hosts["h2"].Default = netsim.PacketHandlerFunc(func(*netsim.Packet) { got++ })
+	udp(n, "h1", 5, 1e6, 100*sim.Millisecond)
+	s.Run(sim.Second)
+	if got == 0 {
+		t.Fatal("no coast-to-coast delivery on Abilene")
+	}
+	// Full deployment works on the real topology too.
+	dep, err := n.DeployFancy(deployCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Run(s.Now() + 2*sim.Second)
+	if dep.Detectors["kansascity"].SessionsCompleted(n.PortOf["kansascity"]["denver"]) == 0 {
+		t.Error("no sessions on an interior Abilene link")
+	}
+}

@@ -1,0 +1,199 @@
+// Package traffic generates the workloads of the FANcY evaluation:
+// fixed-rate synthetic entries (the Figure 7/8/9 grid), Zipf-distributed
+// entry popularity (the §5.1.3 uniform-failure experiments), CAIDA-like
+// synthesized traces (Table 3/5), and constant-bit-rate UDP sources (the
+// Figure 10 case study).
+//
+// The paper replays real CAIDA traces; those traces are not redistributable,
+// so this package synthesizes workloads that reproduce their published
+// aggregate statistics (Table 5: bit rate, packet rate, flow rate) and the
+// heavy-tailed per-prefix traffic distribution that drives FANcY's accuracy
+// results. See DESIGN.md §1 for the substitution rationale.
+package traffic
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+
+	"fancy/internal/netsim"
+	"fancy/internal/sim"
+	"fancy/internal/tcp"
+)
+
+// FlowSpec describes one flow to be injected into a simulation.
+type FlowSpec struct {
+	Entry   netsim.EntryID
+	Start   sim.Time
+	Bytes   int64
+	RateBps float64 // pacing rate; 0 = bulk
+	MSS     int     // per-flow segment size; 0 = the TCP default (1460)
+}
+
+// SteadyEntry builds the flow arrivals for one entry of the synthetic grid:
+// flows arrive at flowsPerSec for the given duration, each carrying
+// rateBps/flowsPerSec of throughput for ≈1 second (the paper's flow
+// duration), so the entry's aggregate rate is rateBps.
+func SteadyEntry(entry netsim.EntryID, rateBps, flowsPerSec float64, duration sim.Time, rng *rand.Rand) []FlowSpec {
+	if flowsPerSec <= 0 || rateBps <= 0 || duration <= 0 {
+		return nil
+	}
+	perFlowRate := rateBps / flowsPerSec
+	flowBytes := int64(perFlowRate / 8) // 1 second worth
+	if flowBytes < 40 {
+		flowBytes = 40
+	}
+	interval := sim.Time(float64(sim.Second) / flowsPerSec)
+	var specs []FlowSpec
+	// Random phase so repetitions differ, then deterministic spacing with
+	// small jitter, approximating a stationary arrival process.
+	start := sim.Time(rng.Int63n(int64(interval) + 1))
+	for at := start; at < duration; at += interval {
+		jitter := sim.Time(rng.Int63n(int64(interval)/2+1)) - interval/4
+		t := at + jitter
+		if t < 0 {
+			t = 0
+		}
+		specs = append(specs, FlowSpec{Entry: entry, Start: t, Bytes: flowBytes, RateBps: perFlowRate})
+	}
+	return specs
+}
+
+// ZipfShares returns n traffic shares following a Zipf distribution with
+// exponent s (shares sum to 1, rank 0 largest). The paper cites Zipf's law
+// for per-prefix traffic skew [38].
+func ZipfShares(n int, s float64) []float64 {
+	if n <= 0 {
+		return nil
+	}
+	shares := make([]float64, n)
+	var sum float64
+	for i := range shares {
+		shares[i] = 1 / math.Pow(float64(i+1), s)
+		sum += shares[i]
+	}
+	for i := range shares {
+		shares[i] /= sum
+	}
+	return shares
+}
+
+// ZipfWorkload spreads aggregateBps across numEntries entries with Zipf
+// exponent s, generating flow arrivals for each entry proportional to its
+// share. Entries with less than minEntryBps are merged into flows of the
+// smallest viable rate at proportionally lower arrival frequency.
+func ZipfWorkload(numEntries int, aggregateBps, flowsPerSec float64, s float64,
+	duration sim.Time, rng *rand.Rand) []FlowSpec {
+	shares := ZipfShares(numEntries, s)
+	var specs []FlowSpec
+	for i, share := range shares {
+		rate := aggregateBps * share
+		fps := flowsPerSec * share
+		if fps < 0.2 {
+			fps = 0.2 // at least a flow every 5 seconds
+		}
+		specs = append(specs, SteadyEntry(netsim.EntryID(i), rate, fps, duration, rng)...)
+	}
+	sort.Slice(specs, func(a, b int) bool { return specs[a].Start < specs[b].Start })
+	return specs
+}
+
+// Driver injects FlowSpecs into a running simulation between two hosts and
+// tracks per-entry delivery statistics.
+type Driver struct {
+	s        *sim.Sim
+	src, dst *netsim.Host
+	nextFlow netsim.FlowID
+	cfg      tcp.Config
+
+	Senders []*tcp.Sender
+
+	// ByEntry aggregates sender stats per entry, filled lazily by Stats.
+	started uint64
+}
+
+// NewDriver builds a driver. The tcp.Config applies to every generated flow
+// (zero value = defaults: 1460 MSS, 200 ms RTO).
+func NewDriver(s *sim.Sim, src, dst *netsim.Host, cfg tcp.Config) *Driver {
+	return &Driver{s: s, src: src, dst: dst, cfg: cfg}
+}
+
+// Schedule arranges for every spec's flow to start at its Start time.
+func (d *Driver) Schedule(specs []FlowSpec) {
+	for _, spec := range specs {
+		spec := spec
+		d.s.ScheduleAt(spec.Start, func() { d.launch(spec) })
+	}
+}
+
+func (d *Driver) launch(spec FlowSpec) {
+	flow := d.nextFlow
+	d.nextFlow++
+	cfg := d.cfg
+	cfg.RateBps = spec.RateBps
+	if spec.MSS > 0 {
+		cfg.MSS = spec.MSS
+	}
+	snd := tcp.NewSender(d.s, d.src, d.dst, flow, spec.Entry,
+		netsim.IPv4(172, 16, 0, 1), netsim.EntryAddr(spec.Entry, 1),
+		spec.Bytes, cfg)
+	d.Senders = append(d.Senders, snd)
+	d.started++
+	snd.Start()
+}
+
+// Started reports the number of flows launched so far.
+func (d *Driver) Started() uint64 { return d.started }
+
+// Completed reports the number of finished flows.
+func (d *Driver) Completed() int {
+	n := 0
+	for _, snd := range d.Senders {
+		if snd.Done() {
+			n++
+		}
+	}
+	return n
+}
+
+// UDPSource emits constant-bit-rate UDP packets for one entry, as in the
+// Figure 10 testbed (50 Mbps UDP alongside TCP).
+type UDPSource struct {
+	s     *sim.Sim
+	host  *netsim.Host
+	flow  netsim.FlowID
+	entry netsim.EntryID
+	dst   uint32
+	size  int
+	gap   sim.Time
+	stop  sim.Time
+
+	Sent uint64
+}
+
+// NewUDPSource creates a CBR source sending pktSize-byte packets at rateBps
+// until stop (0 = forever).
+func NewUDPSource(s *sim.Sim, host *netsim.Host, flow netsim.FlowID, entry netsim.EntryID,
+	dst uint32, rateBps float64, pktSize int, stop sim.Time) *UDPSource {
+	u := &UDPSource{s: s, host: host, flow: flow, entry: entry, dst: dst, size: pktSize, stop: stop}
+	u.gap = sim.Time(float64(pktSize*8) / rateBps * float64(sim.Second))
+	if u.gap <= 0 {
+		u.gap = sim.Microsecond
+	}
+	return u
+}
+
+// Start begins emission.
+func (u *UDPSource) Start() { u.tick() }
+
+func (u *UDPSource) tick() {
+	if u.stop > 0 && u.s.Now() >= u.stop {
+		return
+	}
+	u.host.Send(&netsim.Packet{
+		Flow: u.flow, Entry: u.entry, Dst: u.dst,
+		Proto: netsim.ProtoUDP, Size: u.size,
+	})
+	u.Sent++
+	u.s.Schedule(u.gap, u.tick)
+}

@@ -1,0 +1,266 @@
+package traffic
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"fancy/internal/netsim"
+	"fancy/internal/sim"
+	"fancy/internal/tcp"
+)
+
+func TestSteadyEntryRateAndCount(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	specs := SteadyEntry(5, 1e6, 50, 10*sim.Second, rng)
+	// ≈50 flows/s × 10 s = ≈500 flows.
+	if len(specs) < 450 || len(specs) > 550 {
+		t.Errorf("flows = %d, want ≈500", len(specs))
+	}
+	var bytes int64
+	for _, f := range specs {
+		if f.Entry != 5 {
+			t.Fatalf("wrong entry %d", f.Entry)
+		}
+		if f.Start < 0 || f.Start >= 11*sim.Second {
+			t.Fatalf("start %v out of range", f.Start)
+		}
+		bytes += f.Bytes
+	}
+	// Aggregate ≈1 Mbps over 10 s = 1.25 MB.
+	rate := float64(bytes) * 8 / 10
+	if rate < 0.8e6 || rate > 1.2e6 {
+		t.Errorf("aggregate rate = %.0f bps, want ≈1e6", rate)
+	}
+}
+
+func TestSteadyEntryDegenerate(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	if SteadyEntry(1, 0, 50, sim.Second, rng) != nil {
+		t.Error("zero rate should yield no flows")
+	}
+	if SteadyEntry(1, 1e6, 0, sim.Second, rng) != nil {
+		t.Error("zero fps should yield no flows")
+	}
+	if SteadyEntry(1, 1e6, 50, 0, rng) != nil {
+		t.Error("zero duration should yield no flows")
+	}
+}
+
+func TestSteadyEntryTinyFlowsHaveMinimumSize(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	specs := SteadyEntry(1, 100, 10, 5*sim.Second, rng) // 10 bps per flow
+	for _, f := range specs {
+		if f.Bytes < 40 {
+			t.Fatalf("flow bytes = %d, want ≥40", f.Bytes)
+		}
+	}
+}
+
+func TestZipfShares(t *testing.T) {
+	shares := ZipfShares(100, 1.0)
+	if len(shares) != 100 {
+		t.Fatalf("len = %d", len(shares))
+	}
+	var sum float64
+	for i, s := range shares {
+		sum += s
+		if i > 0 && s > shares[i-1] {
+			t.Fatal("shares must be non-increasing")
+		}
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Errorf("sum = %v, want 1", sum)
+	}
+	// Rank-1 share with s=1 over 100 entries ≈ 1/H(100) ≈ 0.193.
+	if shares[0] < 0.15 || shares[0] > 0.25 {
+		t.Errorf("top share = %v, want ≈0.19", shares[0])
+	}
+	if ZipfShares(0, 1) != nil {
+		t.Error("n=0 must return nil")
+	}
+}
+
+func TestPropertyZipfSharesNormalized(t *testing.T) {
+	f := func(n uint8, sRaw uint8) bool {
+		if n == 0 {
+			return true
+		}
+		s := 0.5 + float64(sRaw%20)/10 // 0.5 .. 2.4
+		shares := ZipfShares(int(n), s)
+		var sum float64
+		for _, v := range shares {
+			if v <= 0 {
+				return false
+			}
+			sum += v
+		}
+		return math.Abs(sum-1) < 1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100, Rand: rand.New(rand.NewSource(2))}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestZipfWorkloadSkew(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	specs := ZipfWorkload(50, 10e6, 100, 1.1, 10*sim.Second, rng)
+	bytes := make(map[netsim.EntryID]int64)
+	for _, f := range specs {
+		bytes[f.Entry] += f.Bytes
+	}
+	if bytes[0] <= bytes[40] {
+		t.Error("top entry should carry more bytes than rank-40 entry")
+	}
+	// Sorted by start time.
+	for i := 1; i < len(specs); i++ {
+		if specs[i].Start < specs[i-1].Start {
+			t.Fatal("specs not sorted by start time")
+		}
+	}
+}
+
+func TestDriverRunsFlows(t *testing.T) {
+	s := sim.New(1)
+	src := netsim.NewHost(s, "src")
+	dst := netsim.NewHost(s, "dst")
+	sw := netsim.NewSwitch(s, "sw", 2)
+	netsim.Connect(s, src, 0, sw, 0, netsim.LinkConfig{Delay: sim.Millisecond, RateBps: 1e9})
+	netsim.Connect(s, sw, 1, dst, 0, netsim.LinkConfig{Delay: sim.Millisecond, RateBps: 1e9})
+	// Forward: entries → port 1. Reverse: src host's address → port 0.
+	sw.Routes.Insert(0, 0, netsim.Route{Port: 1, Backup: -1})
+	sw.Routes.Insert(netsim.IPv4(172, 16, 0, 0), 16, netsim.Route{Port: 0, Backup: -1})
+
+	d := NewDriver(s, src, dst, tcp.Config{})
+	rng := rand.New(rand.NewSource(4))
+	specs := SteadyEntry(7, 1e6, 20, 2*sim.Second, rng)
+	d.Schedule(specs)
+	s.Run(20 * sim.Second)
+
+	if d.Started() != uint64(len(specs)) {
+		t.Errorf("started %d flows, want %d", d.Started(), len(specs))
+	}
+	if d.Completed() != len(specs) {
+		t.Errorf("completed %d of %d flows", d.Completed(), len(specs))
+	}
+}
+
+func TestUDPSourceRate(t *testing.T) {
+	s := sim.New(1)
+	h := netsim.NewHost(s, "h")
+	peer := netsim.NewHost(s, "peer")
+	netsim.Connect(s, h, 0, peer, 0, netsim.LinkConfig{Delay: 0, RateBps: 1e9})
+	var got int
+	peer.Default = netsim.PacketHandlerFunc(func(p *netsim.Packet) {
+		if p.Proto != netsim.ProtoUDP || p.Entry != 3 {
+			t.Errorf("unexpected packet %v", p)
+		}
+		got++
+	})
+	u := NewUDPSource(s, h, 99, 3, netsim.EntryAddr(3, 1), 1.2e6, 1500, 1*sim.Second)
+	u.Start()
+	s.Run(2 * sim.Second)
+	// 1.2 Mbps / (1500*8 b) = 100 pps for 1 s.
+	if got < 95 || got > 105 {
+		t.Errorf("received %d packets, want ≈100", got)
+	}
+}
+
+func TestSynthesizeMatchesTargets(t *testing.T) {
+	cfg := TraceConfig{
+		Name: "test", BitRateBps: 50e6, PacketRate: 6000, FlowRate: 250,
+		Prefixes: 2000, Duration: 30 * sim.Second, Seed: 5,
+	}
+	tr := Synthesize(cfg)
+	st := tr.Stats()
+	if st.BitRateBps < 0.5*cfg.BitRateBps || st.BitRateBps > 1.5*cfg.BitRateBps {
+		t.Errorf("bit rate = %.2e, want ≈%.2e", st.BitRateBps, cfg.BitRateBps)
+	}
+	if st.FlowRate < 0.5*cfg.FlowRate || st.FlowRate > 1.5*cfg.FlowRate {
+		t.Errorf("flow rate = %.0f, want ≈%.0f", st.FlowRate, cfg.FlowRate)
+	}
+	if st.ActivePfx < 100 {
+		t.Errorf("only %d active prefixes", st.ActivePfx)
+	}
+	// Heavy tail: historical top-500 prefixes must dominate the bytes, as
+	// in real traces (the paper's top 10K prefixes carry ≥95%).
+	if st.Top500Bytes < 0.3 {
+		t.Errorf("top-500 byte share = %.2f, want heavy-tailed (>0.3)", st.Top500Bytes)
+	}
+}
+
+func TestSynthesizeScaleDown(t *testing.T) {
+	cfgs := StandardTraces(1000)
+	if len(cfgs) != 4 {
+		t.Fatalf("want 4 standard traces, got %d", len(cfgs))
+	}
+	tr := Synthesize(cfgs[0])
+	st := tr.Stats()
+	// Scaled by 1000: 6.25 Gbps → ≈6.25 Mbps.
+	if st.BitRateBps > 20e6 {
+		t.Errorf("scaled bit rate = %.2e, want ≈6e6", st.BitRateBps)
+	}
+	if len(tr.Specs) == 0 {
+		t.Fatal("scaled trace has no flows")
+	}
+}
+
+func TestSynthesizeDeterministic(t *testing.T) {
+	cfg := TraceConfig{BitRateBps: 10e6, PacketRate: 1000, FlowRate: 100,
+		Prefixes: 500, Duration: 10 * sim.Second, Seed: 9}
+	a, b := Synthesize(cfg), Synthesize(cfg)
+	if len(a.Specs) != len(b.Specs) {
+		t.Fatalf("non-deterministic flow counts: %d vs %d", len(a.Specs), len(b.Specs))
+	}
+	for i := range a.Specs {
+		if a.Specs[i] != b.Specs[i] {
+			t.Fatalf("spec %d differs", i)
+		}
+	}
+}
+
+func TestSliceTopOrdering(t *testing.T) {
+	cfg := TraceConfig{BitRateBps: 10e6, PacketRate: 1000, FlowRate: 200,
+		Prefixes: 300, Duration: 10 * sim.Second, Seed: 10}
+	tr := Synthesize(cfg)
+	top := tr.SliceTop(20)
+	if len(top) != 20 {
+		t.Fatalf("got %d top prefixes", len(top))
+	}
+	bytes := make(map[netsim.EntryID]int64)
+	for _, f := range tr.Specs {
+		bytes[f.Entry] += f.Bytes
+	}
+	for i := 1; i < len(top); i++ {
+		if bytes[top[i]] > bytes[top[i-1]] {
+			t.Fatal("SliceTop not in descending byte order")
+		}
+	}
+}
+
+func TestSliceRankingDiffersFromHistorical(t *testing.T) {
+	// §5.2: the slice's top prefixes do not generally coincide with the
+	// historical top (which drives dedicated-counter allocation).
+	cfg := TraceConfig{BitRateBps: 10e6, PacketRate: 1000, FlowRate: 500,
+		Prefixes: 1000, Duration: 10 * sim.Second, Seed: 11}
+	tr := Synthesize(cfg)
+	top := tr.SliceTop(100)
+	outside := 0
+	for _, e := range top {
+		if int(e) >= 100 {
+			outside++
+		}
+	}
+	if outside == 0 {
+		t.Error("slice top-100 identical to historical top-100; jitter ineffective")
+	}
+}
+
+func BenchmarkSynthesizeTrace(b *testing.B) {
+	cfg := StandardTraces(100)[0]
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		Synthesize(cfg)
+	}
+}

@@ -1,0 +1,69 @@
+package wire
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzUnmarshal checks that arbitrary input never panics the parser and
+// that anything it accepts re-marshals to a message it accepts again.
+func FuzzUnmarshal(f *testing.F) {
+	// Seed with valid encodings of each message type.
+	seeds := []*Message{
+		{Header: Header{Type: MsgStart, Kind: KindDedicated, Session: 1, Link: 2, Unit: 3}},
+		{Header: Header{Type: MsgStartACK, Kind: KindTree, Session: 9, Unit: TreeUnit}},
+		{Header: Header{Type: MsgReport, Kind: KindDedicated, Session: 7}, Counters: []uint64{1, 2, 3}},
+		{
+			Header:  Header{Type: MsgStart, Kind: KindTree, Session: 5},
+			Targets: []ZoomTarget{{Path: []uint16{1}}, {Path: []uint16{1, 7}}},
+		},
+	}
+	for _, m := range seeds {
+		f.Add(m.Marshal(nil))
+	}
+	f.Add([]byte{})
+	f.Add([]byte{Version})
+	f.Add(bytes.Repeat([]byte{0xff}, 64))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m, n, err := Unmarshal(data)
+		if err != nil {
+			return
+		}
+		if n <= 0 || n > len(data) {
+			t.Fatalf("consumed %d of %d bytes", n, len(data))
+		}
+		// Round trip: re-marshal and parse again; headers must agree.
+		re := m.Marshal(nil)
+		m2, _, err := Unmarshal(re)
+		if err != nil {
+			t.Fatalf("re-marshal of accepted message rejected: %v", err)
+		}
+		if m2.Header != m.Header {
+			t.Fatalf("headers differ after round trip: %+v vs %+v", m2.Header, m.Header)
+		}
+		if len(m2.Counters) != len(m.Counters) || len(m2.Targets) != len(m.Targets) {
+			t.Fatal("payload shape differs after round trip")
+		}
+	})
+}
+
+// FuzzParseTag: the 2-byte tag parser must never panic and always round
+// trip.
+func FuzzParseTag(f *testing.F) {
+	f.Add([]byte{0, 0})
+	f.Add([]byte{255, 255})
+	f.Add([]byte{1})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		tag, err := ParseTag(data)
+		if err != nil {
+			if len(data) >= TagSize {
+				t.Fatal("well-sized tag rejected")
+			}
+			return
+		}
+		if !bytes.Equal(AppendTag(nil, tag), data[:TagSize]) {
+			t.Fatal("tag round trip failed")
+		}
+	})
+}

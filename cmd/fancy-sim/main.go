@@ -42,6 +42,12 @@ func main() {
 		exchange  = flag.Duration("exchange", 50*time.Millisecond, "dedicated exchange interval")
 		seed      = flag.Int64("seed", 1, "random seed")
 		watch     = flag.Bool("watch", false, "stream telemetry samples during the run")
+
+		chaosCorrupt = flag.Float64("chaos-corrupt", 0, "probability of flipping a bit in each control message (both directions)")
+		chaosDup     = flag.Float64("chaos-dup", 0, "probability of duplicating each delivered packet")
+		chaosReorder = flag.Float64("chaos-reorder", 0, "probability of jittering each packet (≤1ms extra delay)")
+		chaosFlapAt  = flag.Duration("chaos-flap-at", 0, "take the link fully down at this time (0: never)")
+		chaosFlapFor = flag.Duration("chaos-flap-for", time.Second, "outage length for -chaos-flap-at")
 	)
 	flag.Parse()
 
@@ -108,6 +114,23 @@ func main() {
 		fmt.Printf("injecting %.1f%% loss on entries %v at %v\n", *loss*100, failing, *failAt)
 	}
 
+	var chaoses []*fancy.Chaos
+	if *chaosCorrupt > 0 || *chaosDup > 0 || *chaosReorder > 0 || *chaosFlapAt > 0 {
+		for _, c := range []*fancy.Chaos{ml.ChaosForward(), ml.ChaosReverse()} {
+			c.CorruptCtl = *chaosCorrupt
+			c.Duplicate = *chaosDup
+			c.Reorder = *chaosReorder
+			if *chaosFlapAt > 0 {
+				c.Start = fancy.Time(*chaosFlapAt)
+				c.DownFor = fancy.Time(*chaosFlapFor)
+				c.UpFor = stop // single outage
+			}
+			chaoses = append(chaoses, c)
+		}
+		fmt.Printf("chaos: corrupt=%.0f%% dup=%.0f%% reorder=%.0f%% flap=%v/%v\n",
+			*chaosCorrupt*100, *chaosDup*100, *chaosReorder*100, *chaosFlapAt, *chaosFlapFor)
+	}
+
 	s.Run(stop)
 
 	fmt.Println("\nfinal flags:")
@@ -122,4 +145,11 @@ func main() {
 	fmt.Printf("\nsessions completed: %d, control messages: %d (%d bytes)\n",
 		ml.Upstream.SessionsCompleted(ml.MonitorPort()),
 		ml.Upstream.CtlMsgsSent, ml.Upstream.CtlBytesSent)
+	st := ml.Upstream.Stats()
+	fmt.Printf("robustness: %d corrupted ctl dropped, %d retransmissions, link down/up %d/%d, %d sessions discarded (congestion)\n",
+		st.CtlCorrupted, st.Retransmits, st.LinkDownEvents, st.LinkUpEvents, st.SessionsDiscarded)
+	for i, c := range chaoses {
+		dir := []string{"forward", "reverse"}[i]
+		fmt.Printf("chaos %s: %+v\n", dir, c.Stats)
+	}
 }

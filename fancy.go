@@ -56,6 +56,8 @@ type (
 	Event = core.Event
 	// EventKind classifies events.
 	EventKind = core.EventKind
+	// DetectorStats are the detector's cumulative robustness counters.
+	DetectorStats = core.DetectorStats
 	// TreeParams are the hash-based tree's width/depth/split.
 	TreeParams = tree.Params
 )
@@ -67,6 +69,7 @@ const (
 	EventTreeLeaf      = core.EventTreeLeaf
 	EventUniform       = core.EventUniform
 	EventLinkDown      = core.EventLinkDown
+	EventLinkUp        = core.EventLinkUp
 )
 
 // Simulation substrate types, re-exported.
@@ -85,6 +88,11 @@ type (
 	Host = netsim.Host
 	// Failure injects gray-failure drops into a link direction.
 	Failure = netsim.Failure
+	// Chaos injects adversarial link conditions (corruption, duplication,
+	// reordering, flapping) into a link direction.
+	Chaos = netsim.Chaos
+	// ChaosStats tallies what a Chaos injector did.
+	ChaosStats = netsim.ChaosStats
 	// Route is a forwarding decision with optional backup next hop.
 	Route = netsim.Route
 )
@@ -233,6 +241,24 @@ func (ml *MonitoredLink) FailUniform(at Time, rate float64) *Failure {
 	f := netsim.FailUniform(ml.Sim.Rand().Int63(), at, rate)
 	ml.Link.AB.SetFailure(f)
 	return f
+}
+
+// ChaosForward installs an adversarial link-condition injector on the
+// monitored (upstream→downstream) direction. Its RNG derives from the
+// simulation seed, so runs replay deterministically. Configure the returned
+// injector's fields before Sim.Run.
+func (ml *MonitoredLink) ChaosForward() *Chaos {
+	c := netsim.NewChaos(ml.Sim, "ml/forward")
+	ml.Link.AB.SetChaos(c)
+	return c
+}
+
+// ChaosReverse is ChaosForward for the downstream→upstream direction (the
+// one carrying StartACK and Report messages).
+func (ml *MonitoredLink) ChaosReverse() *Chaos {
+	c := netsim.NewChaos(ml.Sim, "ml/reverse")
+	ml.Link.BA.SetChaos(c)
+	return c
 }
 
 // Flagged reports whether FANcY has flagged the entry on the monitored

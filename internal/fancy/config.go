@@ -62,6 +62,13 @@ type Config struct {
 	// after which a link failure is reported (default 5).
 	MaxAttempts int
 
+	// MaxProbeInterval caps the exponential backoff of the degraded probe
+	// state a unit enters after reporting link-down: instead of hammering
+	// Trtx retransmissions forever, it sends a fresh Start at intervals
+	// doubling from Trtx up to this cap, and resumes counting on the first
+	// answer (default 8×Trtx).
+	MaxProbeInterval sim.Time
+
 	// BloomCells sizes each of the two output Bloom filter registers
 	// (default 100_000, the Tofino prototype's layout).
 	BloomCells int
@@ -92,6 +99,7 @@ const (
 	DefaultTrtx             = 50 * sim.Millisecond
 	DefaultTwait            = 2 * sim.Millisecond
 	DefaultMaxAttempts      = 5
+	DefaultMaxProbeInterval = 8 * DefaultTrtx
 	DefaultBloomCells       = 100_000
 
 	// DedicatedEntryBits is the total memory per dedicated entry across
@@ -119,6 +127,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.MaxAttempts == 0 {
 		c.MaxAttempts = DefaultMaxAttempts
+	}
+	if c.MaxProbeInterval == 0 {
+		c.MaxProbeInterval = 8 * c.Trtx
 	}
 	if c.BloomCells == 0 {
 		c.BloomCells = DefaultBloomCells

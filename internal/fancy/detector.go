@@ -42,6 +42,15 @@ type Detector struct {
 	guard     CongestionGuard
 	discarded uint64
 
+	// epoch is this detector incarnation's generation number, stamped into
+	// every control message (wire.Header.Epoch). Restart increments it, so
+	// control messages referring to pre-restart counter state are
+	// recognizably stale and discarded by both sides. Zero is reserved so
+	// an all-zero header never matches a live epoch.
+	epoch uint8
+
+	stats DetectorStats
+
 	customRecv map[uint32]CustomReceiver
 
 	// OnEvent receives every detection event (required for experiments;
@@ -83,7 +92,7 @@ func NewDetector(s *sim.Sim, sw *netsim.Switch, cfg Config) (*Detector, error) {
 	cfg = cfg.withDefaults()
 	cfg.Tree = layout.Tree
 	d := &Detector{
-		s: s, sw: sw, cfg: cfg, Layout: layout,
+		s: s, sw: sw, cfg: cfg, Layout: layout, epoch: 1,
 		slotByEntry: make(map[netsim.EntryID]int, len(cfg.HighPriority)),
 		monitors:    make(map[int]*portMonitor),
 		listeners:   make(map[int]*portListener),
@@ -129,7 +138,18 @@ func (d *Detector) MonitorPort(port int) *Outputs {
 			Bloom: NewPathBloom(d.cfg.BloomCells),
 		},
 	}
+	d.startMonitor(m, port)
+	d.monitors[port] = m
+	return &m.out
+}
+
+// startMonitor (re)builds and launches a port's sender FSMs. Session starts
+// are staggered across the exchange interval so control messages do not
+// burst. Restart reuses it with the existing portMonitor so caller-held
+// *Outputs pointers stay valid.
+func (d *Detector) startMonitor(m *portMonitor, port int) {
 	n := len(d.cfg.HighPriority)
+	m.dedicated = m.dedicated[:0]
 	for slot, entry := range d.cfg.HighPriority {
 		fsm := &senderFSM{
 			det: d, port: port, kind: wire.KindDedicated, unit: uint16(slot),
@@ -147,8 +167,52 @@ func (d *Detector) MonitorPort(port int) *Outputs {
 		counters: m.treeCnt,
 	}
 	d.s.Schedule(0, m.tree.startSession)
-	d.monitors[port] = m
-	return &m.out
+}
+
+// Restart models a device reboot: all protocol and counter state is wiped,
+// the epoch is bumped so in-flight control messages from the previous
+// incarnation are recognizably stale, and every monitored port starts fresh
+// sessions. The peer resynchronizes on the first new-epoch Start it sees.
+// Configuration, port wiring and registered custom units survive (they live
+// in the control plane, not the reset dataplane state).
+func (d *Detector) Restart() {
+	d.epoch++
+	if d.epoch == 0 {
+		d.epoch = 1 // zero is reserved
+	}
+	d.stats.Restarts++
+	for port, m := range d.monitors {
+		for _, f := range m.dedicated {
+			f.kill()
+		}
+		custom := m.custom
+		for _, f := range custom {
+			f.kill()
+		}
+		m.custom = nil
+		m.tree.kill()
+		m.downUnits = 0
+		// A reboot wipes the output registers too.
+		for i := 0; i < m.out.Flags.Len(); i++ {
+			m.out.Flags.Clear(i)
+		}
+		m.out.Bloom.Reset()
+		d.startMonitor(m, port)
+		for _, old := range custom {
+			fsm := &senderFSM{
+				det: d, port: port, kind: wire.KindCustom, unit: old.unit,
+				interval: old.interval, counters: old.counters,
+			}
+			m.custom = append(m.custom, fsm)
+			d.s.Schedule(0, fsm.startSession)
+		}
+	}
+	for _, l := range d.listeners {
+		for _, f := range l.units {
+			f.kill()
+		}
+		l.units = make(map[uint16]*receiverFSM)
+	}
 }
 
 // ListenPort enables receiver FSMs for an ingress port.
@@ -229,6 +293,38 @@ func (d *Detector) SessionsCompleted(port int) uint64 {
 	return n + m.tree.SessionsCompleted
 }
 
+// DetectorStats are cumulative robustness counters: what the detector shrugs
+// off (corrupted control messages, retransmissions) and the lifecycle events
+// it raises. They complement the per-unit accuracy outputs.
+type DetectorStats struct {
+	// CtlCorrupted counts control messages dropped at ingress because they
+	// failed wire validation (checksum, version, framing).
+	CtlCorrupted uint64
+	// Retransmits counts control retransmission timer firings across all
+	// sender units, including degraded-state probes.
+	Retransmits uint64
+	// LinkDownEvents and LinkUpEvents count EventLinkDown/EventLinkUp
+	// emissions across all ports.
+	LinkDownEvents uint64
+	LinkUpEvents   uint64
+	// Restarts counts Restart calls (device reboots).
+	Restarts uint64
+	// SessionsDiscarded counts sessions whose comparison was skipped by the
+	// congestion guard (§4.3 footnote 2).
+	SessionsDiscarded uint64
+}
+
+// Stats returns a snapshot of the detector's robustness counters.
+func (d *Detector) Stats() DetectorStats {
+	st := d.stats
+	st.SessionsDiscarded = d.discarded
+	return st
+}
+
+// Epoch returns the detector's current generation number (bumped by
+// Restart).
+func (d *Detector) Epoch() uint8 { return d.epoch }
+
 func (d *Detector) emit(ev Event) {
 	if d.OnEvent != nil {
 		d.OnEvent(ev)
@@ -241,14 +337,22 @@ func (d *Detector) reportLinkDown(port int) {
 	m := d.monitors[port]
 	m.downUnits++
 	if m.downUnits == 1 {
+		d.stats.LinkDownEvents++
 		d.emit(Event{Time: d.s.Now(), Port: port, Kind: EventLinkDown})
 	}
 }
 
-// reportLinkUp retracts one unit's down report.
+// reportLinkUp retracts one unit's down report; when the last down unit of a
+// port recovers, the port announces EventLinkUp — counting has resumed.
 func (d *Detector) reportLinkUp(port int) {
-	if m := d.monitors[port]; m.downUnits > 0 {
-		m.downUnits--
+	m := d.monitors[port]
+	if m.downUnits == 0 {
+		return
+	}
+	m.downUnits--
+	if m.downUnits == 0 {
+		d.stats.LinkUpEvents++
+		d.emit(Event{Time: d.s.Now(), Port: port, Kind: EventLinkUp})
 	}
 }
 
@@ -288,7 +392,11 @@ func (d *Detector) OnIngress(pkt *netsim.Packet, port int) bool {
 		}
 		m, _, err := wire.Unmarshal(pkt.Ctl)
 		if err != nil {
-			return true // corrupted control message: drop
+			// Corrupted control message (failed checksum or malformed
+			// framing): drop it and let the stop-and-wait retransmission
+			// recover. Counted so operators can see a lossy control plane.
+			d.stats.CtlCorrupted++
+			return true
 		}
 		d.handleControl(m, port)
 		return true

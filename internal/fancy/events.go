@@ -26,7 +26,12 @@ const (
 	// failure affects all entries (link-level loss).
 	EventUniform
 	// EventLinkDown: MaxAttempts control retransmissions went unanswered.
+	// The port's units degrade to low-rate probing with exponential
+	// backoff until the peer answers again.
 	EventLinkDown
+	// EventLinkUp: control messages flow again after an EventLinkDown —
+	// all of the port's units recovered and resumed counting.
+	EventLinkUp
 )
 
 func (k EventKind) String() string {
@@ -41,6 +46,8 @@ func (k EventKind) String() string {
 		return "uniform-failure"
 	case EventLinkDown:
 		return "link-down"
+	case EventLinkUp:
+		return "link-up"
 	}
 	return fmt.Sprintf("event(%d)", uint8(k))
 }

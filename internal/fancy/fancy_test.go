@@ -20,6 +20,7 @@ type testbed struct {
 	up, down *netsim.Switch
 	link     *netsim.Link
 	det      *Detector
+	downDet  *Detector
 	out      *Outputs
 	events   []Event
 }
@@ -49,11 +50,11 @@ func newTestbed(t *testing.T, cfg Config, seed int64) *testbed {
 		t.Fatalf("NewDetector(up): %v", err)
 	}
 	tb.det.OnEvent = func(ev Event) { tb.events = append(tb.events, ev) }
-	downDet, err := NewDetector(s, tb.down, cfg)
+	tb.downDet, err = NewDetector(s, tb.down, cfg)
 	if err != nil {
 		t.Fatalf("NewDetector(down): %v", err)
 	}
-	downDet.ListenPort(0)
+	tb.downDet.ListenPort(0)
 	tb.out = tb.det.MonitorPort(1)
 	return tb
 }
@@ -80,7 +81,7 @@ func (tb *testbed) udp(entry netsim.EntryID, rateBps float64, start, stop sim.Ti
 }
 
 func (tb *testbed) failEntries(at sim.Time, rate float64, entries ...netsim.EntryID) *netsim.Failure {
-	f := netsim.FailEntries(99, at, rate, entries...)
+	f := netsim.FailEntries(tb.s.DeriveSeed("testbed/fail"), at, rate, entries...)
 	tb.link.AB.SetFailure(f)
 	return f
 }

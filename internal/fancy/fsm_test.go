@@ -36,7 +36,8 @@ func newFSMHarness(t *testing.T) *fsmHarness {
 
 func (h *fsmHarness) msg(typ wire.MsgType, session uint32) *wire.Message {
 	return &wire.Message{Header: wire.Header{
-		Type: typ, Kind: wire.KindDedicated, Session: session, Link: 1, Unit: 0,
+		Type: typ, Kind: wire.KindDedicated, Epoch: h.det.epoch,
+		Session: session, Link: 1, Unit: 0,
 	}}
 }
 
@@ -159,8 +160,13 @@ func newRecvHarness(t *testing.T) *recvHarness {
 }
 
 func (h *recvHarness) deliver(typ wire.MsgType, session uint32) {
+	h.deliverEpoch(typ, session, 1)
+}
+
+func (h *recvHarness) deliverEpoch(typ wire.MsgType, session uint32, epoch uint8) {
 	m := &wire.Message{Header: wire.Header{
-		Type: typ, Kind: wire.KindDedicated, Session: session, Link: 0, Unit: 0,
+		Type: typ, Kind: wire.KindDedicated, Epoch: epoch,
+		Session: session, Link: 0, Unit: 0,
 	}}
 	h.det.handleControl(m, 0)
 }

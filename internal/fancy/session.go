@@ -61,6 +61,12 @@ type senderFSM struct {
 
 	lastTargets []wire.ZoomTarget
 	linkDown    bool
+	// backoff is the current probe interval of the degraded state entered
+	// after link-down (doubles per probe up to cfg.MaxProbeInterval).
+	backoff sim.Time
+	// dead marks an FSM retired by Detector.Restart; its pending timers may
+	// still fire and must become no-ops.
+	dead bool
 
 	// SessionsCompleted counts fully closed sessions, for tests.
 	SessionsCompleted uint64
@@ -70,6 +76,9 @@ type senderFSM struct {
 }
 
 func (f *senderFSM) startSession() {
+	if f.dead {
+		return
+	}
 	f.session++
 	f.attempts = 0
 	f.lastTargets = f.counters.resetSession()
@@ -78,16 +87,25 @@ func (f *senderFSM) startSession() {
 	f.armRtx()
 }
 
+// kill retires the FSM (device restart): stop its timers and neuter any
+// already-scheduled callbacks.
+func (f *senderFSM) kill() {
+	f.dead = true
+	f.state = sIdle
+	f.rtx.Stop()
+	f.sessEnd.Stop()
+}
+
 func (f *senderFSM) sendStart() {
 	f.sendCtl(&wire.Message{
-		Header:  wire.Header{Type: wire.MsgStart, Kind: f.kind, Session: f.session, Link: uint16(f.port), Unit: f.unit},
+		Header:  wire.Header{Type: wire.MsgStart, Kind: f.kind, Epoch: f.det.epoch, Session: f.session, Link: uint16(f.port), Unit: f.unit},
 		Targets: f.lastTargets,
 	})
 }
 
 func (f *senderFSM) sendStop() {
 	f.sendCtl(&wire.Message{
-		Header: wire.Header{Type: wire.MsgStop, Kind: f.kind, Session: f.session, Link: uint16(f.port), Unit: f.unit},
+		Header: wire.Header{Type: wire.MsgStop, Kind: f.kind, Epoch: f.det.epoch, Session: f.session, Link: uint16(f.port), Unit: f.unit},
 	})
 }
 
@@ -102,12 +120,33 @@ func (f *senderFSM) armRtx() {
 }
 
 func (f *senderFSM) onRtx() {
+	if f.dead {
+		return
+	}
 	f.attempts++
+	f.det.stats.Retransmits++
 	if f.attempts >= f.det.cfg.MaxAttempts {
 		if !f.linkDown {
 			f.linkDown = true
 			f.det.reportLinkDown(f.port)
+			// Degrade to probing: abandon the stalled session and solicit
+			// the peer with a fresh Start at exponentially backed-off
+			// intervals. Counting resumes automatically the moment an ACK
+			// comes back (see onControl), so flap heal and peer restart
+			// both recover without operator action.
+			f.backoff = f.det.cfg.Trtx
+			f.session++
+			f.lastTargets = f.counters.resetSession()
+			f.state = sWaitStartACK
 		}
+		f.backoff *= 2
+		if f.backoff > f.det.cfg.MaxProbeInterval {
+			f.backoff = f.det.cfg.MaxProbeInterval
+		}
+		f.sendStart()
+		f.rtx.Stop()
+		f.rtx = f.det.s.Schedule(f.backoff, f.onRtx)
+		return
 	}
 	switch f.state {
 	case sWaitStartACK:
@@ -120,10 +159,25 @@ func (f *senderFSM) onRtx() {
 	f.armRtx()
 }
 
+// recover leaves the degraded probe state when the peer answers again.
+func (f *senderFSM) recover() {
+	if f.linkDown {
+		f.linkDown = false
+		f.backoff = 0
+		f.det.reportLinkUp(f.port)
+	}
+}
+
 // onControl handles StartACK and Report messages from the downstream.
 func (f *senderFSM) onControl(m *wire.Message) {
-	if m.Session != f.session {
+	if f.dead || m.Session != f.session {
 		return // stale or duplicated response
+	}
+	if m.Epoch != f.det.epoch {
+		// Response from a previous incarnation of this detector (it
+		// restarted since the session opened) — the counters it refers to
+		// are gone. Ignore; the new epoch's sessions stand on their own.
+		return
 	}
 	switch m.Type {
 	case wire.MsgStartACK:
@@ -131,10 +185,7 @@ func (f *senderFSM) onControl(m *wire.Message) {
 			return
 		}
 		f.rtx.Stop()
-		if f.linkDown {
-			f.linkDown = false
-			f.det.reportLinkUp(f.port)
-		}
+		f.recover()
 		f.attempts = 0
 		f.state = sCounting
 		f.countStart = f.det.s.Now()
@@ -144,10 +195,7 @@ func (f *senderFSM) onControl(m *wire.Message) {
 			return
 		}
 		f.rtx.Stop()
-		if f.linkDown {
-			f.linkDown = false
-			f.det.reportLinkUp(f.port)
-		}
+		f.recover()
 		f.state = sIdle
 		f.SessionsCompleted++
 		if g := f.det.guard; g != nil && g.Congested(f.port, f.countStart, f.det.s.Now()) {
@@ -163,7 +211,7 @@ func (f *senderFSM) onControl(m *wire.Message) {
 }
 
 func (f *senderFSM) endCounting() {
-	if f.state != sCounting {
+	if f.dead || f.state != sCounting {
 		return
 	}
 	f.state = sWaitReport
@@ -239,31 +287,55 @@ type receiverFSM struct {
 
 	state      receiverState
 	session    uint32
+	epoch      uint8 // adopted from the upstream's Start, echoed back
 	haveSess   bool
+	tagged     uint64 // tagged packets counted this session
 	lastReport []uint64
 	twait      *sim.Timer
+	dead       bool
+}
+
+// kill retires the FSM (device restart).
+func (f *receiverFSM) kill() {
+	f.dead = true
+	f.state = rIdle
+	f.twait.Stop()
 }
 
 // onControl handles Start and Stop from the upstream.
 func (f *receiverFSM) onControl(m *wire.Message) {
+	if f.dead {
+		return
+	}
 	switch m.Type {
 	case wire.MsgStart:
-		if f.haveSess && m.Session == f.session {
-			// Retransmitted Start: our ACK was lost. No tagged packet can
-			// have been counted (the sender only tags after the ACK), so
-			// resetting again is harmless.
-			f.counters.resetSession(m.Targets)
+		if f.haveSess && m.Session == f.session && m.Epoch == f.epoch {
+			// Retransmitted or duplicated Start. If our ACK was lost the
+			// sender never started counting and no tagged packet can have
+			// arrived, so resetting again is harmless. But if we HAVE
+			// counted packets, an ACK clearly got through and this copy is
+			// a network duplicate (or a reordered straggler): resetting now
+			// would discard live counts and fabricate a mismatch at session
+			// close. Either way, only re-ACK once counting has begun.
+			if f.tagged == 0 && f.state == rCounting {
+				f.counters.resetSession(m.Targets)
+			}
 			f.sendAck()
 			return
 		}
+		// New session — or the same session number under a different epoch,
+		// meaning the upstream rebooted and restarted numbering: adopt its
+		// epoch and resynchronize on this Start.
 		f.session = m.Session
+		f.epoch = m.Epoch
 		f.haveSess = true
 		f.twait.Stop()
+		f.tagged = 0
 		f.counters.resetSession(m.Targets)
 		f.state = rCounting
 		f.sendAck()
 	case wire.MsgStop:
-		if !f.haveSess || m.Session != f.session {
+		if !f.haveSess || m.Session != f.session || m.Epoch != f.epoch {
 			return
 		}
 		switch f.state {
@@ -283,11 +355,14 @@ func (f *receiverFSM) onControl(m *wire.Message) {
 
 func (f *receiverFSM) sendAck() {
 	f.det.sendControl(f.port, &wire.Message{
-		Header: wire.Header{Type: wire.MsgStartACK, Kind: f.kind, Session: f.session, Link: uint16(f.port), Unit: f.unit},
+		Header: wire.Header{Type: wire.MsgStartACK, Kind: f.kind, Epoch: f.epoch, Session: f.session, Link: uint16(f.port), Unit: f.unit},
 	})
 }
 
 func (f *receiverFSM) sendReport() {
+	if f.dead {
+		return
+	}
 	f.state = rIdle
 	f.lastReport = append(f.lastReport[:0], f.counters.snapshot()...)
 	f.resendReport()
@@ -295,14 +370,18 @@ func (f *receiverFSM) sendReport() {
 
 func (f *receiverFSM) resendReport() {
 	f.det.sendControl(f.port, &wire.Message{
-		Header:   wire.Header{Type: wire.MsgReport, Kind: f.kind, Session: f.session, Link: uint16(f.port), Unit: f.unit},
+		Header:   wire.Header{Type: wire.MsgReport, Kind: f.kind, Epoch: f.epoch, Session: f.session, Link: uint16(f.port), Unit: f.unit},
 		Counters: f.lastReport,
 	})
 }
 
 // onIngress counts a tagged packet while the session is open.
 func (f *receiverFSM) onIngress(pkt *netsim.Packet) {
+	if f.dead {
+		return
+	}
 	if f.state == rCounting || f.state == rWaitToSend {
+		f.tagged++
 		f.counters.countTag(pkt.Tag)
 	}
 }

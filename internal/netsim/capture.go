@@ -16,6 +16,7 @@ const (
 	CaptureDeliver
 	CaptureCongestionDrop
 	CaptureFailureDrop
+	CaptureChaosDrop // removed by the chaos injector (flap or CRC)
 )
 
 func (k CaptureKind) String() string {
@@ -28,6 +29,8 @@ func (k CaptureKind) String() string {
 		return "congestion-drop"
 	case CaptureFailureDrop:
 		return "failure-drop"
+	case CaptureChaosDrop:
+		return "chaos-drop"
 	}
 	return fmt.Sprintf("capture(%d)", uint8(k))
 }
@@ -56,7 +59,7 @@ func NewCaptureWriter(w io.Writer) func(CaptureEvent) {
 // CaptureStats aggregates capture events into per-kind and per-entry
 // counters, a convenient ready-made observer for tests and tools.
 type CaptureStats struct {
-	ByKind  [4]uint64
+	ByKind  [5]uint64
 	ByEntry map[EntryID]uint64 // delivered data packets per entry
 	Bytes   uint64             // delivered bytes
 }

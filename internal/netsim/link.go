@@ -39,6 +39,13 @@ func (e *LinkEnd) SetFailure(f *Failure) { e.dir.failure = f }
 // Failure returns the currently installed failure injector, if any.
 func (e *LinkEnd) Failure() *Failure { return e.dir.failure }
 
+// SetChaos installs (or clears, with nil) the adversarial link-condition
+// injector on this direction.
+func (e *LinkEnd) SetChaos(c *Chaos) { e.dir.chaos = c }
+
+// Chaos returns the currently installed chaos injector, if any.
+func (e *LinkEnd) Chaos() *Chaos { return e.dir.chaos }
+
 // Stats returns transmission statistics for this direction.
 func (e *LinkEnd) Stats() LinkStats { return e.dir.stats }
 
@@ -75,6 +82,7 @@ type direction struct {
 	busyUntil   sim.Time
 	queuedBytes int
 	failure     *Failure
+	chaos       *Chaos
 	capture     func(CaptureEvent)
 	stats       LinkStats
 }
@@ -124,17 +132,47 @@ func (d *direction) send(pkt *Packet) bool {
 	// happens one propagation delay later. Keeping these separate avoids
 	// inflating queue occupancy by the bandwidth-delay product.
 	d.s.ScheduleAt(serEnd, func() { d.queuedBytes -= pkt.Size })
-	d.s.ScheduleAt(serEnd+d.delay, func() {
-		if d.failure.Drop(pkt, d.s.Now()) {
-			d.stats.FailureDrops++
-			d.captureEvent(CaptureFailureDrop, pkt)
+	d.s.ScheduleAt(serEnd+d.delay, func() { d.arrive(pkt) })
+	return true
+}
+
+// arrive runs the receive-side injectors and hands the packet to the far
+// node. Failure (clean gray-failure drops) applies first, then Chaos
+// (corruption, duplication, reorder, flap).
+func (d *direction) arrive(pkt *Packet) {
+	now := d.s.Now()
+	if d.failure.Drop(pkt, now) {
+		d.stats.FailureDrops++
+		d.captureEvent(CaptureFailureDrop, pkt)
+		return
+	}
+	if c := d.chaos; c != nil {
+		verdict, extra, dup := c.apply(pkt, now)
+		if dup {
+			// The extra copy lands shortly after the original and skips
+			// further chaos rolls (one fault decision per transmission).
+			copyPkt := pkt.clone()
+			d.s.Schedule(c.dupDelay(), func() {
+				c.Stats.Duplicated++
+				d.deliver(copyPkt)
+			})
+		}
+		switch verdict {
+		case chaosDrop:
+			d.captureEvent(CaptureChaosDrop, pkt)
+			return
+		case chaosDelay:
+			d.s.Schedule(extra, func() { d.deliver(pkt) })
 			return
 		}
-		d.stats.Delivered++
-		d.captureEvent(CaptureDeliver, pkt)
-		d.dst.Receive(pkt, d.dstPort)
-	})
-	return true
+	}
+	d.deliver(pkt)
+}
+
+func (d *direction) deliver(pkt *Packet) {
+	d.stats.Delivered++
+	d.captureEvent(CaptureDeliver, pkt)
+	d.dst.Receive(pkt, d.dstPort)
 }
 
 // Link is a full-duplex point-to-point link between two node ports.

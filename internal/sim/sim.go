@@ -14,6 +14,7 @@ package sim
 import (
 	"container/heap"
 	"fmt"
+	"hash/fnv"
 	"math/rand"
 	"time"
 )
@@ -115,6 +116,7 @@ type Sim struct {
 	now     Time
 	seq     uint64
 	queue   eventQueue
+	seed    int64
 	rng     *rand.Rand
 	stopped bool
 
@@ -124,7 +126,7 @@ type Sim struct {
 
 // New returns a simulator whose random generator is seeded with seed.
 func New(seed int64) *Sim {
-	return &Sim{rng: rand.New(rand.NewSource(seed))}
+	return &Sim{seed: seed, rng: rand.New(rand.NewSource(seed))}
 }
 
 // Now returns the current virtual time.
@@ -132,6 +134,25 @@ func (s *Sim) Now() Time { return s.now }
 
 // Rand exposes the simulation's deterministic random number generator.
 func (s *Sim) Rand() *rand.Rand { return s.rng }
+
+// Seed returns the seed the simulator was constructed with.
+func (s *Sim) Seed() int64 { return s.seed }
+
+// DeriveSeed maps the simulation seed plus a stream label to an independent
+// sub-seed. Components that need their own RNG (failure injectors, chaos
+// injectors, workload generators) derive it from here so that two runs with
+// the same simulation seed replay identical randomness regardless of how
+// many other components consumed the shared Rand() stream in between.
+func (s *Sim) DeriveSeed(stream string) int64 {
+	h := fnv.New64a()
+	h.Write([]byte(stream))
+	return s.seed ^ int64(h.Sum64())
+}
+
+// DeriveRand returns a deterministic RNG for a named stream (see DeriveSeed).
+func (s *Sim) DeriveRand(stream string) *rand.Rand {
+	return rand.New(rand.NewSource(s.DeriveSeed(stream)))
+}
 
 // Schedule runs fn after delay virtual nanoseconds. A negative delay is an
 // error in the caller; Schedule panics to surface it immediately.

@@ -2,6 +2,7 @@ package wire
 
 import (
 	"bytes"
+	"errors"
 	"testing"
 )
 
@@ -16,6 +17,15 @@ func FuzzUnmarshal(f *testing.F) {
 		{
 			Header:  Header{Type: MsgStart, Kind: KindTree, Session: 5},
 			Targets: []ZoomTarget{{Path: []uint16{1}}, {Path: []uint16{1, 7}}},
+		},
+		// Custom sessions: application-defined units above customUnitBase,
+		// with Report payloads shaped by the application (here a size
+		// histogram) rather than by the counter layout.
+		{Header: Header{Type: MsgStart, Kind: KindCustom, Epoch: 3, Session: 4, Link: 1, Unit: 0xf000}},
+		{Header: Header{Type: MsgStop, Kind: KindCustom, Epoch: 255, Session: 4, Unit: 0xf000}},
+		{
+			Header:   Header{Type: MsgReport, Kind: KindCustom, Epoch: 7, Session: 6, Unit: 0xf001},
+			Counters: []uint64{0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 1 << 40},
 		},
 	}
 	for _, m := range seeds {
@@ -46,6 +56,57 @@ func FuzzUnmarshal(f *testing.F) {
 			t.Fatal("payload shape differs after round trip")
 		}
 	})
+}
+
+// TestSingleBitFlipsDetected corrupts every bit of every byte of valid
+// messages, one at a time — the exact fault the chaos injector's control
+// corruption produces. Each flip must yield a recognized parse error
+// (normally ErrChecksum; flips in the version or length fields may surface
+// as ErrVersion/ErrTruncl first) or, at worst, a parse whose header is
+// byte-identical to the original. What must never happen: a panic, or a
+// silently different header steering a detector FSM.
+func TestSingleBitFlipsDetected(t *testing.T) {
+	msgs := []*Message{
+		{Header: Header{Type: MsgStart, Kind: KindDedicated, Epoch: 1, Session: 3, Link: 1, Unit: 2}},
+		{Header: Header{Type: MsgStartACK, Kind: KindTree, Epoch: 9, Session: 12, Unit: TreeUnit}},
+		{
+			Header:   Header{Type: MsgReport, Kind: KindDedicated, Epoch: 200, Session: 7},
+			Counters: []uint64{42, 0, 1 << 31},
+		},
+		{
+			Header:  Header{Type: MsgStart, Kind: KindTree, Epoch: 4, Session: 5},
+			Targets: []ZoomTarget{{Path: []uint16{1}}, {Path: []uint16{1, 7}}},
+		},
+		{Header: Header{Type: MsgStop, Kind: KindCustom, Epoch: 17, Session: 9, Unit: 0xf000}},
+	}
+	known := []error{ErrShort, ErrChecksum, ErrVersion, ErrTruncl}
+	for mi, m := range msgs {
+		orig := m.Marshal(nil)
+		for i := range orig {
+			for bit := 0; bit < 8; bit++ {
+				buf := append([]byte(nil), orig...)
+				buf[i] ^= 1 << bit
+				got, _, err := Unmarshal(buf)
+				if err != nil {
+					ok := false
+					for _, k := range known {
+						if errors.Is(err, k) {
+							ok = true
+							break
+						}
+					}
+					if !ok {
+						t.Fatalf("msg %d byte %d bit %d: unrecognized error %v", mi, i, bit, err)
+					}
+					continue
+				}
+				if got.Header != m.Header {
+					t.Fatalf("msg %d byte %d bit %d: corrupted message parsed with a different header: %+v vs %+v",
+						mi, i, bit, got.Header, m.Header)
+				}
+			}
+		}
+	}
 }
 
 // FuzzParseTag: the 2-byte tag parser must never panic and always round

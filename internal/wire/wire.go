@@ -67,7 +67,10 @@ func (k SessionKind) String() string {
 }
 
 // Version is the protocol version encoded in every control message.
-const Version = 1
+// Version 2 added the epoch (generation) byte in the former pad slot, so a
+// rebooted peer's stale messages are rejected instead of corrupting the
+// successor's sessions.
+const Version = 2
 
 // Errors returned by Unmarshal functions.
 var (
@@ -126,16 +129,25 @@ type ZoomTarget struct {
 type Header struct {
 	Type    MsgType
 	Kind    SessionKind
+	Epoch   uint8  // sender generation; receivers echo it back (see below)
 	Session uint32 // session sequence number, per (link, kind, unit)
 	Link    uint16 // upstream port / link identifier
 	Unit    uint16 // sub-state-machine index: dedicated entry slot, or TreeUnit
+
+	// Epoch semantics: the upstream stamps Start/Stop with its current
+	// generation number, which changes when the device reboots and loses
+	// all session state. The downstream adopts the epoch from Start and
+	// echoes it in StartACK/Report. Both sides discard messages carrying a
+	// foreign epoch, so a rebooted peer's stale responses cannot complete
+	// (and mis-compare) a successor session that happens to reuse the same
+	// session number — the pair re-synchronizes on the next Start instead.
 }
 
 // TreeUnit is the Unit value of the per-port hash-based-tree session (the
 // dedicated entries occupy units 0..n-1).
 const TreeUnit uint16 = 0xffff
 
-// headerSize is version(1)+type(1)+kind(1)+pad(1)+session(4)+link(2)+unit(2)+len(2)+csum(2).
+// headerSize is version(1)+type(1)+kind(1)+epoch(1)+session(4)+link(2)+unit(2)+len(2)+csum(2).
 const headerSize = 16
 
 // Message is a fully parsed FANcY control message.
@@ -160,7 +172,7 @@ func (m *Message) Marshal(dst []byte) []byte {
 	payload := m.appendPayload(nil)
 	start := len(dst)
 	dst = append(dst,
-		Version, byte(m.Type), byte(m.Kind), 0,
+		Version, byte(m.Type), byte(m.Kind), m.Epoch,
 		0, 0, 0, 0, // session
 		0, 0, // link
 		0, 0, // unit
@@ -218,6 +230,7 @@ func Unmarshal(b []byte) (*Message, int, error) {
 	m := &Message{Header: Header{
 		Type:    MsgType(b[1]),
 		Kind:    SessionKind(b[2]),
+		Epoch:   b[3],
 		Session: binary.BigEndian.Uint32(b[4:]),
 		Link:    binary.BigEndian.Uint16(b[8:]),
 		Unit:    binary.BigEndian.Uint16(b[10:]),

@@ -130,6 +130,17 @@ func BenchmarkFigure10Reroute(b *testing.B) {
 	}
 }
 
+func BenchmarkFleetAbilene(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := exp.FleetAbilene(exp.Quick, benchSeed)
+		for _, row := range r.Rows {
+			if !row.Exact {
+				b.Fatalf("%s: localization regression", row.Link)
+			}
+		}
+	}
+}
+
 func BenchmarkFigure11Sensitivity(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		r := exp.Figure11(exp.Quick, benchSeed)

@@ -63,6 +63,8 @@ func experiments() []experiment {
 			func(exp.Scale, int64) string { return exp.Table4() }},
 		{"fig10", "selective fast-rerouting case study (§6.1)",
 			func(s exp.Scale, seed int64) string { return exp.Figure10(s, seed).Render() }},
+		{"fleet", "ISP-wide fleet: Abilene gray-link localization + gated reroute",
+			func(s exp.Scale, seed int64) string { return exp.FleetAbilene(s, seed).Render() }},
 		{"fig11", "tree parameter sensitivity (Appendix D)",
 			func(s exp.Scale, seed int64) string { return exp.Figure11(s, seed).Render() }},
 		{"table5", "synthesized trace statistics (Appendix C)",

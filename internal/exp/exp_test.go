@@ -433,3 +433,25 @@ func TestDelaySweep(t *testing.T) {
 		t.Error("render malformed")
 	}
 }
+
+func TestFleetAbileneQuick(t *testing.T) {
+	r := FleetAbilene(Quick, 20220822)
+	if len(r.Rows) != len(quickFleetLinks) {
+		t.Fatalf("got %d rows, want %d", len(r.Rows), len(quickFleetLinks))
+	}
+	for _, row := range r.Rows {
+		if !row.Exact {
+			t.Errorf("%s: not localized exactly", row.Link)
+		}
+		if row.Exact && (row.TTL <= 0 || row.TTL > sim.Second) {
+			t.Errorf("%s: time-to-localize %v, want within 1s", row.Link, row.TTL)
+		}
+		if row.Protected && !row.Rerouted {
+			t.Errorf("%s: protected entry was not rerouted", row.Link)
+		}
+	}
+	out := r.Render()
+	if !strings.Contains(out, "exact localization: 3/3") {
+		t.Fatalf("unexpected render:\n%s", out)
+	}
+}

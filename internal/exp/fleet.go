@@ -1,0 +1,200 @@
+package exp
+
+// ISP-wide fleet scenario: the full Abilene deployment of internal/fleet,
+// one injected gray link per trial. For every targeted directed link the
+// driver builds a fresh network, aims a high-priority entry's traffic
+// across that link, injects a per-entry blackhole, and measures whether the
+// central correlator localizes exactly that link, how long it takes, and —
+// when a provably loop-free detour exists — whether the fleet's gated
+// reroute diverts the protected entry.
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"fancy/internal/fancy"
+	"fancy/internal/fancy/tree"
+	"fancy/internal/fleet"
+	"fancy/internal/netsim"
+	"fancy/internal/sim"
+	"fancy/internal/stats"
+	"fancy/internal/topo"
+	"fancy/internal/traffic"
+)
+
+// FleetRow is one trial: one gray directed link under a full Abilene fleet.
+type FleetRow struct {
+	Link       string
+	Exact      bool     // localized exactly the injected link, nothing else
+	TTL        sim.Time // failure injection → localization
+	Suppressed int      // alarms the correlator discarded fleet-wide
+	Protected  bool     // a loop-free backup existed and the entry was protected
+	Rerouted   bool     // the protected entry was diverted to it
+}
+
+// FleetResult aggregates the per-link trials.
+type FleetResult struct {
+	Scale Scale
+	Rows  []FleetRow
+}
+
+// Render prints the per-link table plus aggregates (the metrics the fleet
+// snapshot reports: localization accuracy, time-to-localize, false alarms).
+func (r *FleetResult) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== ISP-wide fleet: Abilene gray-link localization (%s) ==\n", r.Scale)
+	headers := []string{"Gray link", "Localized", "TTL", "Suppressed", "Rerouted"}
+	var rows [][]string
+	exact := 0
+	var ttls []sim.Time
+	var maxTTL sim.Time
+	for _, row := range r.Rows {
+		loc := "MISS"
+		if row.Exact {
+			loc = "exact"
+			exact++
+			ttls = append(ttls, row.TTL)
+			if row.TTL > maxTTL {
+				maxTTL = row.TTL
+			}
+		}
+		rr := "n/a"
+		if row.Protected {
+			rr = fmt.Sprintf("%v", row.Rerouted)
+		}
+		rows = append(rows, []string{row.Link, loc, row.TTL.String(),
+			fmt.Sprintf("%d", row.Suppressed), rr})
+	}
+	b.WriteString(stats.Table(headers, rows))
+	fmt.Fprintf(&b, "exact localization: %d/%d\n", exact, len(r.Rows))
+	if len(ttls) > 0 {
+		sort.Slice(ttls, func(i, j int) bool { return ttls[i] < ttls[j] })
+		fmt.Fprintf(&b, "time-to-localize: median %v, max %v\n", ttls[len(ttls)/2], maxTTL)
+	}
+	return b.String()
+}
+
+// quickFleetLinks is the subsampled directed-link set at Quick scale:
+// coast, core and east-coast links, both short and long delays.
+var quickFleetLinks = []topo.DirectedLink{
+	{From: "seattle", To: "sunnyvale"},
+	{From: "kansascity", To: "denver"},
+	{From: "chicago", To: "newyork"},
+}
+
+// FleetAbilene runs the fleet scenario: Quick targets a 3-link subsample,
+// Full targets every directed link of Abilene (28 trials).
+func FleetAbilene(scale Scale, seed int64) *FleetResult {
+	var targets []topo.DirectedLink
+	if scale == Full {
+		spec := topo.Abilene()
+		for _, l := range spec.Links {
+			targets = append(targets,
+				topo.DirectedLink{From: l.A, To: l.B},
+				topo.DirectedLink{From: l.B, To: l.A})
+		}
+		sort.Slice(targets, func(i, j int) bool {
+			if targets[i].From != targets[j].From {
+				return targets[i].From < targets[j].From
+			}
+			return targets[i].To < targets[j].To
+		})
+	} else {
+		targets = quickFleetLinks
+	}
+	res := &FleetResult{Scale: scale}
+	duration := pick(scale, 3*sim.Second, 5*sim.Second)
+	for i, dl := range targets {
+		res.Rows = append(res.Rows, fleetTrial(seed+int64(i), dl, duration))
+	}
+	return res
+}
+
+// fleetTrial injects one gray link into a fresh Abilene fleet.
+func fleetTrial(seed int64, dl topo.DirectedLink, duration sim.Time) FleetRow {
+	s := sim.New(seed)
+	spec := topo.Abilene()
+	spec.Hosts = []topo.HostSpec{
+		{Name: "hsrc", Attach: dl.From},
+		{Name: "hdst", Attach: dl.To},
+	}
+	n, err := topo.Build(s, spec)
+	if err != nil {
+		panic(fmt.Sprintf("exp: fleet topology: %v", err))
+	}
+	const entry = netsim.EntryID(10)
+	if err := n.InstallShortestPaths(map[netsim.EntryID]string{entry: "hdst"}); err != nil {
+		panic(err)
+	}
+	f, err := fleet.New(s, n, fleet.Config{Fancy: fancy.Config{
+		HighPriority: []netsim.EntryID{entry},
+		Tree:         tree.Params{Width: 32, Depth: 3, Split: 2, Pipelined: true},
+		TreeSeed:     3,
+	}})
+	if err != nil {
+		panic(err)
+	}
+
+	row := FleetRow{Link: dl.String()}
+	// Gated reroute, only where a detour is provably loop-free: a neighbor
+	// nb of From (other than To) whose installed shortest path to To is
+	// strictly cheaper than going back through From cannot traverse the
+	// failed link. Direct links are the shortest A→B paths in Abilene, so
+	// the comparison baseline is the failed link's own delay.
+	if nb, ok := loopFreeBackup(n, dl); ok {
+		row.Protected = true
+		route := n.Switches[dl.From].Routes.InsertEntry(entry, netsim.Route{
+			Port:   n.PortOf[dl.From][dl.To],
+			Backup: n.PortOf[dl.From][nb],
+		})
+		if err := f.Protect(dl.From, entry, route); err != nil {
+			panic(err)
+		}
+	}
+
+	traffic.NewUDPSource(s, n.Hosts["hsrc"], netsim.FlowID(entry), entry,
+		netsim.EntryAddr(entry, 1), 2e6, 1000, duration).Start()
+	const failAt = sim.Second
+	n.Direction(dl.From, dl.To).SetFailure(netsim.FailEntries(seed+1, failAt, 1.0, entry))
+	s.Run(duration)
+
+	loc := f.Localized()
+	row.Exact = len(loc) == 1 && loc[0] == dl.String()
+	if row.Exact {
+		row.TTL = f.LocalizedAt(dl.String()) - failAt
+	}
+	row.Suppressed = f.Suppressed
+	if row.Protected {
+		row.Rerouted = f.Rerouted(dl.From, entry)
+	}
+	return row
+}
+
+// loopFreeBackup picks From's cheapest neighbor detour toward To that
+// provably avoids the From→To link.
+func loopFreeBackup(n *topo.Network, dl topo.DirectedLink) (string, bool) {
+	direct, ok := n.LinkDelay(dl.From, dl.To)
+	if !ok {
+		return "", false
+	}
+	best := ""
+	var bestDelay sim.Time
+	for _, nb := range n.Neighbors(dl.From) {
+		if nb == dl.To {
+			continue
+		}
+		detour, ok := n.PathDelay(nb, dl.To)
+		if !ok {
+			continue
+		}
+		back, _ := n.LinkDelay(nb, dl.From)
+		if detour >= back+direct {
+			continue // detour may route back through From; unsafe
+		}
+		if best == "" || detour < bestDelay {
+			best, bestDelay = nb, detour
+		}
+	}
+	return best, best != ""
+}

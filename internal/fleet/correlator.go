@@ -1,0 +1,397 @@
+package fleet
+
+import (
+	"fmt"
+
+	"fancy/internal/fancy"
+	"fancy/internal/netsim"
+	"fancy/internal/sim"
+)
+
+// EventKind classifies fleet-level events.
+type EventKind uint8
+
+// Fleet event kinds.
+const (
+	// EventAlarm: a deduplicated gray alarm (dedicated mismatch, tree leaf
+	// or uniform report) arrived from a link's upstream detector.
+	EventAlarm EventKind = iota
+	// EventLocalized: the correlator confirmed a gray failure on the link
+	// after the evidence window.
+	EventLocalized
+	// EventSuppressed: an incident's alarms were discarded; Detail names
+	// the competing explanation (congestion, link-flapping, peer-restart).
+	EventSuppressed
+	// EventRerouted: a protected entry flipped to its backup next hop.
+	EventRerouted
+	// EventLinkDown / EventLinkUp mirror the detector's connectivity
+	// reports, attributed to the directed link.
+	EventLinkDown
+	EventLinkUp
+	// EventLinkFlapping: repeated link-down reports within the flap window.
+	EventLinkFlapping
+	// EventLinkCongested: the link's transmit queue crossed the congestion
+	// threshold during the last sweep.
+	EventLinkCongested
+	// EventPeerRestart: a switch's restart counter advanced (device
+	// reboot, epoch bump).
+	EventPeerRestart
+)
+
+func (k EventKind) String() string {
+	switch k {
+	case EventAlarm:
+		return "alarm"
+	case EventLocalized:
+		return "localized"
+	case EventSuppressed:
+		return "suppressed"
+	case EventRerouted:
+		return "rerouted"
+	case EventLinkDown:
+		return "link-down"
+	case EventLinkUp:
+		return "link-up"
+	case EventLinkFlapping:
+		return "link-flapping"
+	case EventLinkCongested:
+		return "link-congested"
+	case EventPeerRestart:
+		return "peer-restart"
+	}
+	return fmt.Sprintf("fleet-event(%d)", uint8(k))
+}
+
+// Event is one entry of the fleet-level event log.
+type Event struct {
+	Time sim.Time
+	Kind EventKind
+	// Link is the directed link ("A->B") the event concerns; for
+	// EventPeerRestart it is the restarting switch's name.
+	Link string
+	// Entry is set for per-entry events (EventAlarm on a dedicated entry,
+	// EventRerouted); netsim.InvalidEntry otherwise.
+	Entry netsim.EntryID
+	// Detail carries the human-readable specifics (suppression reason,
+	// evidence summary).
+	Detail string
+}
+
+func (e Event) String() string {
+	s := fmt.Sprintf("[%v] %s %s", e.Time, e.Link, e.Kind)
+	if e.Entry != netsim.InvalidEntry {
+		s += fmt.Sprintf(" entry=%d", e.Entry)
+	}
+	if e.Detail != "" {
+		s += " (" + e.Detail + ")"
+	}
+	return s
+}
+
+// Health is the correlator's verdict on one directed link.
+type Health uint8
+
+// Link health states, in decreasing precedence.
+const (
+	HealthUnknown Health = iota
+	HealthDown
+	HealthFlapping
+	HealthGray
+	HealthCongested
+	HealthHealthy
+)
+
+func (h Health) String() string {
+	switch h {
+	case HealthDown:
+		return "down"
+	case HealthFlapping:
+		return "flapping"
+	case HealthGray:
+		return "GRAY"
+	case HealthCongested:
+		return "congested"
+	case HealthHealthy:
+		return "healthy"
+	}
+	return "unknown"
+}
+
+// onDetectorEvent routes one detector event into the correlator. It runs
+// for every monitored port of every switch — the first code in the repo
+// that sees more than one detector at a time.
+func (f *Fleet) onDetectorEvent(sw string, ev fancy.Event) {
+	ls, ok := f.portLink[sw][ev.Port]
+	if !ok {
+		return // not an inter-switch port
+	}
+	now := f.S.Now()
+	switch ev.Kind {
+	case fancy.EventLinkDown:
+		ls.downTimes = append(ls.downTimes, now)
+		f.pruneFlaps(ls, now)
+		f.emit(Event{Time: now, Kind: EventLinkDown, Link: ls.key, Entry: netsim.InvalidEntry})
+		if !ls.flapping && len(ls.downTimes) >= f.cfg.FlapThreshold {
+			ls.flapping = true
+			f.emit(Event{Time: now, Kind: EventLinkFlapping, Link: ls.key, Entry: netsim.InvalidEntry,
+				Detail: fmt.Sprintf("%d outages within %v", len(ls.downTimes), f.cfg.FlapWindow)})
+		}
+	case fancy.EventLinkUp:
+		f.emit(Event{Time: now, Kind: EventLinkUp, Link: ls.key, Entry: netsim.InvalidEntry})
+	case fancy.EventDedicated, fancy.EventTreeLeaf, fancy.EventUniform:
+		f.onAlarm(ls, ev)
+	}
+	// EventTreeZoomStart is diagnostic only: zooming has begun, but there
+	// is nothing to localize until a leaf (or the uniform test) reports.
+}
+
+// alarmKey collapses the per-session repetition of a persistent failure:
+// one dedicated entry, one tree path or the uniform signal each count once
+// per incident.
+func alarmKey(ev fancy.Event) string {
+	switch ev.Kind {
+	case fancy.EventDedicated:
+		return fmt.Sprintf("d/%d", ev.Entry)
+	case fancy.EventTreeLeaf:
+		return fmt.Sprintf("t/%v", ev.Path)
+	default:
+		return "uniform"
+	}
+}
+
+func (f *Fleet) onAlarm(ls *linkState, ev fancy.Event) {
+	now := f.S.Now()
+	key := alarmKey(ev)
+	if ls.seen[key] {
+		return // same evidence, later session: deduplicated
+	}
+	ls.seen[key] = true
+	ls.alarms++
+	f.Alarms++
+
+	if ls.localized {
+		// The link is already a confirmed gray link; new evidence extends
+		// the affected set and reacts immediately, with no second window.
+		f.recordEvidence(ls, ev)
+		f.react(ls, []fancy.Event{ev})
+		return
+	}
+	entry := netsim.InvalidEntry
+	if ev.Kind == fancy.EventDedicated {
+		entry = ev.Entry
+	}
+	f.emit(Event{Time: now, Kind: EventAlarm, Link: ls.key, Entry: entry,
+		Detail: ev.Kind.String()})
+	ls.evidence = append(ls.evidence, ev)
+	if !ls.verdictPending {
+		ls.verdictPending = true
+		ls.incidentStart = now
+		f.S.Schedule(f.cfg.Window, func() { f.verdict(ls) })
+	}
+}
+
+// verdict closes an incident's evidence window: either a competing
+// explanation stands — and the alarms are discarded — or the link is
+// localized as gray and the reaction fires.
+func (f *Fleet) verdict(ls *linkState) {
+	ls.verdictPending = false
+	now := f.S.Now()
+
+	reason := ""
+	switch {
+	case f.Detectors[ls.dl.From].LinkDown(ls.port) || ls.flapping:
+		// Counter state around an outage is untrustworthy, and a flapping
+		// peer is its own diagnosis — not a gray link.
+		reason = "link-flapping"
+	case f.restartedRecently(ls.dl.From) || f.restartedRecently(ls.dl.To):
+		// A rebooted device wiped its counters (epoch bump); evidence
+		// spanning the restart cannot be trusted. The stale-epoch guard
+		// makes this rare, but the correlator still refuses to localize
+		// across a reboot.
+		reason = "peer-restart"
+	case f.congestedDuring(ls, ls.incidentStart, now):
+		// §4.3 footnote 2: discard measurements collected while queues
+		// were excessively long.
+		reason = "congestion"
+	}
+	if reason != "" {
+		n := len(ls.evidence)
+		ls.suppressed += n
+		f.Suppressed += n
+		f.emit(Event{Time: now, Kind: EventSuppressed, Link: ls.key, Entry: netsim.InvalidEntry,
+			Detail: fmt.Sprintf("%s, %d alarm(s) discarded", reason, n)})
+		// Reset the incident: a genuine persistent failure will re-alarm
+		// on later sessions and get a clean verdict.
+		ls.evidence = nil
+		for k := range ls.seen {
+			delete(ls.seen, k)
+		}
+		return
+	}
+
+	ls.localized = true
+	ls.localizedAt = now
+	f.Localizations++
+	for _, ev := range ls.evidence {
+		f.recordEvidence(ls, ev)
+	}
+	f.emit(Event{Time: now, Kind: EventLocalized, Link: ls.key, Entry: netsim.InvalidEntry,
+		Detail: fmt.Sprintf("%d alarm(s) in %v%s", len(ls.evidence), now-ls.incidentStart, f.corroboration(ls))})
+	f.react(ls, ls.evidence)
+	ls.evidence = nil
+}
+
+func (f *Fleet) recordEvidence(ls *linkState, ev fancy.Event) {
+	switch ev.Kind {
+	case fancy.EventDedicated:
+		ls.affected[ev.Entry] = true
+	case fancy.EventTreeLeaf:
+		ls.treePaths++
+	}
+}
+
+// react replays the confirmed evidence into the link's reroute application,
+// if any entries are protected there.
+func (f *Fleet) react(ls *linkState, evidence []fancy.Event) {
+	app, ok := f.apps[fmt.Sprintf("%s|%d", ls.dl.From, ls.port)]
+	if !ok {
+		return
+	}
+	for _, ev := range evidence {
+		app.HandleEvent(ev)
+	}
+}
+
+// corroboration reports multi-vantage context for a localization: other
+// links currently alarming or localized share the blame only if the same
+// dedicated entries appear there — otherwise the verdict stands alone.
+func (f *Fleet) corroboration(ls *linkState) string {
+	multi := 0
+	for _, key := range f.order {
+		other := f.links[key]
+		if other == ls || (!other.localized && len(other.evidence) == 0) {
+			continue
+		}
+		for _, ev := range other.evidence {
+			if ev.Kind == fancy.EventDedicated && ls.affected[ev.Entry] {
+				multi++
+			}
+		}
+		for e := range other.affected {
+			if ls.affected[e] {
+				multi++
+			}
+		}
+	}
+	if multi == 0 {
+		return ""
+	}
+	return fmt.Sprintf(", %d shared-entry alarm(s) elsewhere: possible multi-point failure", multi)
+}
+
+// restartedRecently reads a switch's restart counter through its telemetry
+// server and reports whether it advanced since the last read. Reads are
+// synchronous at verdict time so a reboot is caught even between sweeps.
+func (f *Fleet) restartedRecently(sw string) bool {
+	v, err := f.Telemetry[sw].Get("/fancy/stats/restarts")
+	if err != nil {
+		return false
+	}
+	if r := v.(int); r > f.restartsSeen[sw] {
+		f.restartsSeen[sw] = r
+		f.emit(Event{Time: f.S.Now(), Kind: EventPeerRestart, Link: sw, Entry: netsim.InvalidEntry,
+			Detail: fmt.Sprintf("restart counter now %d", r)})
+		return true
+	}
+	return false
+}
+
+// congestedDuring reports whether the link itself or any egress queue of
+// its downstream switch was congested in [from, to] — the two positions
+// where queue build-up can coincide with (and explain away) loss that an
+// operator would otherwise blame on the link.
+func (f *Fleet) congestedDuring(ls *linkState, from, to sim.Time) bool {
+	if ls.guard != nil && ls.guard.Congested(ls.port, from, to) {
+		return true
+	}
+	for _, nb := range f.Net.Neighbors(ls.dl.To) {
+		if nb == ls.dl.From {
+			continue
+		}
+		if down, ok := f.links[ls.dl.To+"->"+nb]; ok && down.guard != nil &&
+			down.guard.Congested(down.port, from, to) {
+			return true
+		}
+	}
+	return false
+}
+
+// pruneFlaps drops link-down reports older than the flap window and clears
+// the flapping classification once the window is quiet again.
+func (f *Fleet) pruneFlaps(ls *linkState, now sim.Time) {
+	cutoff := now - f.cfg.FlapWindow
+	keep := ls.downTimes[:0]
+	for _, t := range ls.downTimes {
+		if t >= cutoff {
+			keep = append(keep, t)
+		}
+	}
+	ls.downTimes = keep
+	if ls.flapping && len(ls.downTimes) == 0 && !f.Detectors[ls.dl.From].LinkDown(ls.port) {
+		ls.flapping = false
+	}
+}
+
+// healthOf resolves a link's current health, in precedence order.
+func (f *Fleet) healthOf(ls *linkState, now sim.Time) Health {
+	det := f.Detectors[ls.dl.From]
+	switch {
+	case det.LinkDown(ls.port):
+		return HealthDown
+	case ls.flapping:
+		return HealthFlapping
+	case ls.localized:
+		return HealthGray
+	case ls.guard != nil && ls.guard.Congested(ls.port, now-f.cfg.SweepInterval, now):
+		return HealthCongested
+	case det.SessionsCompleted(ls.port) > 0:
+		return HealthHealthy
+	}
+	return HealthUnknown
+}
+
+// sweep is the correlator's periodic pass: it refreshes flap state, reads
+// the per-switch restart counters, and emits health-transition events.
+func (f *Fleet) sweep() {
+	now := f.S.Now()
+	for _, key := range f.order {
+		ls := f.links[key]
+		f.pruneFlaps(ls, now)
+		h := f.healthOf(ls, now)
+		if h != ls.lastHealth {
+			if h == HealthCongested {
+				f.emit(Event{Time: now, Kind: EventLinkCongested, Link: ls.key, Entry: netsim.InvalidEntry})
+			}
+			ls.lastHealth = h
+		}
+	}
+	// Restart counters: detected here for the event log even when no
+	// verdict forces a synchronous read.
+	var switches []string
+	for sw := range f.Telemetry {
+		switches = append(switches, sw)
+	}
+	sortStrings(switches)
+	for _, sw := range switches {
+		f.restartedRecently(sw)
+	}
+	f.S.Schedule(f.cfg.SweepInterval, f.sweep)
+}
+
+func sortStrings(s []string) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}

@@ -1,0 +1,319 @@
+// Package fleet is the ISP-wide control plane over FANcY: it deploys a
+// detector at every switch of a topo topology, opens counting sessions on
+// both directions of every inter-switch link (the full deployment of §4.3,
+// "monitors all links, one by one"), and runs a central correlator that
+// turns the resulting firehose of per-pair alarms into network-level
+// verdicts.
+//
+// The paper frames FANcY as a per-link building block (Figure 1); an ISP
+// operates hundreds of them at once. The fleet layer adds what the paper
+// leaves to the operator:
+//
+//   - deduplication: a persistent gray failure re-flags the same entry every
+//     counting session; the correlator collapses those into one incident;
+//   - localization: an alarm is attributed to the exact directed link whose
+//     upstream detector raised it, and only confirmed after an evidence
+//     window in which competing explanations are ruled out;
+//   - discrimination: alarms raised while the link (or the downstream
+//     switch's egress queues) were congested are discarded, as §4.3
+//     footnote 2 prescribes; alarms from a flapping or restarting peer
+//     (the PR-1 link-down/epoch signals, read through the same
+//     /fancy/stats telemetry paths operators use) are suppressed rather
+//     than misreported as gray links;
+//   - reaction: once a link is localized, the recorded evidence is replayed
+//     into the internal/reroute application of that link, diverting exactly
+//     the affected entries to their backup next hops (§6.1);
+//   - reporting: a fleet-level event log plus an aggregate Snapshot with
+//     per-link health, localization timestamps and robustness counters.
+package fleet
+
+import (
+	"fmt"
+	"sort"
+
+	"fancy/internal/fancy"
+	"fancy/internal/netsim"
+	"fancy/internal/reroute"
+	"fancy/internal/sim"
+	"fancy/internal/telemetry"
+	"fancy/internal/topo"
+)
+
+// Config tunes the fleet control plane.
+type Config struct {
+	// Fancy is the per-detector configuration applied at every switch.
+	Fancy fancy.Config
+
+	// Window is the evidence-gathering delay between the first alarm on a
+	// link and the correlator's verdict; corroborating alarms accumulate
+	// and competing explanations (flap, restart, congestion) are checked
+	// at the end. Default 100 ms — two dedicated counting sessions.
+	Window sim.Time
+
+	// SweepInterval is the cadence of the correlator's health sweep, which
+	// reads each detector's /fancy/stats counters through telemetry and
+	// emits health-transition events. Default 250 ms.
+	SweepInterval sim.Time
+
+	// FlapWindow and FlapThreshold classify a link as flapping when at
+	// least FlapThreshold link-down reports land within FlapWindow.
+	// Defaults: 2 reports in 5 s.
+	FlapWindow    sim.Time
+	FlapThreshold int
+
+	// CongestionBytes is the per-direction transmit-queue depth above
+	// which the link's queue guard marks the surrounding window congested
+	// (suppressing gray verdicts, §4.3 footnote 2). Default 256 KB;
+	// negative disables congestion guarding.
+	CongestionBytes int
+
+	// GuardInterval is the queue-sampling cadence of the per-link guards.
+	// Default 5 ms.
+	GuardInterval sim.Time
+}
+
+func (c Config) withDefaults() Config {
+	if c.Window == 0 {
+		c.Window = 100 * sim.Millisecond
+	}
+	if c.SweepInterval == 0 {
+		c.SweepInterval = 250 * sim.Millisecond
+	}
+	if c.FlapWindow == 0 {
+		c.FlapWindow = 5 * sim.Second
+	}
+	if c.FlapThreshold == 0 {
+		c.FlapThreshold = 2
+	}
+	if c.CongestionBytes == 0 {
+		c.CongestionBytes = 256 << 10
+	}
+	if c.GuardInterval == 0 {
+		c.GuardInterval = 5 * sim.Millisecond
+	}
+	return c
+}
+
+// linkState is the correlator's per-directed-link record.
+type linkState struct {
+	dl    topo.DirectedLink
+	key   string // "from->to"
+	port  int    // monitored egress port at dl.From
+	guard *fancy.QueueGuard
+
+	// Current incident (between first alarm and verdict).
+	incidentStart  sim.Time
+	evidence       []fancy.Event
+	seen           map[string]bool // dedup keys of alarms already counted
+	verdictPending bool
+
+	localized   bool
+	localizedAt sim.Time
+	affected    map[netsim.EntryID]bool // flagged dedicated entries
+	treePaths   int                     // flagged hash paths (not invertible)
+
+	downTimes  []sim.Time // recent link-down reports, for flap detection
+	flapping   bool
+	alarms     int // deduped alarms, lifetime
+	suppressed int // alarms discarded by the correlator, lifetime
+
+	lastHealth Health
+}
+
+// Fleet is a deployed ISP-wide control plane.
+type Fleet struct {
+	S   *sim.Sim
+	Net *topo.Network
+	cfg Config
+
+	// Detectors and Telemetry hold one FANcY instance and one telemetry
+	// server per switch.
+	Detectors map[string]*fancy.Detector
+	Telemetry map[string]*telemetry.Server
+
+	links    map[string]*linkState
+	order    []string // sorted link keys, the canonical iteration order
+	portLink map[string]map[int]*linkState
+	apps     map[string]*reroute.App // "sw|port" → reroute application
+
+	restartsSeen map[string]int // per-switch restart counter at last read
+
+	// Events is the fleet-level event log; OnEvent, if set, streams it.
+	Events  []Event
+	OnEvent func(Event)
+
+	// Aggregate counters.
+	Alarms        int // deduped alarms across all links
+	Suppressed    int // alarms discarded (congestion/flap/restart)
+	Localizations int
+	Reroutes      int
+}
+
+// New deploys FANcY on every switch of net, monitors both directions of
+// every inter-switch link, and starts the correlator. The topology's routes
+// should already be installed (the detectors themselves need none, but the
+// traffic under observation does).
+func New(s *sim.Sim, net *topo.Network, cfg Config) (*Fleet, error) {
+	cfg = cfg.withDefaults()
+	f := &Fleet{
+		S: s, Net: net, cfg: cfg,
+		Detectors:    make(map[string]*fancy.Detector),
+		Telemetry:    make(map[string]*telemetry.Server),
+		links:        make(map[string]*linkState),
+		portLink:     make(map[string]map[int]*linkState),
+		apps:         make(map[string]*reroute.App),
+		restartsSeen: make(map[string]int),
+	}
+	var switches []string
+	for sw := range net.Switches {
+		switches = append(switches, sw)
+	}
+	sort.Strings(switches)
+	for _, sw := range switches {
+		det, err := fancy.NewDetector(s, net.Switches[sw], cfg.Fancy)
+		if err != nil {
+			return nil, fmt.Errorf("fleet: detector at %q: %w", sw, err)
+		}
+		f.Detectors[sw] = det
+		f.portLink[sw] = make(map[int]*linkState)
+	}
+	for _, dl := range net.DirectedLinks() {
+		port := net.PortOf[dl.From][dl.To]
+		f.Detectors[dl.From].MonitorPort(port)
+		f.Detectors[dl.To].ListenPort(net.PortOf[dl.To][dl.From])
+		ls := &linkState{
+			dl: dl, key: dl.String(), port: port,
+			seen:     make(map[string]bool),
+			affected: make(map[netsim.EntryID]bool),
+		}
+		if cfg.CongestionBytes >= 0 {
+			ls.guard = fancy.NewQueueGuard(s, cfg.CongestionBytes, cfg.GuardInterval)
+			ls.guard.Watch(net.Direction(dl.From, dl.To))
+		}
+		f.links[ls.key] = ls
+		f.order = append(f.order, ls.key)
+		f.portLink[dl.From][port] = ls
+	}
+	sort.Strings(f.order)
+	// One telemetry server per switch over its monitored ports; detector
+	// events flow through it (so external subscribers share the stream)
+	// and then into the correlator.
+	for _, sw := range switches {
+		var ports []int
+		for port := range f.portLink[sw] {
+			ports = append(ports, port)
+		}
+		sort.Ints(ports)
+		srv := telemetry.NewServer(s, f.Detectors[sw], ports...)
+		f.Telemetry[sw] = srv
+		name := sw
+		f.Detectors[sw].OnEvent = srv.AttachEvents(func(ev fancy.Event) {
+			f.onDetectorEvent(name, ev)
+		})
+	}
+	s.Schedule(cfg.SweepInterval, f.sweep)
+	return f, nil
+}
+
+// Link returns the correlator's view of a directed link ("A->B" key),
+// primarily for tests and reporting.
+func (f *Fleet) link(key string) *linkState { return f.links[key] }
+
+// Localized lists the directed links currently localized as gray, sorted.
+func (f *Fleet) Localized() []string {
+	var out []string
+	for _, key := range f.order {
+		if f.links[key].localized {
+			out = append(out, key)
+		}
+	}
+	return out
+}
+
+// LocalizedAt reports when a directed link was localized (0 if it is not).
+func (f *Fleet) LocalizedAt(key string) sim.Time {
+	if ls, ok := f.links[key]; ok && ls.localized {
+		return ls.localizedAt
+	}
+	return 0
+}
+
+// AffectedEntries lists the dedicated entries confirmed failing on a
+// localized link, sorted.
+func (f *Fleet) AffectedEntries(key string) []netsim.EntryID {
+	ls, ok := f.links[key]
+	if !ok {
+		return nil
+	}
+	var out []netsim.EntryID
+	for e := range ls.affected {
+		out = append(out, e)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Protect registers an entry for gated fast rerouting at a switch. The
+// route's primary port must be a monitored inter-switch port and its Backup
+// must be valid; when the correlator localizes that port's link as gray,
+// the triggering evidence is replayed into the reroute application and the
+// entry flips to its backup next hop. Unlike a raw reroute.App wired
+// straight into a detector, reaction waits for the correlator's verdict —
+// alarms explained by congestion, flapping or a peer restart divert nothing.
+func (f *Fleet) Protect(sw string, entry netsim.EntryID, route *netsim.Route) error {
+	det, ok := f.Detectors[sw]
+	if !ok {
+		return fmt.Errorf("fleet: unknown switch %q", sw)
+	}
+	ls, ok := f.portLink[sw][route.Port]
+	if !ok {
+		return fmt.Errorf("fleet: switch %q port %d is not a monitored inter-switch port", sw, route.Port)
+	}
+	key := fmt.Sprintf("%s|%d", sw, route.Port)
+	app, ok := f.apps[key]
+	if !ok {
+		app = reroute.New(f.S, det, route.Port)
+		linkKey := ls.key
+		app.OnReroute = func(e netsim.EntryID, at sim.Time) {
+			f.Reroutes++
+			f.emit(Event{Time: at, Kind: EventRerouted, Link: linkKey, Entry: e})
+		}
+		f.apps[key] = app
+	}
+	app.Protect(entry, route)
+	return nil
+}
+
+// Rerouted reports whether a protected entry is on its backup path at sw.
+func (f *Fleet) Rerouted(sw string, entry netsim.EntryID) bool {
+	for key, app := range f.apps {
+		if len(key) > len(sw) && key[:len(sw)] == sw && key[len(sw)] == '|' && app.Rerouted(entry) {
+			return true
+		}
+	}
+	return false
+}
+
+// Acknowledge clears a localized link after the operator acted on it: the
+// detector outputs are wiped and the correlator state reset, so a
+// persisting failure will re-alarm and re-localize.
+func (f *Fleet) Acknowledge(key string) {
+	ls, ok := f.links[key]
+	if !ok {
+		return
+	}
+	f.Detectors[ls.dl.From].Acknowledge(ls.port)
+	ls.localized = false
+	ls.localizedAt = 0
+	ls.evidence = nil
+	ls.seen = make(map[string]bool)
+	ls.affected = make(map[netsim.EntryID]bool)
+	ls.treePaths = 0
+}
+
+func (f *Fleet) emit(ev Event) {
+	f.Events = append(f.Events, ev)
+	if f.OnEvent != nil {
+		f.OnEvent(ev)
+	}
+}

@@ -1,0 +1,359 @@
+package fleet
+
+import (
+	"strings"
+	"testing"
+
+	"fancy/internal/fancy"
+	"fancy/internal/fancy/tree"
+	"fancy/internal/netsim"
+	"fancy/internal/sim"
+	"fancy/internal/topo"
+)
+
+func fleetCfg(entries ...netsim.EntryID) Config {
+	return Config{
+		Fancy: fancy.Config{
+			HighPriority: entries,
+			Tree:         tree.Params{Width: 32, Depth: 3, Split: 2, Pipelined: true},
+			TreeSeed:     3,
+		},
+	}
+}
+
+// udp drives a constant-bitrate UDP flow from a host toward an entry.
+func udp(n *topo.Network, from string, entry netsim.EntryID, rateBps float64, stop sim.Time) {
+	host := n.Hosts[from]
+	const size = 1000
+	gap := sim.Time(float64(size*8) / rateBps * float64(sim.Second))
+	var tick func()
+	tick = func() {
+		if n.Sim.Now() >= stop {
+			return
+		}
+		host.Send(&netsim.Packet{Entry: entry, Dst: netsim.EntryAddr(entry, 1),
+			Src: n.HostAddr(from), Proto: netsim.ProtoUDP, Size: size})
+		n.Sim.Schedule(gap, tick)
+	}
+	n.Sim.Schedule(0, tick)
+}
+
+// burstUDP sends count-packet bursts every interval, to build transient
+// queues on a slow link without destabilizing it.
+func burstUDP(n *topo.Network, from string, entry netsim.EntryID, count int, interval, start, stop sim.Time) {
+	host := n.Hosts[from]
+	var tick func()
+	tick = func() {
+		if n.Sim.Now() >= stop {
+			return
+		}
+		for i := 0; i < count; i++ {
+			host.Send(&netsim.Packet{Entry: entry, Dst: netsim.EntryAddr(entry, 1),
+				Src: n.HostAddr(from), Proto: netsim.ProtoUDP, Size: 1000})
+		}
+		n.Sim.Schedule(interval, tick)
+	}
+	n.Sim.ScheduleAt(start, tick)
+}
+
+func lineSpec(rateBC float64) topo.Spec {
+	return topo.Spec{
+		Switches: []string{"A", "B", "C"},
+		Links: []topo.LinkSpec{
+			{A: "A", B: "B", Delay: 2 * sim.Millisecond},
+			{A: "B", B: "C", Delay: 2 * sim.Millisecond, RateBps: rateBC},
+		},
+		Hosts: []topo.HostSpec{{Name: "H1", Attach: "A"}, {Name: "H2", Attach: "C"}},
+	}
+}
+
+func hasEvent(f *Fleet, kind EventKind, detailSub string) bool {
+	for _, ev := range f.Events {
+		if ev.Kind == kind && (detailSub == "" || strings.Contains(ev.Detail, detailSub)) {
+			return true
+		}
+	}
+	return false
+}
+
+// TestAbileneGrayLocalization is the acceptance scenario: a full Abilene
+// fleet, one injected gray link, exactly one localization, reroute fired,
+// time-to-localize within a few counting sessions.
+func TestAbileneGrayLocalization(t *testing.T) {
+	s := sim.New(42)
+	spec := topo.Abilene()
+	spec.Hosts = []topo.HostSpec{
+		{Name: "h-sunnyvale", Attach: "sunnyvale"},
+		{Name: "h-seattle", Attach: "seattle"},
+		{Name: "h-newyork", Attach: "newyork"},
+	}
+	n, err := topo.Build(s, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const entry = netsim.EntryID(10)
+	const bg = netsim.EntryID(11)
+	if err := n.InstallShortestPaths(map[netsim.EntryID]string{
+		entry: "h-sunnyvale", bg: "h-newyork"}); err != nil {
+		t.Fatal(err)
+	}
+	f, err := New(s, n, fleetCfg(entry, bg))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Protect the target entry at seattle: primary is the direct
+	// seattle→sunnyvale link (7 ms, the shortest path), backup detours via
+	// denver, whose own shortest path to sunnyvale is the direct 9 ms link
+	// — loop-free by construction.
+	primary := n.PortOf["seattle"]["sunnyvale"]
+	backup := n.PortOf["seattle"]["denver"]
+	route := n.Switches["seattle"].Routes.InsertEntry(entry,
+		netsim.Route{Port: primary, Backup: backup})
+	if err := f.Protect("seattle", entry, route); err != nil {
+		t.Fatal(err)
+	}
+
+	// Count target-entry arrivals, to prove the detour actually delivers.
+	delivered := 0
+	n.Hosts["h-sunnyvale"].Default = netsim.PacketHandlerFunc(func(p *netsim.Packet) {
+		if p.Entry == entry {
+			delivered++
+		}
+	})
+
+	udp(n, "h-seattle", entry, 2e6, 8*sim.Second)
+	udp(n, "h-seattle", bg, 1e6, 8*sim.Second) // background: seattle→…→newyork
+
+	const failAt = 2 * sim.Second
+	n.Direction("seattle", "sunnyvale").SetFailure(
+		netsim.FailEntries(7, failAt, 1.0, entry))
+	s.Run(8 * sim.Second)
+
+	if got := f.Localized(); len(got) != 1 || got[0] != "seattle->sunnyvale" {
+		t.Fatalf("localized %v, want exactly [seattle->sunnyvale]", got)
+	}
+	ttl := f.LocalizedAt("seattle->sunnyvale") - failAt
+	sessions := fancy.DefaultExchangeInterval
+	if ttl <= 0 || ttl > 10*sessions {
+		t.Fatalf("time-to-localize %v, want within a few counting sessions (%v each)", ttl, sessions)
+	}
+	if !f.Rerouted("seattle", entry) {
+		t.Fatal("protected entry was not rerouted")
+	}
+	if f.Reroutes == 0 || !hasEvent(f, EventRerouted, "") {
+		t.Fatal("no reroute event recorded")
+	}
+	if got := f.AffectedEntries("seattle->sunnyvale"); len(got) != 1 || got[0] != entry {
+		t.Fatalf("affected entries %v, want [%d]", got, entry)
+	}
+	// The detour via denver must deliver: well over half the post-failure
+	// packets arrive (only the detection window's worth is lost).
+	if delivered < 1200 {
+		t.Fatalf("only %d target packets delivered, detour not working", delivered)
+	}
+	if f.Suppressed != 0 {
+		t.Fatalf("clean gray failure, but %d alarms suppressed", f.Suppressed)
+	}
+
+	snap := f.Snapshot()
+	gray := snap.GrayLinks()
+	if len(gray) != 1 || gray[0].Link != "seattle->sunnyvale" {
+		t.Fatalf("snapshot gray links %v, want exactly seattle->sunnyvale", gray)
+	}
+	for _, lr := range snap.Links {
+		if lr.Link != "seattle->sunnyvale" && lr.Localized {
+			t.Fatalf("false localization on %s", lr.Link)
+		}
+	}
+	if !strings.Contains(snap.Report(), "seattle->sunnyvale") {
+		t.Fatal("report does not mention the gray link")
+	}
+}
+
+// TestFleetDeterminism: identical seeds must yield byte-identical reports
+// and event logs.
+func TestFleetDeterminism(t *testing.T) {
+	run := func() (string, int) {
+		s := sim.New(42)
+		spec := topo.Abilene()
+		spec.Hosts = []topo.HostSpec{
+			{Name: "h-sunnyvale", Attach: "sunnyvale"},
+			{Name: "h-seattle", Attach: "seattle"},
+		}
+		n, err := topo.Build(s, spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		const entry = netsim.EntryID(10)
+		if err := n.InstallShortestPaths(map[netsim.EntryID]string{entry: "h-sunnyvale"}); err != nil {
+			t.Fatal(err)
+		}
+		f, err := New(s, n, fleetCfg(entry))
+		if err != nil {
+			t.Fatal(err)
+		}
+		udp(n, "h-seattle", entry, 2e6, 5*sim.Second)
+		n.Direction("seattle", "sunnyvale").SetFailure(
+			netsim.FailEntries(7, 2*sim.Second, 1.0, entry))
+		s.Run(5 * sim.Second)
+		return f.Snapshot().Report(), len(f.Events)
+	}
+	r1, e1 := run()
+	r2, e2 := run()
+	if r1 != r2 || e1 != e2 {
+		t.Fatalf("non-deterministic fleet: events %d vs %d\n--- run 1 ---\n%s--- run 2 ---\n%s",
+			e1, e2, r1, r2)
+	}
+}
+
+// TestCongestionSuppressed: alarms raised while the link's transmit queue
+// is congested are discarded (§4.3 footnote 2), not localized.
+func TestCongestionSuppressed(t *testing.T) {
+	s := sim.New(7)
+	// B→C runs at 10 Mb/s so bursts queue up; 20-packet bursts every 20 ms
+	// (8 Mb/s average) oscillate the queue between ~20 kB and empty.
+	n, err := topo.Build(s, lineSpec(10e6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	const entry = netsim.EntryID(10)
+	if err := n.InstallShortestPaths(map[netsim.EntryID]string{entry: "H2"}); err != nil {
+		t.Fatal(err)
+	}
+	cfg := fleetCfg(entry)
+	cfg.CongestionBytes = 5000
+	f, err := New(s, n, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	burstUDP(n, "H1", entry, 20, 20*sim.Millisecond, 0, 6*sim.Second)
+	n.Direction("B", "C").SetFailure(netsim.FailEntries(9, 2*sim.Second, 1.0, entry))
+	s.Run(6 * sim.Second)
+
+	if got := f.Localized(); len(got) != 0 {
+		t.Fatalf("localized %v despite congestion", got)
+	}
+	if f.Suppressed == 0 || !hasEvent(f, EventSuppressed, "congestion") {
+		t.Fatalf("no congestion suppression recorded (suppressed=%d)", f.Suppressed)
+	}
+}
+
+// TestFlappingSuppressed: a flapping link is classified as flapping and its
+// counter-mismatch alarms are not misreported as a gray failure.
+func TestFlappingSuppressed(t *testing.T) {
+	s := sim.New(11)
+	n, err := topo.Build(s, lineSpec(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	const entry = netsim.EntryID(10)
+	if err := n.InstallShortestPaths(map[netsim.EntryID]string{entry: "H2"}); err != nil {
+		t.Fatal(err)
+	}
+	f, err := New(s, n, fleetCfg(entry))
+	if err != nil {
+		t.Fatal(err)
+	}
+	udp(n, "H1", entry, 2e6, 8*sim.Second)
+	ch := netsim.NewChaos(s, "flap")
+	ch.Start = sim.Second
+	ch.DownFor = 300 * sim.Millisecond
+	ch.UpFor = 100 * sim.Millisecond
+	n.Direction("B", "C").SetChaos(ch)
+	// A gray failure arrives once the link is already established as
+	// flapping: its alarms must be attributed to the flap, not localized.
+	n.Direction("B", "C").SetFailure(netsim.FailEntries(9, 3*sim.Second, 1.0, entry))
+	s.Run(8 * sim.Second)
+
+	if !hasEvent(f, EventLinkFlapping, "") {
+		t.Fatal("flapping link never classified as flapping")
+	}
+	if got := f.Localized(); len(got) != 0 {
+		t.Fatalf("localized %v, want none: flapping is not gray", got)
+	}
+	if f.Suppressed == 0 || !hasEvent(f, EventSuppressed, "link-flapping") {
+		t.Fatalf("no flap suppression recorded (suppressed=%d)", f.Suppressed)
+	}
+}
+
+// TestPeerRestartSuppressed: evidence spanning a peer reboot is discarded
+// once; the persisting failure then re-alarms and localizes cleanly.
+func TestPeerRestartSuppressed(t *testing.T) {
+	s := sim.New(13)
+	n, err := topo.Build(s, lineSpec(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	const entry = netsim.EntryID(10)
+	if err := n.InstallShortestPaths(map[netsim.EntryID]string{entry: "H2"}); err != nil {
+		t.Fatal(err)
+	}
+	f, err := New(s, n, fleetCfg(entry))
+	if err != nil {
+		t.Fatal(err)
+	}
+	udp(n, "H1", entry, 2e6, 8*sim.Second)
+	n.Direction("B", "C").SetFailure(netsim.FailEntries(9, 2*sim.Second, 1.0, entry))
+	// Reboot the downstream switch inside the first evidence window.
+	s.ScheduleAt(2*sim.Second+100*sim.Millisecond, func() { f.Detectors["C"].Restart() })
+	s.Run(8 * sim.Second)
+
+	if !hasEvent(f, EventSuppressed, "peer-restart") {
+		t.Fatal("restart-window alarms were not suppressed")
+	}
+	if !hasEvent(f, EventPeerRestart, "") {
+		t.Fatal("peer restart never surfaced in the event log")
+	}
+	// The gray failure persists past the reboot, so it must still localize.
+	if got := f.Localized(); len(got) != 1 || got[0] != "B->C" {
+		t.Fatalf("localized %v, want [B->C] after the restart window", got)
+	}
+}
+
+// TestHealthStates: the sweep's per-link health resolves Down over Gray
+// over Healthy.
+func TestHealthStates(t *testing.T) {
+	s := sim.New(17)
+	n, err := topo.Build(s, lineSpec(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	const entry = netsim.EntryID(10)
+	if err := n.InstallShortestPaths(map[netsim.EntryID]string{entry: "H2"}); err != nil {
+		t.Fatal(err)
+	}
+	f, err := New(s, n, fleetCfg(entry))
+	if err != nil {
+		t.Fatal(err)
+	}
+	udp(n, "H1", entry, 2e6, 4*sim.Second)
+	n.Direction("B", "C").SetFailure(netsim.FailEntries(9, 2*sim.Second, 1.0, entry))
+	s.Run(4 * sim.Second)
+
+	snap := f.Snapshot()
+	byLink := make(map[string]LinkReport)
+	for _, lr := range snap.Links {
+		byLink[lr.Link] = lr
+	}
+	if h := byLink["B->C"].Health; h != HealthGray {
+		t.Fatalf("B->C health %v, want GRAY", h)
+	}
+	if h := byLink["A->B"].Health; h != HealthHealthy {
+		t.Fatalf("A->B health %v, want healthy", h)
+	}
+	if byLink["A->B"].Sessions == 0 {
+		t.Fatal("no counting sessions completed on healthy link")
+	}
+
+	// Acknowledge clears the verdict; the persisting failure re-localizes.
+	f.Acknowledge("B->C")
+	if len(f.Localized()) != 0 {
+		t.Fatal("Acknowledge did not clear the localization")
+	}
+	udp(n, "H1", entry, 2e6, 8*sim.Second)
+	s.Run(8 * sim.Second)
+	if got := f.Localized(); len(got) != 1 || got[0] != "B->C" {
+		t.Fatalf("localized %v after acknowledge, want [B->C] again", got)
+	}
+}

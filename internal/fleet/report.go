@@ -1,0 +1,112 @@
+package fleet
+
+import (
+	"fmt"
+	"strings"
+
+	"fancy/internal/fancy"
+	"fancy/internal/netsim"
+	"fancy/internal/sim"
+)
+
+// LinkReport is the per-directed-link slice of a Snapshot.
+type LinkReport struct {
+	Link        string
+	Health      Health
+	Sessions    uint64 // counting sessions completed on the upstream end
+	Alarms      int    // deduped alarms, lifetime
+	Suppressed  int    // alarms discarded by the correlator
+	Localized   bool
+	LocalizedAt sim.Time
+	Affected    []netsim.EntryID // failing dedicated entries, sorted
+	TreePaths   int              // failing hash-tree paths (best-effort traffic)
+}
+
+// Snapshot is the fleet's aggregate state at one instant.
+type Snapshot struct {
+	Time  sim.Time
+	Links []LinkReport // in canonical (sorted) link order
+
+	// Aggregates across all links/switches.
+	Alarms        int
+	Suppressed    int // the false-alarm count: alarms that did not localize
+	Localizations int
+	Reroutes      int
+	Stats         fancy.DetectorStats // summed over every detector
+}
+
+// Snapshot assembles the current fleet-wide view.
+func (f *Fleet) Snapshot() Snapshot {
+	now := f.S.Now()
+	snap := Snapshot{
+		Time:          now,
+		Alarms:        f.Alarms,
+		Suppressed:    f.Suppressed,
+		Localizations: f.Localizations,
+		Reroutes:      f.Reroutes,
+	}
+	for _, key := range f.order {
+		ls := f.links[key]
+		lr := LinkReport{
+			Link:        key,
+			Health:      f.healthOf(ls, now),
+			Sessions:    f.Detectors[ls.dl.From].SessionsCompleted(ls.port),
+			Alarms:      ls.alarms,
+			Suppressed:  ls.suppressed,
+			Localized:   ls.localized,
+			LocalizedAt: ls.localizedAt,
+			Affected:    f.AffectedEntries(key),
+			TreePaths:   ls.treePaths,
+		}
+		snap.Links = append(snap.Links, lr)
+	}
+	for _, det := range f.Detectors {
+		st := det.Stats()
+		snap.Stats.CtlCorrupted += st.CtlCorrupted
+		snap.Stats.Retransmits += st.Retransmits
+		snap.Stats.LinkDownEvents += st.LinkDownEvents
+		snap.Stats.LinkUpEvents += st.LinkUpEvents
+		snap.Stats.Restarts += st.Restarts
+		snap.Stats.SessionsDiscarded += st.SessionsDiscarded
+	}
+	return snap
+}
+
+// Report renders the snapshot as a deterministic operator-facing text block.
+func (s Snapshot) Report() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "fleet report @ %v\n", s.Time)
+	fmt.Fprintf(&b, "  links=%d alarms=%d suppressed=%d localized=%d reroutes=%d\n",
+		len(s.Links), s.Alarms, s.Suppressed, s.Localizations, s.Reroutes)
+	fmt.Fprintf(&b, "  detectors: retransmits=%d ctl-corrupted=%d link-down=%d link-up=%d restarts=%d sessions-discarded=%d\n",
+		s.Stats.Retransmits, s.Stats.CtlCorrupted, s.Stats.LinkDownEvents,
+		s.Stats.LinkUpEvents, s.Stats.Restarts, s.Stats.SessionsDiscarded)
+	for _, lr := range s.Links {
+		fmt.Fprintf(&b, "  %-28s %-9s sessions=%-5d", lr.Link, lr.Health, lr.Sessions)
+		if lr.Alarms > 0 || lr.Suppressed > 0 {
+			fmt.Fprintf(&b, " alarms=%d suppressed=%d", lr.Alarms, lr.Suppressed)
+		}
+		if lr.Localized {
+			fmt.Fprintf(&b, " localized@%v", lr.LocalizedAt)
+			if len(lr.Affected) > 0 {
+				fmt.Fprintf(&b, " entries=%v", lr.Affected)
+			}
+			if lr.TreePaths > 0 {
+				fmt.Fprintf(&b, " tree-paths=%d", lr.TreePaths)
+			}
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// GrayLinks filters the snapshot to links in gray (localized) state.
+func (s Snapshot) GrayLinks() []LinkReport {
+	var out []LinkReport
+	for _, lr := range s.Links {
+		if lr.Health == HealthGray {
+			out = append(out, lr)
+		}
+	}
+	return out
+}

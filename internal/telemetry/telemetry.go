@@ -14,6 +14,13 @@
 //	/fancy/control/messages                      int
 //	/fancy/control/bytes                         int
 //	/fancy/layout                                string
+//	/fancy/stats/ctl-corrupted                   int, corrupted ctl msgs dropped
+//	/fancy/stats/retransmits                     int, ctl retransmission firings
+//	/fancy/stats/link-down-events                int
+//	/fancy/stats/link-up-events                  int
+//	/fancy/stats/restarts                        int, device reboots
+//	/fancy/stats/sessions-discarded              int, congestion-guard discards
+//	/fancy/stats/epoch                           int, detector generation number
 //
 // Paths are validated at Get/Sample time, so misspellings fail fast.
 package telemetry
@@ -129,6 +136,28 @@ func (srv *Server) Get(path string) (any, error) {
 			return int(srv.det.CtlBytesSent), nil
 		}
 		return nil, fmt.Errorf("telemetry: unknown path %q", path)
+	case "stats":
+		if len(parts) != 3 {
+			return nil, fmt.Errorf("telemetry: unknown path %q", path)
+		}
+		st := srv.det.Stats()
+		switch parts[2] {
+		case "ctl-corrupted":
+			return int(st.CtlCorrupted), nil
+		case "retransmits":
+			return int(st.Retransmits), nil
+		case "link-down-events":
+			return int(st.LinkDownEvents), nil
+		case "link-up-events":
+			return int(st.LinkUpEvents), nil
+		case "restarts":
+			return int(st.Restarts), nil
+		case "sessions-discarded":
+			return int(st.SessionsDiscarded), nil
+		case "epoch":
+			return int(srv.det.Epoch()), nil
+		}
+		return nil, fmt.Errorf("telemetry: unknown path %q", path)
 	case "ports":
 		return srv.getPort(parts[2:], path)
 	}
@@ -210,9 +239,25 @@ func (srv *Server) unsubscribe(sub *subscription) {
 	}
 }
 
+// StatsPaths lists the robustness-counter paths (Detector.Stats plus the
+// epoch), the signals fleet correlators and operators read to tell a gray
+// link from a lossy control plane, a flapping peer or a rebooted device.
+func StatsPaths() []string {
+	return []string{
+		"/fancy/stats/ctl-corrupted",
+		"/fancy/stats/retransmits",
+		"/fancy/stats/link-down-events",
+		"/fancy/stats/link-up-events",
+		"/fancy/stats/restarts",
+		"/fancy/stats/sessions-discarded",
+		"/fancy/stats/epoch",
+	}
+}
+
 // Paths lists the Get-able paths for the monitored ports, for discovery.
 func (srv *Server) Paths() []string {
 	paths := []string{"/fancy/layout", "/fancy/control/messages", "/fancy/control/bytes"}
+	paths = append(paths, StatsPaths()...)
 	for _, p := range srv.ports {
 		paths = append(paths,
 			fmt.Sprintf("/fancy/ports/%d/flags/count", p),

@@ -243,6 +243,94 @@ func TestPublishAllEventKinds(t *testing.T) {
 	}
 }
 
+func TestStatsPaths(t *testing.T) {
+	b := newBed(t)
+	for _, p := range StatsPaths() {
+		v, err := b.srv.Get(p)
+		if err != nil {
+			t.Fatalf("Get(%q): %v", p, err)
+		}
+		want := 0
+		if p == "/fancy/stats/epoch" {
+			want = 1 // a fresh detector is epoch 1 (zero is reserved)
+		}
+		if v != want {
+			t.Errorf("Get(%q) = %v, want %d on a fresh detector", p, v, want)
+		}
+	}
+	for _, p := range []string{"/fancy/stats", "/fancy/stats/bogus", "/fancy/stats/epoch/extra"} {
+		if _, err := b.srv.Get(p); err == nil {
+			t.Errorf("Get(%q) succeeded", p)
+		}
+	}
+
+	// A total blackhole drives retransmissions and a link-down report, all
+	// visible through the stats paths.
+	b.link.AB.SetFailure(netsim.FailUniform(3, 0, 1.0))
+	b.traffic(10, 2*sim.Second)
+	b.s.Run(2 * sim.Second)
+	if v, _ := b.srv.Get("/fancy/stats/retransmits"); v.(int) == 0 {
+		t.Error("retransmits = 0 after a blackhole")
+	}
+	if v, _ := b.srv.Get("/fancy/stats/link-down-events"); v.(int) == 0 {
+		t.Error("link-down-events = 0 after a blackhole")
+	}
+}
+
+func TestSubscribeAcrossRestart(t *testing.T) {
+	// A Restart bumps the detector epoch and wipes protocol state. The
+	// subscription must survive it, and no update sourced from a stale-epoch
+	// session (e.g. an in-flight pre-restart Report) may be delivered: the
+	// only post-restart updates come from fresh new-epoch sessions.
+	b := newBed(t)
+	var got []Update
+	b.srv.Subscribe("/fancy/ports/1/events/", func(u Update) { got = append(got, u) })
+
+	const restartAt = 2 * sim.Second
+	b.traffic(10, 5*sim.Second)
+	b.link.AB.SetFailure(netsim.FailEntries(3, 500*sim.Millisecond, 1.0, 10))
+	b.s.Run(restartAt)
+	pre := len(got)
+	if pre == 0 {
+		t.Fatal("no updates before the restart")
+	}
+
+	b.det.Restart()
+	if v, _ := b.srv.Get("/fancy/stats/epoch"); v != 2 {
+		t.Errorf("epoch = %v after restart, want 2", v)
+	}
+	if v, _ := b.srv.Get("/fancy/stats/restarts"); v != 1 {
+		t.Errorf("restarts = %v, want 1", v)
+	}
+	if v, _ := b.srv.Get("/fancy/ports/1/flags/dedicated/0"); v != false {
+		t.Error("flag survived the restart")
+	}
+
+	// Within two link delays of the restart the only control messages that
+	// can arrive are in-flight pre-restart (stale-epoch) ones; they must be
+	// discarded, so no update may be delivered.
+	b.s.Run(restartAt + 20*sim.Millisecond)
+	if len(got) != pre {
+		t.Fatalf("%d update(s) from stale-epoch sessions right after restart: %v",
+			len(got)-pre, got[pre:])
+	}
+
+	// The failure persists, so fresh new-epoch sessions re-detect it and the
+	// subscription keeps delivering.
+	b.s.Run(5 * sim.Second)
+	if len(got) == pre {
+		t.Fatal("subscription delivered nothing after the restart")
+	}
+	for _, u := range got[pre:] {
+		if u.Time < restartAt {
+			t.Errorf("post-restart update timestamped %v, before the restart", u.Time)
+		}
+	}
+	if v, _ := b.srv.Get("/fancy/ports/1/flags/dedicated/0"); v != true {
+		t.Error("entry not re-flagged by post-restart sessions")
+	}
+}
+
 func TestLinkDownPath(t *testing.T) {
 	b := newBed(t)
 	if v, err := b.srv.Get("/fancy/ports/1/link/down"); err != nil || v != false {

@@ -45,6 +45,7 @@ type Network struct {
 	PortOf map[string]map[string]int
 
 	links     map[string]*netsim.Link // key "a|b" in spec order
+	linkCfg   map[string]netsim.LinkConfig
 	adjacency map[string][]edge
 	hostAddr  map[string]uint32
 	hostAt    map[string]string
@@ -64,6 +65,7 @@ func Build(s *sim.Sim, spec Spec) (*Network, error) {
 		Hosts:     make(map[string]*netsim.Host),
 		PortOf:    make(map[string]map[string]int),
 		links:     make(map[string]*netsim.Link),
+		linkCfg:   make(map[string]netsim.LinkConfig),
 		adjacency: make(map[string][]edge),
 		hostAddr:  make(map[string]uint32),
 		hostAt:    make(map[string]string),
@@ -101,6 +103,7 @@ func Build(s *sim.Sim, spec Spec) (*Network, error) {
 			cfg.RateBps = 100e9
 		}
 		n.links[l.A+"|"+l.B] = netsim.Connect(s, a, pa, b, pb, cfg)
+		n.linkCfg[l.A+"|"+l.B] = cfg
 		n.PortOf[l.A][l.B] = pa
 		n.PortOf[l.B][l.A] = pb
 		n.adjacency[l.A] = append(n.adjacency[l.A], edge{l.B, l.Delay})
@@ -144,6 +147,96 @@ func (n *Network) Direction(a, b string) *netsim.LinkEnd {
 
 // HostAddr returns a host's address.
 func (n *Network) HostAddr(name string) uint32 { return n.hostAddr[name] }
+
+// HostAt returns the switch a host attaches to ("" if unknown).
+func (n *Network) HostAt(name string) string { return n.hostAt[name] }
+
+// linkConfig looks up the built configuration of the a—b link in either
+// spec order.
+func (n *Network) linkConfig(a, b string) (netsim.LinkConfig, bool) {
+	if c, ok := n.linkCfg[a+"|"+b]; ok {
+		return c, true
+	}
+	c, ok := n.linkCfg[b+"|"+a]
+	return c, ok
+}
+
+// LinkDelay reports the one-way propagation delay of the a—b link (either
+// order). The second result is false if no such link exists.
+func (n *Network) LinkDelay(a, b string) (sim.Time, bool) {
+	c, ok := n.linkConfig(a, b)
+	return c.Delay, ok
+}
+
+// LinkRateBps reports the line rate of the a—b link (either order),
+// defaults already applied. The second result is false if no such link
+// exists.
+func (n *Network) LinkRateBps(a, b string) (float64, bool) {
+	c, ok := n.linkConfig(a, b)
+	return c.RateBps, ok
+}
+
+// Neighbors lists the switches adjacent to sw, sorted for determinism.
+func (n *Network) Neighbors(sw string) []string {
+	var out []string
+	for _, e := range n.adjacency[sw] {
+		out = append(out, e.to)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// DirectedLink names one direction of an inter-switch link.
+type DirectedLink struct {
+	From, To string
+}
+
+// String renders the direction as "from->to", the key format used across
+// deployment reports.
+func (dl DirectedLink) String() string { return dl.From + "->" + dl.To }
+
+// DirectedLinks enumerates both directions of every inter-switch link,
+// sorted by (From, To) for determinism — the iteration order fleet-wide
+// deployments build on.
+func (n *Network) DirectedLinks() []DirectedLink {
+	var out []DirectedLink
+	for sw := range n.Switches {
+		for _, e := range n.adjacency[sw] {
+			out = append(out, DirectedLink{From: sw, To: e.to})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].From != out[j].From {
+			return out[i].From < out[j].From
+		}
+		return out[i].To < out[j].To
+	})
+	return out
+}
+
+// PathDelay sums the per-link propagation delays along the delay-weighted
+// shortest path between two switches. The second result is false if no
+// path exists.
+func (n *Network) PathDelay(from, to string) (sim.Time, bool) {
+	if from == to {
+		return 0, true
+	}
+	next := n.paths(to)
+	var total sim.Time
+	for at := from; at != to; {
+		nh, ok := next[at]
+		if !ok {
+			return 0, false
+		}
+		d, ok := n.LinkDelay(at, nh)
+		if !ok {
+			return 0, false
+		}
+		total += d
+		at = nh
+	}
+	return total, true
+}
 
 // paths computes Dijkstra next hops toward dst (a switch name): for every
 // switch, the neighbor on its shortest path to dst.

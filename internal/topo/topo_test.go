@@ -229,6 +229,85 @@ func TestDeploymentSessionsOnAllLinks(t *testing.T) {
 	}
 }
 
+func TestLinkAccessors(t *testing.T) {
+	s := sim.New(1)
+	n, err := Build(s, lineSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, order := range [][2]string{{"A", "B"}, {"B", "A"}} {
+		if d, ok := n.LinkDelay(order[0], order[1]); !ok || d != 5*sim.Millisecond {
+			t.Errorf("LinkDelay(%s,%s) = %v, %v; want 5ms", order[0], order[1], d, ok)
+		}
+		if r, ok := n.LinkRateBps(order[0], order[1]); !ok || r != 100e9 {
+			t.Errorf("LinkRateBps(%s,%s) = %v, %v; want default 100e9", order[0], order[1], r, ok)
+		}
+	}
+	if _, ok := n.LinkDelay("A", "C"); ok {
+		t.Error("LinkDelay reported a link that does not exist")
+	}
+	if got := n.Neighbors("B"); len(got) != 2 || got[0] != "A" || got[1] != "C" {
+		t.Errorf("Neighbors(B) = %v, want [A C]", got)
+	}
+	dls := n.DirectedLinks()
+	want := []DirectedLink{{"A", "B"}, {"B", "A"}, {"B", "C"}, {"C", "B"}}
+	if len(dls) != len(want) {
+		t.Fatalf("DirectedLinks = %v, want %v", dls, want)
+	}
+	for i := range want {
+		if dls[i] != want[i] {
+			t.Errorf("DirectedLinks[%d] = %v, want %v", i, dls[i], want[i])
+		}
+	}
+	if d, ok := n.PathDelay("A", "C"); !ok || d != 10*sim.Millisecond {
+		t.Errorf("PathDelay(A,C) = %v, %v; want 10ms", d, ok)
+	}
+}
+
+func TestAbileneRoundTrip(t *testing.T) {
+	// Round-trip sanity: an echo between coast hosts must take exactly
+	// 2 × (host links + the delay-weighted shortest switch path), which the
+	// accessors predict without running a packet.
+	spec := Abilene()
+	spec.Hosts = []HostSpec{{Name: "h1", Attach: "seattle"}, {Name: "h2", Attach: "newyork"}}
+	s := sim.New(11)
+	n, err := Build(s, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := n.InstallShortestPaths(nil); err != nil {
+		t.Fatal(err)
+	}
+	oneWay, ok := n.PathDelay("seattle", "newyork")
+	if !ok {
+		t.Fatal("no seattle→newyork path")
+	}
+	// seattle—denver—kansascity—indianapolis—chicago—newyork = 30 ms.
+	if oneWay != 30*sim.Millisecond {
+		t.Fatalf("PathDelay(seattle,newyork) = %v, want 30ms", oneWay)
+	}
+
+	var sent, rtt sim.Time
+	n.Hosts["h2"].Default = netsim.PacketHandlerFunc(func(p *netsim.Packet) {
+		n.Hosts["h2"].Send(&netsim.Packet{Dst: n.HostAddr("h1"), Proto: netsim.ProtoUDP, Size: 100})
+	})
+	n.Hosts["h1"].Default = netsim.PacketHandlerFunc(func(p *netsim.Packet) {
+		rtt = s.Now() - sent
+	})
+	s.Schedule(0, func() {
+		sent = s.Now()
+		n.Hosts["h1"].Send(&netsim.Packet{Dst: n.HostAddr("h2"), Proto: netsim.ProtoUDP, Size: 100})
+	})
+	s.Run(sim.Second)
+
+	// Host edge links add 1 ms on each side; serialization at 100 Gbps is
+	// nanoseconds, so allow a 1 ms tolerance above the propagation floor.
+	wantRTT := 2 * (oneWay + 2*sim.Millisecond)
+	if rtt < wantRTT || rtt > wantRTT+sim.Millisecond {
+		t.Fatalf("echo RTT = %v, want ≈%v", rtt, wantRTT)
+	}
+}
+
 func TestAbileneSpec(t *testing.T) {
 	spec := Abilene()
 	if len(spec.Switches) != 11 || len(spec.Links) != 14 {

@@ -65,6 +65,8 @@ func experiments() []experiment {
 			func(s exp.Scale, seed int64) string { return exp.Figure10(s, seed).Render() }},
 		{"fleet", "ISP-wide fleet: Abilene gray-link localization + gated reroute",
 			func(s exp.Scale, seed int64) string { return exp.FleetAbilene(s, seed).Render() }},
+		{"fleet-chaos", "fleet survivability: localization vs mgmt-plane loss + correlator crash",
+			func(s exp.Scale, seed int64) string { return exp.FleetChaos(s, seed).Render() }},
 		{"fig11", "tree parameter sensitivity (Appendix D)",
 			func(s exp.Scale, seed int64) string { return exp.Figure11(s, seed).Render() }},
 		{"table5", "synthesized trace statistics (Appendix C)",

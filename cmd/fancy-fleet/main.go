@@ -8,10 +8,17 @@
 //	fancy-fleet                              # defaults: seattle->sunnyvale
 //	fancy-fleet -link chicago->newyork -loss 0.5 -duration 10s
 //	fancy-fleet -events                      # include the full event log
+//	fancy-fleet -mgmt-loss 0.2 -crash-correlator 2.1s   # survivability drill
+//	fancy-fleet -mgmt-loss 0.1 -partition seattle       # degraded-mode drill
 //
 // The run is deterministic for a given flag set; the fleet report at the
 // end is the aggregate snapshot (per-link health, localization times,
 // suppressed false alarms, detector robustness counters).
+//
+// The -mgmt-* flags interpose the simulated management network of
+// internal/mgmt between every switch agent and the correlator;
+// -crash-correlator and -partition then exercise the survivability story
+// (checkpoint/restart recovery, degraded-mode local protection).
 package main
 
 import (
@@ -24,6 +31,7 @@ import (
 	"fancy/internal/fancy"
 	"fancy/internal/fancy/tree"
 	"fancy/internal/fleet"
+	"fancy/internal/mgmt"
 	"fancy/internal/netsim"
 	"fancy/internal/sim"
 	"fancy/internal/topo"
@@ -39,6 +47,15 @@ func main() {
 		duration = flag.Duration("duration", 8*time.Second, "simulation length")
 		seed     = flag.Int64("seed", 42, "random seed")
 		events   = flag.Bool("events", false, "print the full fleet event log")
+
+		mgmtLoss   = flag.Float64("mgmt-loss", 0, "management-network datagram loss probability (0..1); any -mgmt-* flag enables the simulated management plane")
+		mgmtDelay  = flag.Duration("mgmt-delay", 0, "management-network one-way delay (0 = default 500µs)")
+		mgmtJitter = flag.Duration("mgmt-jitter", 0, "management-network delay jitter bound")
+		mgmtDup    = flag.Float64("mgmt-dup", 0, "management-network duplication probability (0..1)")
+
+		crashCorr = flag.Duration("crash-correlator", 0, "crash the correlator at this time (0 = never)")
+		crashDown = flag.Duration("crash-downtime", 300*time.Millisecond, "correlator downtime before restart")
+		partition = flag.String("partition", "", "switch to partition from the management plane mid-run (failure start → heal at fail start + half the remaining run)")
 	)
 	flag.Parse()
 
@@ -68,11 +85,22 @@ func main() {
 		fmt.Fprintf(os.Stderr, "fancy-fleet: %v\n", err)
 		os.Exit(2)
 	}
-	f, err := fleet.New(s, n, fleet.Config{Fancy: fancy.Config{
+	cfg := fleet.Config{Fancy: fancy.Config{
 		HighPriority: []netsim.EntryID{entry},
 		Tree:         tree.Params{Width: 32, Depth: 3, Split: 2, Pipelined: true},
 		TreeSeed:     3,
-	}})
+	}}
+	mgmtWanted := *mgmtLoss > 0 || *mgmtDelay > 0 || *mgmtJitter > 0 || *mgmtDup > 0 ||
+		*crashCorr > 0 || *partition != ""
+	if mgmtWanted {
+		cfg.Mgmt = &mgmt.Config{
+			Loss:      *mgmtLoss,
+			Delay:     sim.Time(*mgmtDelay),
+			Jitter:    sim.Time(*mgmtJitter),
+			Duplicate: *mgmtDup,
+		}
+	}
+	f, err := fleet.New(s, n, cfg)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "fancy-fleet: %v\n", err)
 		os.Exit(2)
@@ -112,6 +140,32 @@ func main() {
 		netsim.EntryAddr(entry, 1), *rate, 1000, dur).Start()
 	n.Direction(from, to).SetFailure(
 		netsim.FailEntries(*seed+1, sim.Time(*failAt), *loss, entry))
+
+	if *crashCorr > 0 {
+		if !mgmtWanted {
+			fmt.Fprintln(os.Stderr, "fancy-fleet: -crash-correlator needs the management plane")
+			os.Exit(2)
+		}
+		s.ScheduleAt(sim.Time(*crashCorr), f.CrashCorrelator)
+		s.ScheduleAt(sim.Time(*crashCorr+*crashDown), f.RestartCorrelator)
+		fmt.Printf("correlator crash at %v, restart at %v\n", *crashCorr, *crashCorr+*crashDown)
+	}
+	if *partition != "" {
+		if _, ok := n.Switches[*partition]; !ok {
+			fmt.Fprintf(os.Stderr, "fancy-fleet: no switch %q to partition\n", *partition)
+			os.Exit(2)
+		}
+		cut := sim.Time(*failAt)
+		heal := cut + (dur-cut)/2
+		sw := *partition
+		s.ScheduleAt(cut, func() { f.PartitionSwitch(sw) })
+		s.ScheduleAt(heal, func() { f.HealSwitch(sw) })
+		fmt.Printf("partitioning %s off the management plane at %v, healing at %v\n", sw, cut, heal)
+	}
+	if mgmtWanted {
+		fmt.Printf("management plane: loss=%.0f%% dup=%.0f%% delay=%v jitter=%v\n",
+			*mgmtLoss*100, *mgmtDup*100, *mgmtDelay, *mgmtJitter)
+	}
 
 	fmt.Printf("failing %s at %v (loss %.0f%%), %d switches / %d directed links monitored\n\n",
 		*link, *failAt, *loss*100, len(n.Switches), len(n.DirectedLinks()))

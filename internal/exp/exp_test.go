@@ -455,3 +455,44 @@ func TestFleetAbileneQuick(t *testing.T) {
 		t.Fatalf("unexpected render:\n%s", out)
 	}
 }
+
+func TestFleetChaosQuick(t *testing.T) {
+	r := FleetChaos(Quick, 20220822)
+	want := len(fleetChaosConfigs()) * len(quickFleetLinks)
+	if len(r.Rows) != want {
+		t.Fatalf("got %d rows, want %d", len(r.Rows), want)
+	}
+	for _, row := range r.Rows {
+		// The survivability contract: impairments may slow localization
+		// down, but accuracy must stay exact and verdicts unique.
+		if !row.Exact {
+			t.Errorf("%s/%s: not localized exactly", row.Config, row.Link)
+		}
+		if row.Verdicts > 1 {
+			t.Errorf("%s/%s: %d localization events, want 1", row.Config, row.Link, row.Verdicts)
+		}
+		if row.Exact && (row.TTL <= 0 || row.TTL > 2*sim.Second) {
+			t.Errorf("%s/%s: time-to-localize %v, want within 2s", row.Config, row.Link, row.TTL)
+		}
+		if row.Protected && !row.Rerouted {
+			t.Errorf("%s/%s: protected entry was not rerouted", row.Config, row.Link)
+		}
+		switch row.Config {
+		case "perfect":
+			if row.MgmtLost != 0 {
+				t.Errorf("perfect config lost %d datagrams", row.MgmtLost)
+			}
+		case "loss20+crash":
+			if row.MgmtLost == 0 {
+				t.Errorf("%s: no management loss exercised", row.Link)
+			}
+			if row.Handbacks == 0 {
+				t.Errorf("%s: no degraded-mode handback after the crash", row.Link)
+			}
+		}
+	}
+	out := r.Render()
+	if !strings.Contains(out, "loss20+crash") || !strings.Contains(out, "per-link detail") {
+		t.Fatalf("unexpected render:\n%s", out)
+	}
+}

@@ -1,0 +1,234 @@
+package exp
+
+// Fleet chaos sweep: the FleetAbilene scenario re-run over a degraded
+// management plane. Each configuration fixes a management-network loss rate
+// and a correlator crash schedule; every targeted directed link then gets
+// its own trial (fresh Abilene, one injected gray link). The claim under
+// test is the survivability contract: impairments may slow localization
+// down (TTL degrades) but must never change the verdict — accuracy stays
+// exact on every directed link, with zero duplicate confirmed verdicts.
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"fancy/internal/fancy"
+	"fancy/internal/fancy/tree"
+	"fancy/internal/fleet"
+	"fancy/internal/mgmt"
+	"fancy/internal/netsim"
+	"fancy/internal/sim"
+	"fancy/internal/stats"
+	"fancy/internal/topo"
+	"fancy/internal/traffic"
+)
+
+// ChaosFleetConfig is one cell of the sweep: a management-plane impairment
+// level plus a correlator crash schedule.
+type ChaosFleetConfig struct {
+	Name  string
+	Loss  float64 // management-datagram loss probability
+	Crash bool    // crash the correlator mid-run, restart 300 ms later
+}
+
+// fleetChaosConfigs is the sweep grid. The last cell is the acceptance
+// configuration: 20% loss plus a crash/restart spanning the first evidence
+// window.
+func fleetChaosConfigs() []ChaosFleetConfig {
+	return []ChaosFleetConfig{
+		{Name: "perfect", Loss: 0, Crash: false},
+		{Name: "loss10", Loss: 0.10, Crash: false},
+		{Name: "loss20+crash", Loss: 0.20, Crash: true},
+	}
+}
+
+// ChaosFleetRow is one trial of the sweep.
+type ChaosFleetRow struct {
+	Config     string
+	Link       string
+	Exact      bool     // localized exactly the injected link, nothing else
+	Verdicts   int      // localization events for the link (must be <=1)
+	TTL        sim.Time // failure injection → localization
+	Rerouted   bool     // protected entry diverted (where a detour exists)
+	Protected  bool
+	Stale      uint64 // stale-epoch reports discarded
+	Handbacks  uint64 // degraded-mode reconciliations
+	MgmtLost   uint64 // management datagrams dropped by the impairments
+	MgmtHoles  int    // report seqs lost for good
+	Duplicates uint64 // transport duplicates suppressed
+}
+
+// ChaosFleetResult aggregates the sweep.
+type ChaosFleetResult struct {
+	Scale Scale
+	Rows  []ChaosFleetRow
+}
+
+// Render prints one aggregate block per configuration plus the per-link
+// table of the most impaired configuration.
+func (r *ChaosFleetResult) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== fleet chaos sweep: localization vs management-plane faults (%s) ==\n", r.Scale)
+	byCfg := make(map[string][]ChaosFleetRow)
+	var order []string
+	for _, row := range r.Rows {
+		if _, ok := byCfg[row.Config]; !ok {
+			order = append(order, row.Config)
+		}
+		byCfg[row.Config] = append(byCfg[row.Config], row)
+	}
+	headers := []string{"Config", "Exact", "Dup verdicts", "TTL median", "TTL max", "Mgmt lost", "Holes"}
+	var rows [][]string
+	for _, cfg := range order {
+		trials := byCfg[cfg]
+		exact, dups := 0, 0
+		var lost uint64
+		holes := 0
+		var ttls []sim.Time
+		for _, t := range trials {
+			if t.Exact {
+				exact++
+				ttls = append(ttls, t.TTL)
+			}
+			if t.Verdicts > 1 {
+				dups++
+			}
+			lost += t.MgmtLost
+			holes += t.MgmtHoles
+		}
+		med, max := sim.Time(0), sim.Time(0)
+		if len(ttls) > 0 {
+			sort.Slice(ttls, func(i, j int) bool { return ttls[i] < ttls[j] })
+			med, max = ttls[len(ttls)/2], ttls[len(ttls)-1]
+		}
+		rows = append(rows, []string{cfg,
+			fmt.Sprintf("%d/%d", exact, len(trials)),
+			fmt.Sprintf("%d", dups), med.String(), max.String(),
+			fmt.Sprintf("%d", lost), fmt.Sprintf("%d", holes)})
+	}
+	b.WriteString(stats.Table(headers, rows))
+	// Per-link detail for the most impaired configuration.
+	worst := order[len(order)-1]
+	fmt.Fprintf(&b, "-- per-link detail, %s --\n", worst)
+	dheaders := []string{"Gray link", "Localized", "TTL", "Rerouted", "Stale", "Handbacks"}
+	var drows [][]string
+	for _, t := range byCfg[worst] {
+		loc := "MISS"
+		if t.Exact {
+			loc = "exact"
+		}
+		rr := "n/a"
+		if t.Protected {
+			rr = fmt.Sprintf("%v", t.Rerouted)
+		}
+		drows = append(drows, []string{t.Link, loc, t.TTL.String(), rr,
+			fmt.Sprintf("%d", t.Stale), fmt.Sprintf("%d", t.Handbacks)})
+	}
+	b.WriteString(stats.Table(dheaders, drows))
+	return b.String()
+}
+
+// FleetChaos runs the sweep: every configuration over the Quick 3-link
+// subsample or, at Full scale, over all 28 directed links of Abilene.
+func FleetChaos(scale Scale, seed int64) *ChaosFleetResult {
+	var targets []topo.DirectedLink
+	if scale == Full {
+		spec := topo.Abilene()
+		for _, l := range spec.Links {
+			targets = append(targets,
+				topo.DirectedLink{From: l.A, To: l.B},
+				topo.DirectedLink{From: l.B, To: l.A})
+		}
+		sort.Slice(targets, func(i, j int) bool {
+			if targets[i].From != targets[j].From {
+				return targets[i].From < targets[j].From
+			}
+			return targets[i].To < targets[j].To
+		})
+	} else {
+		targets = quickFleetLinks
+	}
+	res := &ChaosFleetResult{Scale: scale}
+	duration := pick(scale, 3*sim.Second, 5*sim.Second)
+	for ci, cfg := range fleetChaosConfigs() {
+		for i, dl := range targets {
+			res.Rows = append(res.Rows,
+				fleetChaosTrial(seed+int64(ci*1000+i), dl, duration, cfg))
+		}
+	}
+	return res
+}
+
+// fleetChaosTrial is one gray link under one impairment configuration.
+func fleetChaosTrial(seed int64, dl topo.DirectedLink, duration sim.Time, cfg ChaosFleetConfig) ChaosFleetRow {
+	s := sim.New(seed)
+	spec := topo.Abilene()
+	spec.Hosts = []topo.HostSpec{
+		{Name: "hsrc", Attach: dl.From},
+		{Name: "hdst", Attach: dl.To},
+	}
+	n, err := topo.Build(s, spec)
+	if err != nil {
+		panic(fmt.Sprintf("exp: fleet chaos topology: %v", err))
+	}
+	const entry = netsim.EntryID(10)
+	if err := n.InstallShortestPaths(map[netsim.EntryID]string{entry: "hdst"}); err != nil {
+		panic(err)
+	}
+	f, err := fleet.New(s, n, fleet.Config{
+		Fancy: fancy.Config{
+			HighPriority: []netsim.EntryID{entry},
+			Tree:         tree.Params{Width: 32, Depth: 3, Split: 2, Pipelined: true},
+			TreeSeed:     3,
+		},
+		Mgmt: &mgmt.Config{Loss: cfg.Loss, Duplicate: cfg.Loss / 2, Jitter: sim.Millisecond},
+	})
+	if err != nil {
+		panic(err)
+	}
+
+	row := ChaosFleetRow{Config: cfg.Name, Link: dl.String()}
+	if nb, ok := loopFreeBackup(n, dl); ok {
+		row.Protected = true
+		route := n.Switches[dl.From].Routes.InsertEntry(entry, netsim.Route{
+			Port:   n.PortOf[dl.From][dl.To],
+			Backup: n.PortOf[dl.From][nb],
+		})
+		if err := f.Protect(dl.From, entry, route); err != nil {
+			panic(err)
+		}
+	}
+
+	traffic.NewUDPSource(s, n.Hosts["hsrc"], netsim.FlowID(entry), entry,
+		netsim.EntryAddr(entry, 1), 2e6, 1000, duration).Start()
+	const failAt = sim.Second
+	n.Direction(dl.From, dl.To).SetFailure(netsim.FailEntries(seed+1, failAt, 1.0, entry))
+	if cfg.Crash {
+		// Crash spanning the first evidence window; restart 300 ms later.
+		s.ScheduleAt(failAt+100*sim.Millisecond, f.CrashCorrelator)
+		s.ScheduleAt(failAt+400*sim.Millisecond, f.RestartCorrelator)
+	}
+	s.Run(duration)
+
+	loc := f.Localized()
+	row.Exact = len(loc) == 1 && loc[0] == dl.String()
+	if row.Exact {
+		row.TTL = f.LocalizedAt(dl.String()) - failAt
+	}
+	for _, ev := range f.Events {
+		if ev.Kind == fleet.EventLocalized && ev.Link == dl.String() {
+			row.Verdicts++
+		}
+	}
+	if row.Protected {
+		row.Rerouted = f.Rerouted(dl.From, entry)
+	}
+	snap := f.Snapshot()
+	row.Stale = snap.Corr.StaleEvents
+	row.Handbacks = snap.Corr.Handbacks
+	row.MgmtLost = snap.MgmtNet.Lost
+	row.MgmtHoles = snap.MgmtHoles
+	row.Duplicates = snap.MgmtDuplicates
+	return row
+}

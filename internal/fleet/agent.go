@@ -1,0 +1,178 @@
+package fleet
+
+// The switch agent is the on-device half of the fleet control plane: it
+// owns the switch's telemetry server and reroute applications, forwards
+// detector events to the correlator as epoch-stamped reports, serves the
+// correlator's telemetry reads and gating commands, and — when the
+// management plane cuts it off — falls back to degraded-mode local
+// protection, the paper-level per-link reroute that needs no correlator.
+
+import (
+	"fmt"
+
+	"fancy/internal/fancy"
+	"fancy/internal/mgmt"
+	"fancy/internal/netsim"
+	"fancy/internal/reroute"
+	"fancy/internal/sim"
+	"fancy/internal/telemetry"
+)
+
+// eventReport carries one detector event to the correlator, stamped with
+// the emitting detector's epoch so the correlator can recognize reports
+// from a pre-restart incarnation that the management network delivered
+// late (stale-epoch guard).
+type eventReport struct {
+	Epoch uint8
+	Ev    fancy.Event
+}
+
+// rerouteReport tells the correlator an entry flipped to its backup next
+// hop, either under correlator gating or autonomously in degraded mode.
+type rerouteReport struct {
+	Port     int
+	Entry    netsim.EntryID
+	At       sim.Time
+	Degraded bool
+}
+
+// reconcileReport is the agent's handback after a partition heals: how long
+// it protected autonomously and how many local reroutes it performed (the
+// individual rerouteReports travel separately, in sequence).
+type reconcileReport struct {
+	Since    sim.Time
+	Reroutes int
+}
+
+// getReq is the correlator's RPC read of a telemetry path.
+type getReq struct {
+	Path string
+}
+
+// rerouteCmd is the correlator's gating command: replay one piece of
+// confirmed evidence into the switch's reroute application.
+type rerouteCmd struct {
+	Port int
+	Ev   fancy.Event
+}
+
+// switchAgent is one switch's management endpoint.
+type switchAgent struct {
+	f    *Fleet
+	sw   string
+	srv  *telemetry.Server
+	apps map[int]*reroute.App
+
+	client *mgmt.Client // nil in legacy in-process mode
+
+	degraded      bool
+	degradedSince sim.Time
+	localReroutes int // reroutes performed during the current degraded spell
+
+	// Engagements counts offline→degraded transitions, for reporting.
+	engagements uint64
+}
+
+func newSwitchAgent(f *Fleet, sw string, srv *telemetry.Server) *switchAgent {
+	a := &switchAgent{f: f, sw: sw, srv: srv, apps: make(map[int]*reroute.App)}
+	if f.mgmtNet != nil {
+		a.client = mgmt.NewClient(f.S, f.mgmtNet, sw, correlatorEndpoint)
+		a.client.OnOnline = a.onOnline
+		a.client.OnCall = a.onCall
+	}
+	return a
+}
+
+// onDetectorEvent receives every event of this switch's detector (already
+// published through the telemetry server) and ships it to the correlator.
+// In degraded mode the event is also fed straight into the local reroute
+// applications: protection must not wait out a partition.
+func (a *switchAgent) onDetectorEvent(ev fancy.Event) {
+	if a.degraded {
+		if app, ok := a.apps[ev.Port]; ok {
+			app.HandleEvent(ev)
+		}
+	}
+	a.send(eventReport{Epoch: a.f.Detectors[a.sw].Epoch(), Ev: ev})
+}
+
+// send ships one report to the correlator: over the management network when
+// one is configured, synchronously otherwise.
+func (a *switchAgent) send(payload any) {
+	if a.client != nil {
+		a.client.Send(payload)
+		return
+	}
+	a.f.handleReport(a.sw, payload)
+}
+
+// onOnline tracks management-plane connectivity. The false edge engages
+// degraded-mode local protection; the true edge hands control back to the
+// correlator and reconciles.
+func (a *switchAgent) onOnline(online bool) {
+	if !online {
+		if !a.degraded {
+			a.degraded = true
+			a.degradedSince = a.f.S.Now()
+			a.localReroutes = 0
+			a.engagements++
+		}
+		return
+	}
+	if a.degraded {
+		a.degraded = false
+		a.send(reconcileReport{Since: a.degradedSince, Reroutes: a.localReroutes})
+	}
+}
+
+// onCall serves the correlator's RPCs: telemetry reads and gating commands.
+func (a *switchAgent) onCall(req any) (any, error) {
+	switch r := req.(type) {
+	case getReq:
+		return a.srv.Get(r.Path)
+	case rerouteCmd:
+		if app, ok := a.apps[r.Port]; ok {
+			app.HandleEvent(r.Ev)
+		}
+		return true, nil
+	}
+	return nil, fmt.Errorf("fleet: unknown agent call %T", req)
+}
+
+// onLocalReroute observes a reroute application diverting an entry (whether
+// commanded by the correlator or autonomous) and reports it upstream; in
+// degraded mode the report spools until the partition heals.
+func (a *switchAgent) onLocalReroute(port int, entry netsim.EntryID, at sim.Time) {
+	if a.degraded {
+		a.localReroutes++
+	}
+	a.send(rerouteReport{Port: port, Entry: entry, At: at, Degraded: a.degraded})
+}
+
+// command delivers a correlator gating command to this agent: direct in
+// legacy mode, a hardened RPC over the management plane otherwise.
+func (f *Fleet) command(sw string, cmd rerouteCmd) {
+	a := f.agents[sw]
+	if a.client == nil {
+		a.onCall(cmd) //nolint:errcheck // rerouteCmd cannot fail
+		return
+	}
+	f.mgmtSrv.Call(sw, cmd, func(_ any, err error) {
+		if err != nil {
+			f.Corr.RerouteCmdFails++
+		}
+	})
+}
+
+// remoteGet reads a telemetry path of sw: synchronous in legacy mode, a
+// hardened RPC (timeout, bounded retries, backoff + jitter) otherwise. cb
+// fires exactly once either way.
+func (f *Fleet) remoteGet(sw, path string, cb func(any, error)) {
+	a := f.agents[sw]
+	if a.client == nil {
+		v, err := f.Telemetry[sw].Get(path)
+		cb(v, err)
+		return
+	}
+	f.mgmtSrv.Call(sw, getReq{Path: path}, cb)
+}

@@ -1,0 +1,295 @@
+package fleet
+
+// Correlator checkpoint/restart. The correlator periodically snapshots its
+// evidence windows, verdicts and health bookkeeping; CrashCorrelator wipes
+// the live state (and stops the management server from acknowledging
+// anything, so agents observe the crash as a partition and fall back to
+// degraded-mode local protection); RestartCorrelator rebuilds from the last
+// checkpoint and reconciles with live telemetry — pending evidence windows
+// re-open with a fresh full window, restart counters are re-read, and the
+// transport-level sequence state plus the fleet-level alarm and reroute
+// dedup maps guarantee no duplicate confirmed verdicts and no duplicate
+// reroute accounting, while confirmed verdicts survive verbatim.
+
+import (
+	"fmt"
+	"sort"
+
+	"fancy/internal/fancy"
+	"fancy/internal/mgmt"
+	"fancy/internal/netsim"
+	"fancy/internal/sim"
+)
+
+// LinkCheckpoint is one directed link's persisted correlator record.
+type LinkCheckpoint struct {
+	Localized   bool
+	LocalizedAt sim.Time
+	Affected    []netsim.EntryID
+	TreePaths   int
+	Alarms      int
+	Suppressed  int
+	Flapping    bool
+	DownTimes   []sim.Time
+
+	VerdictPending bool
+	IncidentStart  sim.Time
+	Seen           []string
+	Evidence       []fancy.Event
+
+	LastHealth Health
+}
+
+// Checkpoint is a full correlator snapshot, sufficient to restart from.
+type Checkpoint struct {
+	Time sim.Time
+
+	Alarms        int
+	Suppressed    int
+	Localizations int
+	Reroutes      int
+
+	Links map[string]LinkCheckpoint
+
+	RestartsSeen    map[string]int
+	RestartObserved map[string]sim.Time
+	EpochCur        map[string]uint8
+	EpochPrev       map[string]uint8
+	RerouteSeen     []string
+
+	// Seq is the management server's per-client sequencing state, so a
+	// restarted correlator keeps deduplicating reports the crashed
+	// incarnation already consumed.
+	Seq map[string]mgmt.SeqState
+}
+
+// Checkpoint deep-copies the correlator's current state.
+func (f *Fleet) Checkpoint() *Checkpoint {
+	cp := &Checkpoint{
+		Time:            f.S.Now(),
+		Alarms:          f.Alarms,
+		Suppressed:      f.Suppressed,
+		Localizations:   f.Localizations,
+		Reroutes:        f.Reroutes,
+		Links:           make(map[string]LinkCheckpoint, len(f.links)),
+		RestartsSeen:    make(map[string]int, len(f.restartsSeen)),
+		RestartObserved: make(map[string]sim.Time, len(f.restartObserved)),
+		EpochCur:        make(map[string]uint8, len(f.epochCur)),
+		EpochPrev:       make(map[string]uint8, len(f.epochPrev)),
+	}
+	for _, key := range f.order {
+		ls := f.links[key]
+		lc := LinkCheckpoint{
+			Localized:      ls.localized,
+			LocalizedAt:    ls.localizedAt,
+			TreePaths:      ls.treePaths,
+			Alarms:         ls.alarms,
+			Suppressed:     ls.suppressed,
+			Flapping:       ls.flapping,
+			DownTimes:      append([]sim.Time(nil), ls.downTimes...),
+			VerdictPending: ls.verdictPending,
+			IncidentStart:  ls.incidentStart,
+			Evidence:       append([]fancy.Event(nil), ls.evidence...),
+			LastHealth:     ls.lastHealth,
+		}
+		for e := range ls.affected {
+			lc.Affected = append(lc.Affected, e)
+		}
+		sort.Slice(lc.Affected, func(i, j int) bool { return lc.Affected[i] < lc.Affected[j] })
+		for k := range ls.seen {
+			lc.Seen = append(lc.Seen, k)
+		}
+		sort.Strings(lc.Seen)
+		cp.Links[key] = lc
+	}
+	for sw, r := range f.restartsSeen {
+		cp.RestartsSeen[sw] = r
+	}
+	for sw, t := range f.restartObserved {
+		cp.RestartObserved[sw] = t
+	}
+	for sw, e := range f.epochCur {
+		cp.EpochCur[sw] = e
+	}
+	for sw, e := range f.epochPrev {
+		cp.EpochPrev[sw] = e
+	}
+	for k := range f.rerouteSeen {
+		cp.RerouteSeen = append(cp.RerouteSeen, k)
+	}
+	sort.Strings(cp.RerouteSeen)
+	if f.mgmtSrv != nil {
+		cp.Seq = f.mgmtSrv.SeqCheckpoint()
+	}
+	return cp
+}
+
+func (f *Fleet) periodicCheckpoint() {
+	if !f.crashed {
+		f.persist()
+	}
+	f.ckptTimer = f.S.Schedule(f.cfg.CheckpointInterval, f.periodicCheckpoint)
+}
+
+// persist takes a checkpoint immediately. Besides the periodic cadence, the
+// correlator persists on every durable state change (alarm accepted into an
+// evidence window, verdict, epoch purge, reroute recorded): the transport
+// acknowledges a report the moment it is consumed, so anything consumed but
+// not checkpointed would be lost for good in a crash — the client never
+// retransmits an acknowledged report, and a degraded-mode reroute may have
+// removed the failure symptom that would otherwise re-alarm.
+func (f *Fleet) persist() {
+	if f.cfg.CheckpointInterval < 0 {
+		return
+	}
+	f.lastCkpt = f.Checkpoint()
+	f.Corr.Checkpoints++
+}
+
+// LastCheckpoint returns the most recent periodic checkpoint (nil before
+// the first checkpoint interval elapses).
+func (f *Fleet) LastCheckpoint() *Checkpoint { return f.lastCkpt }
+
+// CrashCorrelator fails the central correlator: all in-memory state since
+// the last checkpoint is lost, every pending timer and in-flight read is
+// abandoned, and — over a management network — inbound reports go
+// unacknowledged, so switch agents observe the crash exactly like a
+// partition and engage degraded-mode local protection. Detectors and
+// agents keep running throughout.
+func (f *Fleet) CrashCorrelator() {
+	if f.crashed {
+		return
+	}
+	f.crashed = true
+	f.corrGen++
+	f.Corr.Crashes++
+	if f.mgmtSrv != nil {
+		f.mgmtSrv.SetAccepting(false)
+	}
+	for _, key := range f.order {
+		ls := f.links[key]
+		if ls.verdictTimer != nil {
+			ls.verdictTimer.Stop()
+		}
+	}
+	if f.sweepTimer != nil {
+		f.sweepTimer.Stop()
+	}
+	if f.ckptTimer != nil {
+		f.ckptTimer.Stop()
+	}
+	f.emit(Event{Time: f.S.Now(), Kind: EventCorrelatorCrash, Link: correlatorEndpoint,
+		Entry: netsim.InvalidEntry})
+}
+
+// RestartCorrelator brings the correlator back from its last periodic
+// checkpoint (or from scratch if none was taken) and reconciles with live
+// telemetry: confirmed verdicts and the alarm/reroute dedup maps are
+// restored, evidence windows that were pending at the crash re-open with a
+// fresh full window, the management server resumes accepting with the
+// checkpointed sequence state, and every switch's restart counter is
+// re-read so reboots during the outage are not misdiagnosed.
+func (f *Fleet) RestartCorrelator() {
+	if !f.crashed {
+		return
+	}
+	cp := f.lastCkpt
+	now := f.S.Now()
+
+	// Wipe to zero state, then overlay the checkpoint.
+	f.Alarms, f.Suppressed, f.Localizations, f.Reroutes = 0, 0, 0, 0
+	f.restartsSeen = make(map[string]int)
+	f.restartObserved = make(map[string]sim.Time)
+	f.epochCur = make(map[string]uint8)
+	f.epochPrev = make(map[string]uint8)
+	f.rerouteSeen = make(map[string]bool)
+	f.aliveSeen = make(map[string]bool)
+	for _, key := range f.order {
+		ls := f.links[key]
+		*ls = linkState{
+			dl: ls.dl, key: ls.key, port: ls.port, guard: ls.guard,
+			seen:     make(map[string]bool),
+			affected: make(map[netsim.EntryID]bool),
+		}
+	}
+
+	restored := 0
+	if cp != nil {
+		f.Alarms, f.Suppressed = cp.Alarms, cp.Suppressed
+		f.Localizations, f.Reroutes = cp.Localizations, cp.Reroutes
+		for sw, r := range cp.RestartsSeen {
+			f.restartsSeen[sw] = r
+		}
+		for sw, t := range cp.RestartObserved {
+			f.restartObserved[sw] = t
+		}
+		for sw, e := range cp.EpochCur {
+			f.epochCur[sw] = e
+		}
+		for sw, e := range cp.EpochPrev {
+			f.epochPrev[sw] = e
+		}
+		for _, k := range cp.RerouteSeen {
+			f.rerouteSeen[k] = true
+		}
+		for key, lc := range cp.Links {
+			ls, ok := f.links[key]
+			if !ok {
+				continue
+			}
+			ls.localized = lc.Localized
+			ls.localizedAt = lc.LocalizedAt
+			ls.treePaths = lc.TreePaths
+			ls.alarms = lc.Alarms
+			ls.suppressed = lc.Suppressed
+			ls.flapping = lc.Flapping
+			ls.downTimes = append([]sim.Time(nil), lc.DownTimes...)
+			ls.incidentStart = lc.IncidentStart
+			ls.evidence = append([]fancy.Event(nil), lc.Evidence...)
+			ls.lastHealth = lc.LastHealth
+			for _, e := range lc.Affected {
+				ls.affected[e] = true
+			}
+			for _, k := range lc.Seen {
+				ls.seen[k] = true
+			}
+			if lc.VerdictPending {
+				// Re-open the window in full: the crashed incarnation's
+				// partial wait cannot be trusted, and a fresh window gives
+				// retransmitted evidence time to land before the verdict.
+				ls.verdictPending = true
+				ls.verdictTimer = f.S.Schedule(f.cfg.Window, func() { f.verdict(ls) })
+				restored++
+			}
+		}
+	}
+
+	f.crashed = false
+	f.Corr.Restores++
+	if f.mgmtSrv != nil {
+		f.mgmtSrv.SetAccepting(true)
+		if cp != nil && cp.Seq != nil {
+			f.mgmtSrv.RestoreSeq(cp.Seq)
+		}
+	}
+	detail := "from scratch (no checkpoint)"
+	if cp != nil {
+		detail = fmt.Sprintf("checkpoint at %v, %d pending window(s) re-opened", cp.Time, restored)
+	}
+	f.emit(Event{Time: now, Kind: EventCorrelatorRestart, Link: correlatorEndpoint,
+		Entry: netsim.InvalidEntry, Detail: detail})
+
+	// Reconcile with live telemetry: re-read every switch's restart
+	// counter so a reboot during the outage suppresses cross-epoch
+	// evidence instead of producing a wrong verdict.
+	for _, sw := range f.switches {
+		f.refreshRestarts(sw, nil)
+	}
+	f.sweepTimer = f.S.Schedule(f.cfg.SweepInterval, f.sweep)
+	if f.cfg.CheckpointInterval > 0 {
+		f.ckptTimer = f.S.Schedule(f.cfg.CheckpointInterval, f.periodicCheckpoint)
+	}
+}
+
+// Crashed reports whether the correlator is currently down.
+func (f *Fleet) Crashed() bool { return f.crashed }

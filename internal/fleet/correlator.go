@@ -36,6 +36,17 @@ const (
 	// EventPeerRestart: a switch's restart counter advanced (device
 	// reboot, epoch bump).
 	EventPeerRestart
+	// EventSwitchUnreachable / EventSwitchReachable: heartbeat-based
+	// liveness transitions of a switch's management agent.
+	EventSwitchUnreachable
+	EventSwitchReachable
+	// EventDegradedHandback: a switch agent reconciled after a partition —
+	// it reports how long it protected autonomously and hands gating back.
+	EventDegradedHandback
+	// EventCorrelatorCrash / EventCorrelatorRestart bracket a correlator
+	// outage; restart carries what the checkpoint recovered.
+	EventCorrelatorCrash
+	EventCorrelatorRestart
 )
 
 func (k EventKind) String() string {
@@ -58,6 +69,16 @@ func (k EventKind) String() string {
 		return "link-congested"
 	case EventPeerRestart:
 		return "peer-restart"
+	case EventSwitchUnreachable:
+		return "switch-unreachable"
+	case EventSwitchReachable:
+		return "switch-reachable"
+	case EventDegradedHandback:
+		return "degraded-handback"
+	case EventCorrelatorCrash:
+		return "correlator-crash"
+	case EventCorrelatorRestart:
+		return "correlator-restart"
 	}
 	return fmt.Sprintf("fleet-event(%d)", uint8(k))
 }
@@ -67,7 +88,8 @@ type Event struct {
 	Time sim.Time
 	Kind EventKind
 	// Link is the directed link ("A->B") the event concerns; for
-	// EventPeerRestart it is the restarting switch's name.
+	// per-switch events (EventPeerRestart, liveness, handback) it is the
+	// switch's name.
 	Link string
 	// Entry is set for per-entry events (EventAlarm on a dedicated entry,
 	// EventRerouted); netsim.InvalidEntry otherwise.
@@ -117,6 +139,103 @@ func (h Health) String() string {
 	return "unknown"
 }
 
+// handleReport consumes one report from a switch agent, after transport
+// dedup. The correlator never processes anything while crashed (the
+// management server already drops inbound then; this guard covers the
+// legacy synchronous path).
+func (f *Fleet) handleReport(sw string, payload any) {
+	if f.crashed {
+		return
+	}
+	switch r := payload.(type) {
+	case eventReport:
+		if f.staleEpoch(sw, r.Epoch) {
+			f.Corr.StaleEvents++
+			return
+		}
+		f.onDetectorEvent(sw, r.Ev)
+	case rerouteReport:
+		f.onRerouteReport(sw, r)
+	case reconcileReport:
+		f.Corr.Handbacks++
+		f.emit(Event{Time: f.S.Now(), Kind: EventDegradedHandback, Link: sw, Entry: netsim.InvalidEntry,
+			Detail: fmt.Sprintf("degraded since %v, %d local reroute(s)", r.Since, r.Reroutes)})
+	}
+}
+
+// staleEpoch is the evidence-window epoch guard: event reports stamped with
+// a previous detector incarnation's epoch (emitted before a restart,
+// delivered after it by a slow management plane) are discarded, and an
+// epoch advance purges the switch's pending evidence windows — counter
+// state cannot be compared across a reboot.
+func (f *Fleet) staleEpoch(sw string, epoch uint8) bool {
+	if epoch == 0 {
+		return false // unstamped (not expected, but fail open)
+	}
+	cur := f.epochCur[sw]
+	switch epoch {
+	case cur:
+		return false
+	case f.epochPrev[sw]:
+		return true // a previous incarnation's report, delivered late
+	}
+	// First report of a new incarnation: adopt it and clamp any evidence
+	// window still running against the old epoch's counters.
+	if cur != 0 {
+		f.purgeEpoch(sw)
+	}
+	f.epochPrev[sw] = cur
+	f.epochCur[sw] = epoch
+	return false
+}
+
+// purgeEpoch discards pending (unconfirmed) evidence on every link whose
+// upstream detector just changed epochs, stopping the window timers so a
+// verdict never fires over cross-epoch evidence. Confirmed verdicts stand.
+func (f *Fleet) purgeEpoch(sw string) {
+	now := f.S.Now()
+	for _, key := range f.order {
+		ls := f.links[key]
+		if ls.dl.From != sw || !ls.verdictPending {
+			continue
+		}
+		f.Corr.EpochPurges++
+		n := len(ls.evidence)
+		ls.suppressed += n
+		f.Suppressed += n
+		f.emit(Event{Time: now, Kind: EventSuppressed, Link: ls.key, Entry: netsim.InvalidEntry,
+			Detail: fmt.Sprintf("epoch-change, %d alarm(s) discarded", n)})
+		ls.verdictTimer.Stop()
+		ls.verdictPending = false
+		ls.evidence = nil
+		for k := range ls.seen {
+			delete(ls.seen, k)
+		}
+	}
+	f.persist()
+}
+
+// onRerouteReport records a reroute performed at a switch (gated or
+// degraded-local), deduplicating replays after crashes or partitions.
+func (f *Fleet) onRerouteReport(sw string, r rerouteReport) {
+	key := fmt.Sprintf("%s|%d|%d", sw, r.Port, r.Entry)
+	if f.rerouteSeen[key] {
+		return
+	}
+	f.rerouteSeen[key] = true
+	f.Reroutes++
+	linkKey := sw
+	if ls, ok := f.portLink[sw][r.Port]; ok {
+		linkKey = ls.key
+	}
+	detail := ""
+	if r.Degraded {
+		detail = "degraded-local"
+	}
+	f.emit(Event{Time: f.S.Now(), Kind: EventRerouted, Link: linkKey, Entry: r.Entry, Detail: detail})
+	f.persist()
+}
+
 // onDetectorEvent routes one detector event into the correlator. It runs
 // for every monitored port of every switch — the first code in the repo
 // that sees more than one detector at a time.
@@ -147,7 +266,8 @@ func (f *Fleet) onDetectorEvent(sw string, ev fancy.Event) {
 
 // alarmKey collapses the per-session repetition of a persistent failure:
 // one dedicated entry, one tree path or the uniform signal each count once
-// per incident.
+// per incident. Duplicated deliveries on the management channel collapse
+// onto the same key, so evidence is never double-counted.
 func alarmKey(ev fancy.Event) string {
 	switch ev.Kind {
 	case fancy.EventDedicated:
@@ -163,7 +283,7 @@ func (f *Fleet) onAlarm(ls *linkState, ev fancy.Event) {
 	now := f.S.Now()
 	key := alarmKey(ev)
 	if ls.seen[key] {
-		return // same evidence, later session: deduplicated
+		return // same evidence, later session (or a duplicate): deduplicated
 	}
 	ls.seen[key] = true
 	ls.alarms++
@@ -174,6 +294,7 @@ func (f *Fleet) onAlarm(ls *linkState, ev fancy.Event) {
 		// the affected set and reacts immediately, with no second window.
 		f.recordEvidence(ls, ev)
 		f.react(ls, []fancy.Event{ev})
+		f.persist()
 		return
 	}
 	entry := netsim.InvalidEntry
@@ -186,14 +307,39 @@ func (f *Fleet) onAlarm(ls *linkState, ev fancy.Event) {
 	if !ls.verdictPending {
 		ls.verdictPending = true
 		ls.incidentStart = now
-		f.S.Schedule(f.cfg.Window, func() { f.verdict(ls) })
+		ls.verdictTimer = f.S.Schedule(f.cfg.Window, func() { f.verdict(ls) })
 	}
+	// Consumed reports are already acknowledged and will never be
+	// retransmitted: persist the accepted evidence now, or a crash before
+	// the next periodic checkpoint loses the alarm for good (a degraded
+	// reroute may remove the symptom, so it would never re-fire).
+	f.persist()
 }
 
-// verdict closes an incident's evidence window: either a competing
-// explanation stands — and the alarms are discarded — or the link is
-// localized as gray and the reaction fires.
+// verdict closes an incident's evidence window. Before deciding, it
+// refreshes both ends' restart counters through the management plane (the
+// hardened Get path); the decision itself runs in finishVerdict once both
+// reads complete or exhaust their retries. A crash between the two phases
+// abandons the verdict — the restored correlator re-opens the window.
 func (f *Fleet) verdict(ls *linkState) {
+	if f.crashed {
+		return
+	}
+	gen := f.corrGen
+	pending := 2
+	done := func() {
+		pending--
+		if pending == 0 && gen == f.corrGen && !f.crashed && ls.verdictPending {
+			f.finishVerdict(ls)
+		}
+	}
+	f.refreshRestarts(ls.dl.From, done)
+	f.refreshRestarts(ls.dl.To, done)
+}
+
+// finishVerdict: either a competing explanation stands — and the alarms are
+// discarded — or the link is localized as gray and the reaction fires.
+func (f *Fleet) finishVerdict(ls *linkState) {
 	ls.verdictPending = false
 	now := f.S.Now()
 
@@ -203,7 +349,8 @@ func (f *Fleet) verdict(ls *linkState) {
 		// Counter state around an outage is untrustworthy, and a flapping
 		// peer is its own diagnosis — not a gray link.
 		reason = "link-flapping"
-	case f.restartedRecently(ls.dl.From) || f.restartedRecently(ls.dl.To):
+	case f.restartObserved[ls.dl.From] >= ls.incidentStart ||
+		f.restartObserved[ls.dl.To] >= ls.incidentStart:
 		// A rebooted device wiped its counters (epoch bump); evidence
 		// spanning the restart cannot be trusted. The stale-epoch guard
 		// makes this rare, but the correlator still refuses to localize
@@ -226,6 +373,7 @@ func (f *Fleet) verdict(ls *linkState) {
 		for k := range ls.seen {
 			delete(ls.seen, k)
 		}
+		f.persist()
 		return
 	}
 
@@ -239,6 +387,7 @@ func (f *Fleet) verdict(ls *linkState) {
 		Detail: fmt.Sprintf("%d alarm(s) in %v%s", len(ls.evidence), now-ls.incidentStart, f.corroboration(ls))})
 	f.react(ls, ls.evidence)
 	ls.evidence = nil
+	f.persist() // a confirmed verdict must survive any later crash
 }
 
 func (f *Fleet) recordEvidence(ls *linkState, ev fancy.Event) {
@@ -250,15 +399,15 @@ func (f *Fleet) recordEvidence(ls *linkState, ev fancy.Event) {
 	}
 }
 
-// react replays the confirmed evidence into the link's reroute application,
-// if any entries are protected there.
+// react replays the confirmed evidence into the link's reroute application
+// at the upstream switch — a gating command over the management plane.
 func (f *Fleet) react(ls *linkState, evidence []fancy.Event) {
-	app, ok := f.apps[fmt.Sprintf("%s|%d", ls.dl.From, ls.port)]
-	if !ok {
-		return
+	a := f.agents[ls.dl.From]
+	if _, ok := a.apps[ls.port]; !ok {
+		return // nothing protected there
 	}
 	for _, ev := range evidence {
-		app.HandleEvent(ev)
+		f.command(ls.dl.From, rerouteCmd{Port: ls.port, Ev: ev})
 	}
 }
 
@@ -289,21 +438,35 @@ func (f *Fleet) corroboration(ls *linkState) string {
 	return fmt.Sprintf(", %d shared-entry alarm(s) elsewhere: possible multi-point failure", multi)
 }
 
-// restartedRecently reads a switch's restart counter through its telemetry
-// server and reports whether it advanced since the last read. Reads are
-// synchronous at verdict time so a reboot is caught even between sweeps.
-func (f *Fleet) restartedRecently(sw string) bool {
-	v, err := f.Telemetry[sw].Get("/fancy/stats/restarts")
-	if err != nil {
-		return false
-	}
-	if r := v.(int); r > f.restartsSeen[sw] {
-		f.restartsSeen[sw] = r
-		f.emit(Event{Time: f.S.Now(), Kind: EventPeerRestart, Link: sw, Entry: netsim.InvalidEntry,
-			Detail: fmt.Sprintf("restart counter now %d", r)})
-		return true
-	}
-	return false
+// refreshRestarts reads a switch's restart counter through the management
+// plane (hardened Get: timeout, bounded retries, backoff) and records any
+// advance with an EventPeerRestart plus an observation timestamp that
+// finishVerdict checks against the incident window. done always fires
+// exactly once; an unreachable switch counts a GetFail and leaves the
+// cached observation in place (fail open — a persisting failure re-alarms,
+// so a wrong verdict self-corrects at the next incident).
+func (f *Fleet) refreshRestarts(sw string, done func()) {
+	gen := f.corrGen
+	f.remoteGet(sw, "/fancy/stats/restarts", func(v any, err error) {
+		defer func() {
+			if done != nil {
+				done()
+			}
+		}()
+		if gen != f.corrGen || f.crashed {
+			return // response addressed to a crashed incarnation
+		}
+		if err != nil {
+			f.Corr.GetFails++
+			return
+		}
+		if r := v.(int); r > f.restartsSeen[sw] {
+			f.restartsSeen[sw] = r
+			f.restartObserved[sw] = f.S.Now()
+			f.emit(Event{Time: f.S.Now(), Kind: EventPeerRestart, Link: sw, Entry: netsim.InvalidEntry,
+				Detail: fmt.Sprintf("restart counter now %d", r)})
+		}
+	})
 }
 
 // congestedDuring reports whether the link itself or any egress queue of
@@ -360,9 +523,13 @@ func (f *Fleet) healthOf(ls *linkState, now sim.Time) Health {
 	return HealthUnknown
 }
 
-// sweep is the correlator's periodic pass: it refreshes flap state, reads
-// the per-switch restart counters, and emits health-transition events.
+// sweep is the correlator's periodic pass: it refreshes flap state, samples
+// the per-switch restart counters over the management plane, tracks agent
+// liveness from heartbeats, and emits health-transition events.
 func (f *Fleet) sweep() {
+	if f.crashed {
+		return
+	}
 	now := f.S.Now()
 	for _, key := range f.order {
 		ls := f.links[key]
@@ -375,23 +542,21 @@ func (f *Fleet) sweep() {
 			ls.lastHealth = h
 		}
 	}
-	// Restart counters: detected here for the event log even when no
-	// verdict forces a synchronous read.
-	var switches []string
-	for sw := range f.Telemetry {
-		switches = append(switches, sw)
-	}
-	sortStrings(switches)
-	for _, sw := range switches {
-		f.restartedRecently(sw)
-	}
-	f.S.Schedule(f.cfg.SweepInterval, f.sweep)
-}
-
-func sortStrings(s []string) {
-	for i := 1; i < len(s); i++ {
-		for j := i; j > 0 && s[j] < s[j-1]; j-- {
-			s[j], s[j-1] = s[j-1], s[j]
+	// Restart counters, sampled here for the event log even when no
+	// verdict forces a fresh read; plus heartbeat-liveness transitions.
+	for _, sw := range f.switches {
+		f.refreshRestarts(sw, nil)
+		if f.mgmtSrv != nil {
+			alive := f.mgmtSrv.Alive(sw)
+			if was, seen := f.aliveSeen[sw]; !seen || was != alive {
+				if seen && !alive {
+					f.emit(Event{Time: now, Kind: EventSwitchUnreachable, Link: sw, Entry: netsim.InvalidEntry})
+				} else if seen {
+					f.emit(Event{Time: now, Kind: EventSwitchReachable, Link: sw, Entry: netsim.InvalidEntry})
+				}
+				f.aliveSeen[sw] = alive
+			}
 		}
 	}
+	f.sweepTimer = f.S.Schedule(f.cfg.SweepInterval, f.sweep)
 }

@@ -25,6 +25,20 @@
 //     the affected entries to their backup next hops (§6.1);
 //   - reporting: a fleet-level event log plus an aggregate Snapshot with
 //     per-link health, localization timestamps and robustness counters.
+//
+// Survivability (this layer's own gray-failure story): when Config.Mgmt is
+// set, every report and read between a switch's telemetry agent and the
+// correlator traverses a simulated management network (internal/mgmt) with
+// seed-deterministic loss, delay, duplication and partitions. Both ends are
+// hardened for it: agents ship sequence-numbered, epoch-stamped reports
+// with bounded retries and an offline spool; the correlator deduplicates,
+// detects sequence holes, tracks per-switch liveness from heartbeats,
+// checkpoints its evidence windows and verdicts, and survives crash/restart
+// by replaying the checkpoint and reconciling with live telemetry. A switch
+// partitioned from the correlator falls back to degraded-mode local
+// protection — the per-link reroute application keeps protecting dedicated
+// entries autonomously — and hands control back when the partition heals,
+// with no duplicate confirmed verdicts.
 package fleet
 
 import (
@@ -32,12 +46,16 @@ import (
 	"sort"
 
 	"fancy/internal/fancy"
+	"fancy/internal/mgmt"
 	"fancy/internal/netsim"
 	"fancy/internal/reroute"
 	"fancy/internal/sim"
 	"fancy/internal/telemetry"
 	"fancy/internal/topo"
 )
+
+// correlatorEndpoint is the correlator's management-network address.
+const correlatorEndpoint = "correlator"
 
 // Config tunes the fleet control plane.
 type Config struct {
@@ -70,6 +88,18 @@ type Config struct {
 	// GuardInterval is the queue-sampling cadence of the per-link guards.
 	// Default 5 ms.
 	GuardInterval sim.Time
+
+	// Mgmt, when non-nil, interposes a simulated management network
+	// between every switch's telemetry agent and the correlator. Nil keeps
+	// the legacy perfect in-process channel (reports deliver instantly and
+	// reads are synchronous), which is also the degenerate zero-impairment
+	// configuration.
+	Mgmt *mgmt.Config
+
+	// CheckpointInterval is the cadence at which the correlator checkpoints
+	// its evidence windows, verdicts and health state for crash recovery.
+	// Default 250 ms; negative disables checkpointing.
+	CheckpointInterval sim.Time
 }
 
 func (c Config) withDefaults() Config {
@@ -91,6 +121,9 @@ func (c Config) withDefaults() Config {
 	if c.GuardInterval == 0 {
 		c.GuardInterval = 5 * sim.Millisecond
 	}
+	if c.CheckpointInterval == 0 {
+		c.CheckpointInterval = 250 * sim.Millisecond
+	}
 	return c
 }
 
@@ -106,6 +139,7 @@ type linkState struct {
 	evidence       []fancy.Event
 	seen           map[string]bool // dedup keys of alarms already counted
 	verdictPending bool
+	verdictTimer   *sim.Timer
 
 	localized   bool
 	localizedAt sim.Time
@@ -120,6 +154,30 @@ type linkState struct {
 	lastHealth Health
 }
 
+// CorrelatorStats are the correlator's management-plane robustness counters.
+type CorrelatorStats struct {
+	// StaleEvents counts event reports discarded because they were stamped
+	// with a detector epoch that predates the switch's current incarnation
+	// (emitted before a restart, delivered after).
+	StaleEvents uint64
+	// EpochPurges counts evidence windows cleared because the upstream
+	// switch's epoch advanced mid-window.
+	EpochPurges uint64
+	// GetFails counts verdict- or sweep-time telemetry reads that exhausted
+	// their retry budget (switch unreachable over the management plane).
+	GetFails uint64
+	// RerouteCmdFails counts gating commands the correlator could not
+	// deliver to a switch agent.
+	RerouteCmdFails uint64
+	// Checkpoints, Crashes and Restores count correlator lifecycle events.
+	Checkpoints uint64
+	Crashes     uint64
+	Restores    uint64
+	// Handbacks counts degraded-mode reconciliations received from agents
+	// after a partition healed.
+	Handbacks uint64
+}
+
 // Fleet is a deployed ISP-wide control plane.
 type Fleet struct {
 	S   *sim.Sim
@@ -131,12 +189,30 @@ type Fleet struct {
 	Detectors map[string]*fancy.Detector
 	Telemetry map[string]*telemetry.Server
 
+	switches []string // sorted switch names, the canonical iteration order
+	agents   map[string]*switchAgent
+
+	// Management plane (nil in legacy in-process mode).
+	mgmtNet *mgmt.Network
+	mgmtSrv *mgmt.Server
+
 	links    map[string]*linkState
 	order    []string // sorted link keys, the canonical iteration order
 	portLink map[string]map[int]*linkState
-	apps     map[string]*reroute.App // "sw|port" → reroute application
 
-	restartsSeen map[string]int // per-switch restart counter at last read
+	// Correlator working state (wiped by a crash, rebuilt from checkpoint).
+	restartsSeen    map[string]int      // per-switch restart counter at last read
+	restartObserved map[string]sim.Time // when an advance was last observed
+	epochCur        map[string]uint8    // per-switch detector epoch, from report stamps
+	epochPrev       map[string]uint8
+	rerouteSeen     map[string]bool // "sw|port|entry" reroutes already recorded
+	aliveSeen       map[string]bool // last sweep's per-switch liveness
+
+	crashed    bool
+	corrGen    int // bumped by each crash; stale async callbacks check it
+	lastCkpt   *Checkpoint
+	sweepTimer *sim.Timer
+	ckptTimer  *sim.Timer
 
 	// Events is the fleet-level event log; OnEvent, if set, streams it.
 	Events  []Event
@@ -147,6 +223,9 @@ type Fleet struct {
 	Suppressed    int // alarms discarded (congestion/flap/restart)
 	Localizations int
 	Reroutes      int
+
+	// Corr tallies management-plane robustness at the correlator.
+	Corr CorrelatorStats
 }
 
 // New deploys FANcY on every switch of net, monitors both directions of
@@ -157,19 +236,30 @@ func New(s *sim.Sim, net *topo.Network, cfg Config) (*Fleet, error) {
 	cfg = cfg.withDefaults()
 	f := &Fleet{
 		S: s, Net: net, cfg: cfg,
-		Detectors:    make(map[string]*fancy.Detector),
-		Telemetry:    make(map[string]*telemetry.Server),
-		links:        make(map[string]*linkState),
-		portLink:     make(map[string]map[int]*linkState),
-		apps:         make(map[string]*reroute.App),
-		restartsSeen: make(map[string]int),
+		Detectors:       make(map[string]*fancy.Detector),
+		Telemetry:       make(map[string]*telemetry.Server),
+		agents:          make(map[string]*switchAgent),
+		links:           make(map[string]*linkState),
+		portLink:        make(map[string]map[int]*linkState),
+		restartsSeen:    make(map[string]int),
+		restartObserved: make(map[string]sim.Time),
+		epochCur:        make(map[string]uint8),
+		epochPrev:       make(map[string]uint8),
+		rerouteSeen:     make(map[string]bool),
+		aliveSeen:       make(map[string]bool),
 	}
-	var switches []string
 	for sw := range net.Switches {
-		switches = append(switches, sw)
+		f.switches = append(f.switches, sw)
 	}
-	sort.Strings(switches)
-	for _, sw := range switches {
+	sort.Strings(f.switches)
+	if cfg.Mgmt != nil {
+		f.mgmtNet = mgmt.NewNetwork(s, *cfg.Mgmt)
+		f.mgmtSrv = mgmt.NewServer(s, f.mgmtNet, correlatorEndpoint)
+		f.mgmtSrv.OnReport = func(from string, seq uint64, payload any) {
+			f.handleReport(from, payload)
+		}
+	}
+	for _, sw := range f.switches {
 		det, err := fancy.NewDetector(s, net.Switches[sw], cfg.Fancy)
 		if err != nil {
 			return nil, fmt.Errorf("fleet: detector at %q: %w", sw, err)
@@ -195,10 +285,11 @@ func New(s *sim.Sim, net *topo.Network, cfg Config) (*Fleet, error) {
 		f.portLink[dl.From][port] = ls
 	}
 	sort.Strings(f.order)
-	// One telemetry server per switch over its monitored ports; detector
-	// events flow through it (so external subscribers share the stream)
-	// and then into the correlator.
-	for _, sw := range switches {
+	// One telemetry server and one management agent per switch over its
+	// monitored ports; detector events flow through the telemetry server
+	// (so external subscribers share the stream), into the agent, and from
+	// there over the management plane into the correlator.
+	for _, sw := range f.switches {
 		var ports []int
 		for port := range f.portLink[sw] {
 			ports = append(ports, port)
@@ -206,13 +297,47 @@ func New(s *sim.Sim, net *topo.Network, cfg Config) (*Fleet, error) {
 		sort.Ints(ports)
 		srv := telemetry.NewServer(s, f.Detectors[sw], ports...)
 		f.Telemetry[sw] = srv
-		name := sw
-		f.Detectors[sw].OnEvent = srv.AttachEvents(func(ev fancy.Event) {
-			f.onDetectorEvent(name, ev)
-		})
+		a := newSwitchAgent(f, sw, srv)
+		f.agents[sw] = a
+		f.Detectors[sw].OnEvent = srv.AttachEvents(a.onDetectorEvent)
 	}
-	s.Schedule(cfg.SweepInterval, f.sweep)
+	f.sweepTimer = s.Schedule(cfg.SweepInterval, f.sweep)
+	if cfg.CheckpointInterval > 0 {
+		f.ckptTimer = s.Schedule(cfg.CheckpointInterval, f.periodicCheckpoint)
+	}
 	return f, nil
+}
+
+// MgmtEnabled reports whether the fleet runs over a simulated management
+// network (as opposed to the perfect in-process channel).
+func (f *Fleet) MgmtEnabled() bool { return f.mgmtNet != nil }
+
+// MgmtNetwork exposes the management network for fault injection (nil in
+// legacy mode).
+func (f *Fleet) MgmtNetwork() *mgmt.Network { return f.mgmtNet }
+
+// PartitionSwitch cuts a switch's telemetry agent off the management
+// network; its detectors keep running and, if entries are protected there,
+// degraded-mode local protection takes over. No-op in legacy mode.
+func (f *Fleet) PartitionSwitch(sw string) {
+	if f.mgmtNet != nil {
+		f.mgmtNet.Partition(sw)
+	}
+}
+
+// HealSwitch reconnects a partitioned switch; its agent replays spooled
+// reports and hands gating back to the correlator.
+func (f *Fleet) HealSwitch(sw string) {
+	if f.mgmtNet != nil {
+		f.mgmtNet.Heal(sw)
+	}
+}
+
+// Degraded reports whether a switch's agent is currently in degraded-mode
+// local protection (always false in legacy mode).
+func (f *Fleet) Degraded(sw string) bool {
+	a, ok := f.agents[sw]
+	return ok && a.degraded
 }
 
 // Link returns the correlator's view of a directed link ("A->B" key),
@@ -259,26 +384,25 @@ func (f *Fleet) AffectedEntries(key string) []netsim.EntryID {
 // the triggering evidence is replayed into the reroute application and the
 // entry flips to its backup next hop. Unlike a raw reroute.App wired
 // straight into a detector, reaction waits for the correlator's verdict —
-// alarms explained by congestion, flapping or a peer restart divert nothing.
+// alarms explained by congestion, flapping or a peer restart divert nothing
+// — except in degraded mode, when the agent cannot reach the correlator and
+// the per-link application protects autonomously.
 func (f *Fleet) Protect(sw string, entry netsim.EntryID, route *netsim.Route) error {
-	det, ok := f.Detectors[sw]
+	a, ok := f.agents[sw]
 	if !ok {
 		return fmt.Errorf("fleet: unknown switch %q", sw)
 	}
-	ls, ok := f.portLink[sw][route.Port]
-	if !ok {
+	if _, ok := f.portLink[sw][route.Port]; !ok {
 		return fmt.Errorf("fleet: switch %q port %d is not a monitored inter-switch port", sw, route.Port)
 	}
-	key := fmt.Sprintf("%s|%d", sw, route.Port)
-	app, ok := f.apps[key]
+	app, ok := a.apps[route.Port]
 	if !ok {
-		app = reroute.New(f.S, det, route.Port)
-		linkKey := ls.key
+		app = reroute.New(f.S, f.Detectors[sw], route.Port)
+		port := route.Port
 		app.OnReroute = func(e netsim.EntryID, at sim.Time) {
-			f.Reroutes++
-			f.emit(Event{Time: at, Kind: EventRerouted, Link: linkKey, Entry: e})
+			a.onLocalReroute(port, e, at)
 		}
-		f.apps[key] = app
+		a.apps[route.Port] = app
 	}
 	app.Protect(entry, route)
 	return nil
@@ -286,8 +410,12 @@ func (f *Fleet) Protect(sw string, entry netsim.EntryID, route *netsim.Route) er
 
 // Rerouted reports whether a protected entry is on its backup path at sw.
 func (f *Fleet) Rerouted(sw string, entry netsim.EntryID) bool {
-	for key, app := range f.apps {
-		if len(key) > len(sw) && key[:len(sw)] == sw && key[len(sw)] == '|' && app.Rerouted(entry) {
+	a, ok := f.agents[sw]
+	if !ok {
+		return false
+	}
+	for _, app := range a.apps {
+		if app.Rerouted(entry) {
 			return true
 		}
 	}

@@ -5,9 +5,19 @@ import (
 	"strings"
 
 	"fancy/internal/fancy"
+	"fancy/internal/mgmt"
 	"fancy/internal/netsim"
 	"fancy/internal/sim"
 )
+
+// AgentReport is one switch agent's management-plane slice of a Snapshot.
+type AgentReport struct {
+	Switch   string
+	Online   bool
+	Degraded bool
+	Spooled  int // reports parked awaiting a reachable correlator
+	Stats    mgmt.ClientStats
+}
 
 // LinkReport is the per-directed-link slice of a Snapshot.
 type LinkReport struct {
@@ -33,6 +43,15 @@ type Snapshot struct {
 	Localizations int
 	Reroutes      int
 	Stats         fancy.DetectorStats // summed over every detector
+
+	// Management plane (populated only when the fleet runs over a
+	// simulated management network).
+	MgmtEnabled    bool
+	MgmtNet        mgmt.NetStats
+	MgmtHoles      int    // report seqs lost for good (spool overflow)
+	MgmtDuplicates uint64 // duplicate deliveries suppressed at the correlator
+	Corr           CorrelatorStats
+	Agents         []AgentReport // in sorted switch order
 }
 
 // Snapshot assembles the current fleet-wide view.
@@ -60,6 +79,23 @@ func (f *Fleet) Snapshot() Snapshot {
 		}
 		snap.Links = append(snap.Links, lr)
 	}
+	if f.mgmtNet != nil {
+		snap.MgmtEnabled = true
+		snap.MgmtNet = f.mgmtNet.Stats
+		snap.MgmtHoles = f.mgmtSrv.Holes()
+		snap.MgmtDuplicates = f.mgmtSrv.Stats.Duplicates
+		snap.Corr = f.Corr
+		for _, sw := range f.switches {
+			a := f.agents[sw]
+			snap.Agents = append(snap.Agents, AgentReport{
+				Switch:   sw,
+				Online:   a.client.Online(),
+				Degraded: a.degraded,
+				Spooled:  a.client.SpoolLen(),
+				Stats:    a.client.Stats,
+			})
+		}
+	}
 	for _, det := range f.Detectors {
 		st := det.Stats()
 		snap.Stats.CtlCorrupted += st.CtlCorrupted
@@ -81,6 +117,25 @@ func (s Snapshot) Report() string {
 	fmt.Fprintf(&b, "  detectors: retransmits=%d ctl-corrupted=%d link-down=%d link-up=%d restarts=%d sessions-discarded=%d\n",
 		s.Stats.Retransmits, s.Stats.CtlCorrupted, s.Stats.LinkDownEvents,
 		s.Stats.LinkUpEvents, s.Stats.Restarts, s.Stats.SessionsDiscarded)
+	if s.MgmtEnabled {
+		fmt.Fprintf(&b, "  mgmt: sent=%d delivered=%d lost=%d dup=%d partition-drops=%d holes=%d dedup=%d\n",
+			s.MgmtNet.Sent, s.MgmtNet.Delivered, s.MgmtNet.Lost, s.MgmtNet.Duplicated,
+			s.MgmtNet.PartitionDrops, s.MgmtHoles, s.MgmtDuplicates)
+		fmt.Fprintf(&b, "  correlator: checkpoints=%d crashes=%d restores=%d stale-events=%d epoch-purges=%d get-fails=%d cmd-fails=%d handbacks=%d\n",
+			s.Corr.Checkpoints, s.Corr.Crashes, s.Corr.Restores, s.Corr.StaleEvents,
+			s.Corr.EpochPurges, s.Corr.GetFails, s.Corr.RerouteCmdFails, s.Corr.Handbacks)
+		for _, ar := range s.Agents {
+			state := "online"
+			if ar.Degraded {
+				state = "DEGRADED"
+			} else if !ar.Online {
+				state = "offline"
+			}
+			fmt.Fprintf(&b, "  agent %-8s %-8s spool=%-3d reports=%d retries=%d exhausted=%d offline-transitions=%d\n",
+				ar.Switch, state, ar.Spooled, ar.Stats.Reports, ar.Stats.Retries,
+				ar.Stats.Exhausted, ar.Stats.Offline)
+		}
+	}
 	for _, lr := range s.Links {
 		fmt.Fprintf(&b, "  %-28s %-9s sessions=%-5d", lr.Link, lr.Health, lr.Sessions)
 		if lr.Alarms > 0 || lr.Suppressed > 0 {

@@ -1,0 +1,228 @@
+package mgmt
+
+import (
+	"math/rand"
+
+	"fancy/internal/sim"
+)
+
+// ClientStats are one switch-side client's lifetime counters.
+type ClientStats struct {
+	Reports      uint64 // reports accepted from the application
+	Retries      uint64 // report retransmissions
+	Exhausted    uint64 // reports that ran out of attempts and were spooled
+	Spooled      uint64 // reports parked while offline
+	SpoolDrops   uint64 // oldest reports evicted by a full spool (become gaps)
+	Heartbeats   uint64
+	ProbeRetries uint64 // heartbeat retransmissions
+	Offline      uint64 // online→offline transitions
+	Calls        uint64 // RPC requests served for the correlator
+}
+
+// Client is the switch-side endpoint of the management protocol: it ships
+// sequence-numbered reports to the server with bounded retries, probes
+// connectivity with heartbeats, and spools reports while the correlator is
+// unreachable so a healed partition replays them in order.
+type Client struct {
+	s    *sim.Sim
+	net  *Network
+	cfg  Config
+	name string
+	srv  string // server endpoint name
+
+	nextSeq      uint64 // report sequence space (contiguous, gap-checked)
+	probeSeq     uint64 // heartbeat probe ids, a separate space
+	lastProbeAck uint64 // highest probe id ever acknowledged
+	inflight     map[uint64]*pendingReport
+	spool        []spooled // seq-ordered reports awaiting a reachable server
+
+	online bool
+	misses int // consecutive unacked probes/reports
+
+	// OnOnline observes connectivity transitions (true = reachable). The
+	// fleet layer uses the false edge to engage degraded-mode local
+	// protection and the true edge to hand control back.
+	OnOnline func(bool)
+
+	// OnCall serves the correlator's RPC reads (the Get/Sample path). A nil
+	// handler rejects calls.
+	OnCall func(req any) (any, error)
+
+	Stats ClientStats
+}
+
+type pendingReport struct {
+	seq     uint64
+	payload any
+	attempt int
+	timer   *sim.Timer
+}
+
+type spooled struct {
+	seq     uint64
+	payload any
+}
+
+// NewClient registers a client endpoint named name, talking to server srv.
+func NewClient(s *sim.Sim, net *Network, name, srv string) *Client {
+	c := &Client{
+		s: s, net: net, cfg: net.cfg, name: name, srv: srv,
+		nextSeq: 1, online: true,
+		inflight: make(map[uint64]*pendingReport),
+	}
+	net.Register(name, c.onDgram)
+	s.Schedule(c.cfg.HeartbeatInterval, c.heartbeat)
+	return c
+}
+
+// Online reports current connectivity belief (optimistic until OfflineAfter
+// consecutive probes go unanswered).
+func (c *Client) Online() bool { return c.online }
+
+// SpoolLen reports how many reports are currently parked awaiting a
+// reachable server.
+func (c *Client) SpoolLen() int { return len(c.spool) }
+
+func (c *Client) rng() *rand.Rand { return c.net.rng(c.name, c.srv) }
+
+// Send ships one report. While offline the report is spooled; otherwise it
+// is transmitted with up to MaxAttempts tries under exponential backoff,
+// and parked in the spool if every attempt goes unacknowledged.
+func (c *Client) Send(payload any) uint64 {
+	seq := c.nextSeq
+	c.nextSeq++
+	c.Stats.Reports++
+	if !c.online {
+		c.park(seq, payload)
+		return seq
+	}
+	c.transmit(&pendingReport{seq: seq, payload: payload})
+	return seq
+}
+
+func (c *Client) transmit(p *pendingReport) {
+	c.inflight[p.seq] = p
+	c.send(p)
+}
+
+func (c *Client) send(p *pendingReport) {
+	c.net.Send(Dgram{From: c.name, To: c.srv, Kind: DgramReport, Seq: p.seq, Payload: p.payload})
+	p.timer = c.s.Schedule(backoff(c.cfg, c.rng(), p.attempt), func() { c.expire(p) })
+}
+
+func (c *Client) expire(p *pendingReport) {
+	if _, still := c.inflight[p.seq]; !still {
+		return
+	}
+	p.attempt++
+	if p.attempt >= c.cfg.MaxAttempts {
+		delete(c.inflight, p.seq)
+		c.Stats.Exhausted++
+		c.miss()
+		c.park(p.seq, p.payload)
+		return
+	}
+	c.Stats.Retries++
+	c.send(p)
+}
+
+// park inserts a report into the seq-ordered spool, evicting the oldest on
+// overflow (the server will see the eviction as a sequence hole).
+func (c *Client) park(seq uint64, payload any) {
+	c.Stats.Spooled++
+	i := len(c.spool)
+	for i > 0 && c.spool[i-1].seq > seq {
+		i--
+	}
+	c.spool = append(c.spool, spooled{})
+	copy(c.spool[i+1:], c.spool[i:])
+	c.spool[i] = spooled{seq: seq, payload: payload}
+	if len(c.spool) > c.cfg.SpoolLimit {
+		c.spool = c.spool[1:]
+		c.Stats.SpoolDrops++
+	}
+}
+
+func (c *Client) heartbeat() {
+	c.Stats.Heartbeats++
+	c.probeSeq++
+	c.probe(c.probeSeq, 0)
+	c.s.Schedule(c.cfg.HeartbeatInterval, c.heartbeat)
+}
+
+// probe transmits one liveness probe with fast, fixed-interval retries (no
+// exponential backoff: this is failure detection, not congestion control).
+// A probe counts as missed only after every attempt went unanswered, which
+// keeps false offline transitions negligible even at heavy datagram loss
+// while a real outage still accumulates OfflineAfter misses within a few
+// heartbeat intervals.
+func (c *Client) probe(seq uint64, attempt int) {
+	c.net.Send(Dgram{From: c.name, To: c.srv, Kind: DgramHeartbeat, Seq: seq})
+	c.s.Schedule(c.cfg.AckTimeout, func() {
+		if c.lastProbeAck >= seq {
+			return
+		}
+		if attempt+1 >= c.cfg.MaxAttempts {
+			c.miss()
+			return
+		}
+		c.Stats.ProbeRetries++
+		c.probe(seq, attempt+1)
+	})
+}
+
+func (c *Client) miss() {
+	c.misses++
+	if c.online && c.misses >= c.cfg.OfflineAfter {
+		c.online = false
+		c.Stats.Offline++
+		if c.OnOnline != nil {
+			c.OnOnline(false)
+		}
+	}
+}
+
+func (c *Client) onDgram(d Dgram) {
+	switch d.Kind {
+	case DgramReportAck:
+		if p, ok := c.inflight[d.Seq]; ok {
+			p.timer.Stop()
+			delete(c.inflight, d.Seq)
+		}
+		c.ackSeen()
+	case DgramHeartbeatAck:
+		if d.Seq > c.lastProbeAck {
+			c.lastProbeAck = d.Seq
+		}
+		c.ackSeen()
+	case DgramCallReq:
+		c.Stats.Calls++
+		resp := Dgram{From: c.name, To: c.srv, Kind: DgramCallResp, Seq: d.Seq}
+		if c.OnCall == nil {
+			resp.Err = "mgmt: no call handler"
+		} else if v, err := c.OnCall(d.Payload); err != nil {
+			resp.Err = err.Error()
+		} else {
+			resp.Payload = v
+		}
+		c.net.Send(resp)
+	}
+}
+
+// ackSeen resets the miss counter and, on the offline→online edge, flushes
+// the spool in sequence order before announcing the transition.
+func (c *Client) ackSeen() {
+	c.misses = 0
+	if c.online {
+		return
+	}
+	c.online = true
+	spool := c.spool
+	c.spool = nil
+	for _, sp := range spool {
+		c.transmit(&pendingReport{seq: sp.seq, payload: sp.payload})
+	}
+	if c.OnOnline != nil {
+		c.OnOnline(true)
+	}
+}

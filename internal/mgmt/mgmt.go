@@ -1,0 +1,275 @@
+// Package mgmt simulates an ISP management network: the out-of-band channel
+// between every switch's telemetry agent and the central fleet correlator.
+//
+// PR-2's fleet control plane rode on an implicitly perfect in-process
+// channel — the one part of the system no failure could touch. Real
+// management planes are IP networks that degrade exactly when the data
+// plane does: reports are lost, delayed, duplicated and reordered, and
+// whole sites are partitioned away from the NOC. This package models that
+// channel with the same seed-deterministic knob vocabulary as
+// netsim.Chaos (loss, duplication, jitter, down/up partition windows) and
+// layers a small reliable protocol on top:
+//
+//   - Client (switch side): sequence-numbered reports with per-attempt
+//     timeouts and bounded retries under exponential backoff + jitter,
+//     heartbeat-based connectivity probing, and an offline spool that
+//     preserves report order across partitions and correlator crashes;
+//   - Server (correlator side): per-client duplicate suppression and
+//     gap/hole accounting over the report sequence space, heartbeat
+//     liveness tracking, and a Call RPC (the Get/Sample read path) with
+//     the same timeout/retry/backoff hardening.
+//
+// All randomness derives from the simulation seed per directed endpoint
+// pair, so identical seeds replay identical management-plane weather.
+package mgmt
+
+import (
+	"math/rand"
+
+	"fancy/internal/netsim"
+	"fancy/internal/sim"
+)
+
+// Config tunes both the datagram channel and the reliability protocol.
+// The zero value is a perfect, near-instant management network.
+type Config struct {
+	// Delay is the base one-way datagram delay (default 500 µs).
+	Delay sim.Time
+	// Jitter adds a uniform extra delay in [0, Jitter) per datagram.
+	Jitter sim.Time
+	// Loss is the per-datagram drop probability (0..1).
+	Loss float64
+	// Duplicate is the per-datagram probability of delivering a second
+	// copy within DupDelayMax (default 2 ms) of the original.
+	Duplicate   float64
+	DupDelayMax sim.Time
+
+	// AckTimeout is the client's first-attempt ack wait (default 5 ms);
+	// each retry doubles it up to BackoffMax (default 80 ms), with a
+	// ±JitterFrac (default 0.25) multiplicative jitter to avoid
+	// synchronized retry storms across the fleet.
+	AckTimeout sim.Time
+	BackoffMax sim.Time
+	JitterFrac float64
+	// MaxAttempts bounds transmissions per report or RPC attempt cycle
+	// (default 5). An exhausted report is parked in the spool rather than
+	// silently lost; an exhausted RPC fails with an error.
+	MaxAttempts int
+
+	// HeartbeatInterval is the client's liveness-probe cadence (default
+	// 10 ms); OfflineAfter consecutive unacknowledged probes or reports
+	// (default 3) flip the client to offline/degraded mode.
+	HeartbeatInterval sim.Time
+	OfflineAfter      int
+
+	// SpoolLimit bounds the offline spool (default 512 reports); overflow
+	// evicts the oldest report, which the server will observe as a
+	// sequence hole.
+	SpoolLimit int
+
+	// UnreachableAfter is the server-side liveness horizon: a client not
+	// heard from for this long is considered unreachable (default 60 ms).
+	UnreachableAfter sim.Time
+}
+
+func (c Config) withDefaults() Config {
+	if c.Delay == 0 {
+		c.Delay = 500 * sim.Microsecond
+	}
+	if c.DupDelayMax == 0 {
+		c.DupDelayMax = 2 * sim.Millisecond
+	}
+	if c.AckTimeout == 0 {
+		c.AckTimeout = 5 * sim.Millisecond
+	}
+	if c.BackoffMax == 0 {
+		c.BackoffMax = 80 * sim.Millisecond
+	}
+	if c.JitterFrac == 0 {
+		c.JitterFrac = 0.25
+	}
+	if c.MaxAttempts == 0 {
+		c.MaxAttempts = 5
+	}
+	if c.HeartbeatInterval == 0 {
+		c.HeartbeatInterval = 10 * sim.Millisecond
+	}
+	if c.OfflineAfter == 0 {
+		c.OfflineAfter = 3
+	}
+	if c.SpoolLimit == 0 {
+		c.SpoolLimit = 512
+	}
+	if c.UnreachableAfter == 0 {
+		c.UnreachableAfter = 60 * sim.Millisecond
+	}
+	return c
+}
+
+// DgramKind tags a management datagram.
+type DgramKind uint8
+
+// Datagram kinds: the report stream, its acks, the RPC pair and the
+// heartbeat pair.
+const (
+	DgramReport DgramKind = iota
+	DgramReportAck
+	DgramCallReq
+	DgramCallResp
+	DgramHeartbeat
+	DgramHeartbeatAck
+)
+
+// Dgram is one management-plane datagram.
+type Dgram struct {
+	From, To string
+	Kind     DgramKind
+	Seq      uint64 // report sequence or RPC id
+	Payload  any
+	Err      string // CallResp only
+}
+
+// NetStats counts what the channel did to traffic, fleet-wide.
+type NetStats struct {
+	Sent           uint64 // datagrams offered to the channel
+	Delivered      uint64
+	Lost           uint64 // random loss
+	Duplicated     uint64 // extra copies delivered
+	PartitionDrops uint64 // dropped by a partition (static chaos window or dynamic)
+}
+
+// Network is the lossy management fabric. Endpoints register by name; any
+// endpoint may send to any other. Impairments apply per directed pair with
+// an RNG derived from the simulation seed and the pair label, so delivery
+// schedules are independent of registration or send order elsewhere.
+type Network struct {
+	s   *sim.Sim
+	cfg Config
+
+	handlers    map[string]func(Dgram)
+	rngs        map[string]*rand.Rand
+	partitioned map[string]bool          // dynamically partitioned endpoints
+	chaos       map[string]*netsim.Chaos // per-endpoint windowed impairments
+
+	Stats NetStats
+}
+
+// NewNetwork builds a management network over s.
+func NewNetwork(s *sim.Sim, cfg Config) *Network {
+	return &Network{
+		s: s, cfg: cfg.withDefaults(),
+		handlers:    make(map[string]func(Dgram)),
+		rngs:        make(map[string]*rand.Rand),
+		partitioned: make(map[string]bool),
+		chaos:       make(map[string]*netsim.Chaos),
+	}
+}
+
+// Config returns the effective (defaults-filled) configuration.
+func (n *Network) Config() Config { return n.cfg }
+
+// Register attaches an endpoint's delivery handler.
+func (n *Network) Register(name string, handler func(Dgram)) {
+	n.handlers[name] = handler
+}
+
+// Partition cuts an endpoint off the management network (both directions)
+// until Heal. It models a site losing its out-of-band connectivity.
+func (n *Network) Partition(name string) { n.partitioned[name] = true }
+
+// Heal reconnects a previously partitioned endpoint.
+func (n *Network) Heal(name string) { delete(n.partitioned, name) }
+
+// Partitioned reports whether the endpoint is currently cut off
+// (dynamically, or inside a SetChaos down window).
+func (n *Network) Partitioned(name string) bool {
+	if n.partitioned[name] {
+		return true
+	}
+	return n.chaos[name].DownAt(n.s.Now())
+}
+
+// SetChaos attaches a netsim.Chaos schedule to an endpoint: its
+// DownFor/UpFor window flaps the endpoint's management connectivity, its
+// CorruptData probability acts as extra datagram loss (a management
+// datagram with a corrupted payload is discarded whole), and
+// Reorder/JitterMax add extra delivery jitter — the same knob semantics
+// the data plane's chaos injector uses, applied at the management layer.
+func (n *Network) SetChaos(name string, c *netsim.Chaos) { n.chaos[name] = c }
+
+func (n *Network) rng(from, to string) *rand.Rand {
+	key := from + ">" + to
+	r, ok := n.rngs[key]
+	if !ok {
+		r = n.s.DeriveRand("mgmt/" + key)
+		n.rngs[key] = r
+	}
+	return r
+}
+
+// Send offers one datagram to the channel. Delivery (if any) is scheduled
+// for a later event; Send itself never invokes the receiver synchronously.
+func (n *Network) Send(d Dgram) {
+	n.Stats.Sent++
+	now := n.s.Now()
+	if n.Partitioned(d.From) || n.Partitioned(d.To) {
+		n.Stats.PartitionDrops++
+		if c := n.chaos[d.From]; c.DownAt(now) {
+			c.Stats.FlapDrops++
+		} else if c := n.chaos[d.To]; c.DownAt(now) {
+			c.Stats.FlapDrops++
+		}
+		return
+	}
+	rng := n.rng(d.From, d.To)
+	loss := n.cfg.Loss
+	jitterMax := n.cfg.Jitter
+	for _, c := range []*netsim.Chaos{n.chaos[d.From], n.chaos[d.To]} {
+		if c != nil && c.ActiveAt(now) {
+			loss = 1 - (1-loss)*(1-c.CorruptData)
+			if c.JitterMax > jitterMax {
+				jitterMax = c.JitterMax
+			}
+		}
+	}
+	if loss > 0 && rng.Float64() < loss {
+		n.Stats.Lost++
+		return
+	}
+	delay := n.cfg.Delay
+	if jitterMax > 0 {
+		delay += sim.Time(rng.Int63n(int64(jitterMax)))
+	}
+	n.deliver(d, delay)
+	if n.cfg.Duplicate > 0 && rng.Float64() < n.cfg.Duplicate {
+		n.Stats.Duplicated++
+		n.deliver(d, delay+1+sim.Time(rng.Int63n(int64(n.cfg.DupDelayMax))))
+	}
+}
+
+func (n *Network) deliver(d Dgram, after sim.Time) {
+	n.s.Schedule(after, func() {
+		if n.Partitioned(d.To) { // partition started while in flight
+			n.Stats.PartitionDrops++
+			return
+		}
+		if h, ok := n.handlers[d.To]; ok {
+			n.Stats.Delivered++
+			h(d)
+		}
+	})
+}
+
+// backoff computes the attempt'th retransmission timeout with jitter.
+func backoff(cfg Config, rng *rand.Rand, attempt int) sim.Time {
+	t := cfg.AckTimeout << attempt
+	if t > cfg.BackoffMax || t <= 0 {
+		t = cfg.BackoffMax
+	}
+	j := 1 + cfg.JitterFrac*(2*rng.Float64()-1)
+	t = sim.Time(float64(t) * j)
+	if t < 1 {
+		t = 1
+	}
+	return t
+}

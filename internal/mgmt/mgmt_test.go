@@ -1,0 +1,278 @@
+package mgmt
+
+import (
+	"fmt"
+	"testing"
+
+	"fancy/internal/netsim"
+	"fancy/internal/sim"
+)
+
+type rig struct {
+	s   *sim.Sim
+	net *Network
+	srv *Server
+	cl  *Client
+
+	got  []uint64 // delivered (unique) report seqs, in delivery order
+	vals []any
+}
+
+func newRig(t *testing.T, seed int64, cfg Config) *rig {
+	t.Helper()
+	r := &rig{s: sim.New(seed)}
+	r.net = NewNetwork(r.s, cfg)
+	r.srv = NewServer(r.s, r.net, "corr")
+	r.srv.OnReport = func(from string, seq uint64, payload any) {
+		if from != "sw" {
+			t.Fatalf("report from %q", from)
+		}
+		r.got = append(r.got, seq)
+		r.vals = append(r.vals, payload)
+	}
+	r.cl = NewClient(r.s, r.net, "sw", "corr")
+	return r
+}
+
+func TestPerfectChannelDeliversInOrder(t *testing.T) {
+	r := newRig(t, 1, Config{})
+	for i := 0; i < 10; i++ {
+		r.cl.Send(i)
+	}
+	r.s.Run(sim.Second)
+	if len(r.got) != 10 {
+		t.Fatalf("delivered %d reports, want 10", len(r.got))
+	}
+	for i, seq := range r.got {
+		if seq != uint64(i+1) || r.vals[i] != i {
+			t.Fatalf("report %d: seq=%d val=%v", i, seq, r.vals[i])
+		}
+	}
+	if r.srv.Holes() != 0 {
+		t.Fatalf("holes=%d on a perfect channel", r.srv.Holes())
+	}
+	if !r.srv.Alive("sw") {
+		t.Fatal("client not alive despite heartbeats")
+	}
+}
+
+func TestLossyChannelRetriesToCompletion(t *testing.T) {
+	r := newRig(t, 7, Config{Loss: 0.3, Duplicate: 0.1, Jitter: sim.Millisecond})
+	const n = 50
+	for i := 0; i < n; i++ {
+		i := i
+		r.s.Schedule(sim.Time(i)*2*sim.Millisecond, func() { r.cl.Send(i) })
+	}
+	r.s.Run(5 * sim.Second)
+	if len(r.got) != n {
+		t.Fatalf("delivered %d unique reports, want %d (retries must recover 30%% loss)", len(r.got), n)
+	}
+	if r.cl.Stats.Retries == 0 {
+		t.Fatal("no retries under 30% loss")
+	}
+	if r.srv.Stats.Duplicates == 0 {
+		t.Fatal("no duplicates suppressed despite Duplicate=0.1 and retransmissions")
+	}
+	if r.srv.Holes() != 0 {
+		t.Fatalf("holes=%d, want 0 after retries", r.srv.Holes())
+	}
+}
+
+func TestDeterministicReplay(t *testing.T) {
+	run := func() (string, NetStats) {
+		s := sim.New(99)
+		net := NewNetwork(s, Config{Loss: 0.25, Duplicate: 0.2, Jitter: 2 * sim.Millisecond})
+		srv := NewServer(s, net, "corr")
+		var log string
+		srv.OnReport = func(from string, seq uint64, payload any) {
+			log += fmt.Sprintf("%v/%d;", s.Now(), seq)
+		}
+		cl := NewClient(s, net, "sw", "corr")
+		for i := 0; i < 30; i++ {
+			i := i
+			s.Schedule(sim.Time(i)*sim.Millisecond, func() { cl.Send(i) })
+		}
+		s.Run(2 * sim.Second)
+		return log, net.Stats
+	}
+	l1, s1 := run()
+	l2, s2 := run()
+	if l1 != l2 || s1 != s2 {
+		t.Fatalf("non-deterministic replay:\n%s\nvs\n%s\n%+v vs %+v", l1, l2, s1, s2)
+	}
+}
+
+func TestPartitionOfflineSpoolAndHeal(t *testing.T) {
+	r := newRig(t, 3, Config{})
+	var transitions []bool
+	r.cl.OnOnline = func(on bool) { transitions = append(transitions, on) }
+
+	r.s.Schedule(100*sim.Millisecond, func() { r.net.Partition("sw") })
+	for i := 0; i < 20; i++ {
+		i := i
+		r.s.Schedule(sim.Time(100+i*10)*sim.Millisecond, func() { r.cl.Send(i) })
+	}
+	r.s.Schedule(400*sim.Millisecond, func() {
+		if r.cl.Online() {
+			t.Error("client still online mid-partition")
+		}
+	})
+	r.s.Schedule(500*sim.Millisecond, func() { r.net.Heal("sw") })
+	r.s.Run(2 * sim.Second)
+
+	if len(transitions) < 2 || transitions[0] != false || transitions[len(transitions)-1] != true {
+		t.Fatalf("transitions %v, want offline then online", transitions)
+	}
+	if len(r.got) != 20 {
+		t.Fatalf("delivered %d reports after heal, want all 20 (spool replay)", len(r.got))
+	}
+	for i := 1; i < len(r.got); i++ {
+		if r.got[i] <= r.got[i-1] {
+			t.Fatalf("spool replay out of order: %v", r.got)
+		}
+	}
+	if r.cl.Stats.Spooled == 0 {
+		t.Fatal("nothing spooled during the partition")
+	}
+}
+
+func TestSpoolOverflowCreatesHoles(t *testing.T) {
+	r := newRig(t, 5, Config{SpoolLimit: 4})
+	r.net.Partition("sw")
+	// Force offline first so sends spool directly.
+	r.s.Schedule(100*sim.Millisecond, func() {
+		for i := 0; i < 10; i++ {
+			r.cl.Send(i)
+		}
+	})
+	r.s.Schedule(200*sim.Millisecond, func() { r.net.Heal("sw") })
+	r.s.Run(sim.Second)
+	if r.cl.Stats.SpoolDrops != 6 {
+		t.Fatalf("SpoolDrops=%d, want 6", r.cl.Stats.SpoolDrops)
+	}
+	if len(r.got) != 4 {
+		t.Fatalf("delivered %d, want the 4 surviving reports", len(r.got))
+	}
+	if h := r.srv.Holes(); h != 6 {
+		t.Fatalf("server sees %d holes, want 6", h)
+	}
+}
+
+func TestCallRPCAndUnavailable(t *testing.T) {
+	r := newRig(t, 11, Config{Loss: 0.3})
+	r.cl.OnCall = func(req any) (any, error) {
+		if req.(string) == "boom" {
+			return nil, fmt.Errorf("no such path")
+		}
+		return "value:" + req.(string), nil
+	}
+	okCalls, errCalls, unavail := 0, 0, 0
+	r.s.Schedule(0, func() {
+		r.srv.Call("sw", "x", func(v any, err error) {
+			if err != nil || v != "value:x" {
+				t.Errorf("call: v=%v err=%v", v, err)
+			}
+			okCalls++
+		})
+		r.srv.Call("sw", "boom", func(v any, err error) {
+			if err == nil || err.Error() != "no such path" {
+				t.Errorf("boom call: v=%v err=%v", v, err)
+			}
+			errCalls++
+		})
+	})
+	// A partitioned peer yields ErrUnavailable after bounded attempts.
+	r.s.Schedule(300*sim.Millisecond, func() {
+		r.net.Partition("sw")
+		r.srv.Call("sw", "y", func(v any, err error) {
+			if err != ErrUnavailable {
+				t.Errorf("partitioned call: err=%v, want ErrUnavailable", err)
+			}
+			unavail++
+		})
+	})
+	r.s.Run(3 * sim.Second)
+	if okCalls != 1 || errCalls != 1 || unavail != 1 {
+		t.Fatalf("callbacks ok=%d err=%d unavail=%d, want 1/1/1 (exactly once)", okCalls, errCalls, unavail)
+	}
+}
+
+func TestCrashWindowBehavesLikePartition(t *testing.T) {
+	r := newRig(t, 13, Config{})
+	r.s.Schedule(100*sim.Millisecond, func() { r.srv.SetAccepting(false) })
+	for i := 0; i < 10; i++ {
+		i := i
+		r.s.Schedule(sim.Time(110+i*10)*sim.Millisecond, func() { r.cl.Send(i) })
+	}
+	r.s.Schedule(400*sim.Millisecond, func() {
+		if r.cl.Online() {
+			t.Error("client did not notice the crashed correlator")
+		}
+		r.srv.SetAccepting(true)
+	})
+	r.s.Run(2 * sim.Second)
+	if len(r.got) != 10 {
+		t.Fatalf("delivered %d reports after restart, want all 10", len(r.got))
+	}
+	if !r.cl.Online() {
+		t.Fatal("client never recovered after restart")
+	}
+}
+
+func TestSeqCheckpointRestoreDedups(t *testing.T) {
+	r := newRig(t, 17, Config{})
+	for i := 0; i < 5; i++ {
+		r.cl.Send(i)
+	}
+	r.s.Run(50 * sim.Millisecond)
+	cp := r.srv.SeqCheckpoint()
+	if cp["sw"].Contig != 5 {
+		t.Fatalf("checkpoint contig=%d, want 5", cp["sw"].Contig)
+	}
+	r.srv.RestoreSeq(cp)
+	// Replay of an already-consumed seq must be suppressed.
+	before := len(r.got)
+	r.net.Send(Dgram{From: "sw", To: "corr", Kind: DgramReport, Seq: 3, Payload: "dup"})
+	r.s.Run(100 * sim.Millisecond)
+	if len(r.got) != before {
+		t.Fatal("restored server re-delivered a checkpointed seq")
+	}
+	if r.srv.Stats.Duplicates == 0 {
+		t.Fatal("duplicate not counted")
+	}
+}
+
+func TestChaosWindowPartition(t *testing.T) {
+	s := sim.New(23)
+	net := NewNetwork(s, Config{})
+	srv := NewServer(s, net, "corr")
+	var got int
+	srv.OnReport = func(string, uint64, any) { got++ }
+	cl := NewClient(s, net, "sw", "corr")
+	ch := netsim.NewChaos(s, "mgmt-flap")
+	ch.Start = 100 * sim.Millisecond
+	ch.End = 300 * sim.Millisecond
+	ch.DownFor = 200 * sim.Millisecond // fully down inside the window
+	net.SetChaos("sw", ch)
+
+	offlineSeen := false
+	cl.OnOnline = func(on bool) {
+		if !on {
+			offlineSeen = true
+		}
+	}
+	for i := 0; i < 30; i++ {
+		i := i
+		s.Schedule(sim.Time(i*20)*sim.Millisecond, func() { cl.Send(i) })
+	}
+	s.Run(3 * sim.Second)
+	if !offlineSeen {
+		t.Fatal("chaos down-window never drove the client offline")
+	}
+	if got != 30 {
+		t.Fatalf("delivered %d, want all 30 once the window closed", got)
+	}
+	if ch.Stats.FlapDrops == 0 {
+		t.Fatal("chaos flap drops not accounted")
+	}
+}

@@ -1,0 +1,60 @@
+package telemetry
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzGetPath throws arbitrary paths at Server.Get: it must never panic,
+// must answer every path Paths() advertises, and must reject everything
+// else with an error rather than a zero value masquerading as telemetry.
+// The corpus seeds every advertised path plus mutations that target the
+// parser's joints (slot indices, prefixes, separators).
+func FuzzGetPath(f *testing.F) {
+	b := newFuzzBed(f)
+	valid := make(map[string]bool)
+	for _, p := range b.srv.Paths() {
+		valid[p] = true
+		f.Add(p)
+		// Mutations around each advertised path's structure.
+		f.Add(p + "/")
+		f.Add("/" + p)
+		f.Add(strings.ToUpper(p))
+		f.Add(strings.TrimPrefix(p, "/fancy"))
+	}
+	f.Add("")
+	f.Add("/")
+	f.Add("//")
+	f.Add("/fancy")
+	f.Add("/fancy/port/1/dedicated/0")
+	f.Add("/fancy/port/1/dedicated/-1")
+	f.Add("/fancy/port/1/dedicated/99999999999999999999")
+	f.Add("/fancy/port/notanumber/state")
+	f.Add("/fancy/port/1/tree/0/0")
+	f.Add("/fancy/port/1/tree/x/y")
+	f.Add("/fancy/stats/")
+	f.Add("/fancy/stats/unknown")
+	f.Add(strings.Repeat("/fancy", 100))
+	f.Add("/fancy/port/+1/state")
+	f.Add("/fancy/port/0x1/state")
+
+	f.Fuzz(func(t *testing.T, path string) {
+		v, err := b.srv.Get(path) // must not panic, whatever the input
+		if valid[path] && err != nil {
+			t.Fatalf("advertised path %q rejected: %v", path, err)
+		}
+		if err == nil && v == nil {
+			t.Fatalf("path %q accepted but returned nil", path)
+		}
+	})
+}
+
+// newFuzzBed is newBed without *testing.T (fuzzing passes *testing.F).
+func newFuzzBed(f *testing.F) *bed {
+	f.Helper()
+	b, err := buildBed()
+	if err != nil {
+		f.Fatal(err)
+	}
+	return b
+}

@@ -22,6 +22,16 @@ type bed struct {
 
 func newBed(t *testing.T) *bed {
 	t.Helper()
+	b, err := buildBed()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+// buildBed is the harness constructor proper, shared with FuzzGetPath
+// (fuzzing hands out *testing.F, not *testing.T).
+func buildBed() (*bed, error) {
 	s := sim.New(1)
 	b := &bed{s: s}
 	b.src = netsim.NewHost(s, "src")
@@ -43,17 +53,17 @@ func newBed(t *testing.T) *bed {
 	var err error
 	b.det, err = fancy.NewDetector(s, up, cfg)
 	if err != nil {
-		t.Fatal(err)
+		return nil, err
 	}
 	downDet, err := fancy.NewDetector(s, down, cfg)
 	if err != nil {
-		t.Fatal(err)
+		return nil, err
 	}
 	downDet.ListenPort(0)
 	b.det.MonitorPort(1)
 	b.srv = NewServer(s, b.det, 1)
 	b.det.OnEvent = b.srv.AttachEvents(nil)
-	return b
+	return b, nil
 }
 
 func (b *bed) traffic(entry netsim.EntryID, stop sim.Time) {

@@ -1,0 +1,104 @@
+// Command fancy-vet runs the repo-specific static-analysis suite that
+// enforces simulator determinism and concurrency invariants:
+//
+//	walltime        no wall-clock access in simulation-facing packages
+//	globalrand      no global math/rand anywhere
+//	maporder        no order-sensitive map iteration without sorted keys
+//	floateq         no floating-point == / != in stats, exp and fancy
+//	lockedcallback  no callback invocation while the receiver's mutex is held
+//
+// Usage:
+//
+//	fancy-vet [-json] [packages]
+//
+// Packages are module-relative directories, optionally ending in /...;
+// the default is ./... (the whole module). Findings print as
+// file:line:col: analyzer: message; -json emits them as a JSON array.
+// Exit status is 1 if there are findings, 2 on load errors, 0 otherwise.
+//
+// A finding is suppressed only by an inline directive with a reason:
+//
+//	//lint:allow <analyzer> <reason>
+//
+// on the offending line or the line above. Directives with an empty reason
+// or an unknown analyzer name are themselves findings.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"fancy/internal/lint"
+)
+
+type jsonFinding struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Column   int    `json:"column"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+}
+
+func main() {
+	jsonOut := flag.Bool("json", false, "emit findings as a JSON array")
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: fancy-vet [-json] [packages]\n\nanalyzers:\n")
+		for _, a := range lint.Analyzers() {
+			fmt.Fprintf(flag.CommandLine.Output(), "  %-14s %s\n", a.Name, a.Doc)
+		}
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	mod, err := lint.FindModule(".")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "fancy-vet:", err)
+		os.Exit(2)
+	}
+	pkgs, err := lint.Load(mod, flag.Args()...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "fancy-vet:", err)
+		os.Exit(2)
+	}
+	findings := lint.Run(pkgs, lint.Analyzers())
+
+	cwd, _ := os.Getwd()
+	display := func(file string) string {
+		if cwd == "" {
+			return file
+		}
+		if rel, err := filepath.Rel(cwd, file); err == nil && !filepath.IsAbs(rel) {
+			return rel
+		}
+		return file
+	}
+	if *jsonOut {
+		out := make([]jsonFinding, 0, len(findings))
+		for _, f := range findings {
+			out = append(out, jsonFinding{
+				File:     display(f.Pos.Filename),
+				Line:     f.Pos.Line,
+				Column:   f.Pos.Column,
+				Analyzer: f.Analyzer,
+				Message:  f.Message,
+			})
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "\t")
+		if err := enc.Encode(out); err != nil {
+			fmt.Fprintln(os.Stderr, "fancy-vet:", err)
+			os.Exit(2)
+		}
+	} else {
+		for _, f := range findings {
+			fmt.Printf("%s:%d:%d: %s: %s\n",
+				display(f.Pos.Filename), f.Pos.Line, f.Pos.Column, f.Analyzer, f.Message)
+		}
+	}
+	if len(findings) > 0 {
+		os.Exit(1)
+	}
+}

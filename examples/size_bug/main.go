@@ -13,6 +13,7 @@ package main
 
 import (
 	"fmt"
+	"sort"
 
 	"fancy"
 	core "fancy/internal/fancy"
@@ -63,7 +64,12 @@ func main() {
 	s.Run(8 * fancy.Second)
 
 	fmt.Println("\nflagged size buckets:")
+	buckets := make([]int, 0, len(sender.FlaggedBuckets))
 	for b := range sender.FlaggedBuckets {
+		buckets = append(buckets, b)
+	}
+	sort.Ints(buckets)
+	for _, b := range buckets {
 		fmt.Printf("  %s\n", core.BucketRange(b))
 	}
 	fmt.Println("\nThe report points an operator straight at the failing size range —")

@@ -172,7 +172,7 @@ func NewMonitoredLinkOpts(s *Sim, cfg Config, opts MonitoredLinkOptions) (*Monit
 	if opts.Delay == 0 {
 		opts.Delay = 10 * Millisecond
 	}
-	if opts.RateBps == 0 {
+	if opts.RateBps <= 0 {
 		opts.RateBps = 100e9
 	}
 	ml := &MonitoredLink{Sim: s, monitorPort: 1}

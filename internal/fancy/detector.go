@@ -2,6 +2,7 @@ package fancy
 
 import (
 	"fmt"
+	"sort"
 
 	"fancy/internal/netsim"
 	"fancy/internal/sim"
@@ -181,7 +182,15 @@ func (d *Detector) Restart() {
 		d.epoch = 1 // zero is reserved
 	}
 	d.stats.Restarts++
-	for port, m := range d.monitors {
+	// Restarted sender FSMs are scheduled below; visit the ports in a
+	// fixed order so event sequence numbers stay reproducible.
+	ports := make([]int, 0, len(d.monitors))
+	for port := range d.monitors {
+		ports = append(ports, port)
+	}
+	sort.Ints(ports)
+	for _, port := range ports {
+		m := d.monitors[port]
 		for _, f := range m.dedicated {
 			f.kill()
 		}

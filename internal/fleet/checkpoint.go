@@ -232,7 +232,16 @@ func (f *Fleet) RestartCorrelator() {
 		for _, k := range cp.RerouteSeen {
 			f.rerouteSeen[k] = true
 		}
-		for key, lc := range cp.Links {
+		// Re-opened verdict windows are scheduled below, so the links must
+		// be visited in a fixed order to keep event sequence numbers (and
+		// therefore same-tick execution order) reproducible.
+		linkKeys := make([]string, 0, len(cp.Links))
+		for key := range cp.Links {
+			linkKeys = append(linkKeys, key)
+		}
+		sort.Strings(linkKeys)
+		for _, key := range linkKeys {
+			lc := cp.Links[key]
 			ls, ok := f.links[key]
 			if !ok {
 				continue

@@ -1,0 +1,58 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// floatEqSegments scopes the check to the numerical packages: the stats
+// helpers, the experiment sweeps and the detector itself, where a drifting
+// accumulation compared with == silently flips results between platforms
+// and optimization levels.
+var floatEqSegments = map[string]bool{
+	"stats": true,
+	"exp":   true,
+	"fancy": true,
+}
+
+// AnalyzerFloatEq flags == and != between floating-point operands.
+var AnalyzerFloatEq = &Analyzer{
+	Name: "floateq",
+	Doc:  "floating-point == / != in stats, exp and fancy; compare with an epsilon or integers",
+	Run:  runFloatEq,
+}
+
+func runFloatEq(p *Package) []Finding {
+	if !pathHasSegment(p, floatEqSegments) {
+		return nil
+	}
+	isFloat := func(e ast.Expr) bool {
+		tv, ok := p.Info.Types[e]
+		if !ok || tv.Type == nil {
+			return false
+		}
+		b, ok := tv.Type.Underlying().(*types.Basic)
+		return ok && b.Info()&types.IsFloat != 0
+	}
+	var out []Finding
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			be, ok := n.(*ast.BinaryExpr)
+			if !ok || (be.Op != token.EQL && be.Op != token.NEQ) {
+				return true
+			}
+			if !isFloat(be.X) && !isFloat(be.Y) {
+				return true
+			}
+			out = append(out, Finding{
+				Pos:      p.Fset.Position(be.OpPos),
+				Analyzer: "floateq",
+				Message: "floating-point " + be.Op.String() + " is exact-bit comparison; " +
+					"use an epsilon, integer units, or justify with //lint:allow",
+			})
+			return true
+		})
+	}
+	return out
+}

@@ -1,0 +1,58 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// globalRandAllowed are the math/rand package-level functions that build
+// seeded generators rather than consume the shared global one.
+var globalRandAllowed = map[string]bool{
+	"New":        true,
+	"NewSource":  true,
+	"NewZipf":    true,
+	"NewPCG":     true, // math/rand/v2
+	"NewChaCha8": true,
+}
+
+// AnalyzerGlobalRand bans the package-level math/rand functions everywhere:
+// the global generator is shared, unseeded (or seeded once per process) and
+// its stream depends on every other caller, so nothing drawn from it can be
+// reproduced from a scenario seed. Randomness must come from a seeded
+// *rand.Rand threaded through config (sim.New(seed) holds one).
+var AnalyzerGlobalRand = &Analyzer{
+	Name: "globalrand",
+	Doc:  "global math/rand breaks seed-determinism; thread a seeded *rand.Rand from config",
+	Run:  runGlobalRand,
+}
+
+func runGlobalRand(p *Package) []Finding {
+	var out []Finding
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			path := importedPackage(p, sel.X)
+			if path != "math/rand" && path != "math/rand/v2" {
+				return true
+			}
+			fn, ok := p.Info.Uses[sel.Sel].(*types.Func)
+			if !ok || globalRandAllowed[fn.Name()] {
+				return true
+			}
+			if sig, ok := fn.Type().(*types.Signature); !ok || sig.Recv() != nil {
+				return true // method on *rand.Rand etc., not the global funcs
+			}
+			out = append(out, Finding{
+				Pos:      p.Fset.Position(sel.Pos()),
+				Analyzer: "globalrand",
+				Message: "rand." + fn.Name() + " uses the global math/rand stream, which is not " +
+					"reproducible from a seed; use a seeded *rand.Rand (e.g. sim.Sim's)",
+			})
+			return true
+		})
+	}
+	return out
+}

@@ -1,0 +1,175 @@
+// Analyzer framework: findings, suppression directives and the run loop.
+//
+// fancy-vet enforces the repo's two load-bearing invariants — every layer of
+// the simulator must be seed-deterministic, and callback dispatch must not
+// hold locks — as machine-checked analyzers. A finding can only be silenced
+// with an inline
+//
+//	//lint:allow <analyzer> <reason>
+//
+// directive on the offending line (or the line directly above it), and the
+// driver verifies the reason is non-empty: a bare allow is itself reported
+// as a finding.
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Finding is one analyzer report.
+type Finding struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+}
+
+// Analyzer is one repo-specific check.
+type Analyzer struct {
+	Name string
+	Doc  string // one-line invariant statement, shown by fancy-vet -help
+	Run  func(p *Package) []Finding
+}
+
+// Analyzers returns the full suite in reporting order.
+func Analyzers() []*Analyzer {
+	return []*Analyzer{
+		AnalyzerWalltime,
+		AnalyzerGlobalRand,
+		AnalyzerMapOrder,
+		AnalyzerFloatEq,
+		AnalyzerLockedCallback,
+	}
+}
+
+// directiveAnalyzer is the pseudo-analyzer name under which malformed
+// //lint:allow directives are reported. It is not itself suppressible.
+const directiveAnalyzer = "directive"
+
+// directive is one parsed //lint:allow comment.
+type directive struct {
+	pos      token.Position
+	analyzer string
+	reason   string
+}
+
+// fileDirectives extracts the //lint:allow directives of one file.
+func fileDirectives(fset *token.FileSet, f *ast.File) []directive {
+	var ds []directive
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			text, ok := strings.CutPrefix(c.Text, "//")
+			if !ok {
+				continue // /* */ comments cannot carry directives
+			}
+			rest, ok := strings.CutPrefix(strings.TrimSpace(text), "lint:allow")
+			if !ok {
+				continue
+			}
+			rest = strings.TrimSpace(rest)
+			name, reason, _ := strings.Cut(rest, " ")
+			ds = append(ds, directive{
+				pos:      fset.Position(c.Pos()),
+				analyzer: name,
+				reason:   strings.TrimSpace(reason),
+			})
+		}
+	}
+	return ds
+}
+
+// Run executes the analyzers over the packages and returns the unsuppressed
+// findings plus one finding per malformed directive, sorted by position.
+func Run(pkgs []*Package, analyzers []*Analyzer) []Finding {
+	known := make(map[string]bool)
+	for _, a := range analyzers {
+		known[a.Name] = true
+	}
+	var out []Finding
+	for _, p := range pkgs {
+		var ds []directive
+		for _, f := range p.Files {
+			ds = append(ds, fileDirectives(p.Fset, f)...)
+		}
+		// A well-formed directive suppresses findings of its analyzer on
+		// its own line and on the line below (so it can trail the code or
+		// sit on its own comment line above it).
+		suppressed := func(f Finding) bool {
+			for _, d := range ds {
+				if d.analyzer == f.Analyzer && d.reason != "" &&
+					d.pos.Filename == f.Pos.Filename &&
+					(d.pos.Line == f.Pos.Line || d.pos.Line == f.Pos.Line-1) {
+					return true
+				}
+			}
+			return false
+		}
+		for _, d := range ds {
+			switch {
+			case d.analyzer == "":
+				out = append(out, Finding{Pos: d.pos, Analyzer: directiveAnalyzer,
+					Message: "//lint:allow needs an analyzer name and a reason"})
+			case !known[d.analyzer]:
+				out = append(out, Finding{Pos: d.pos, Analyzer: directiveAnalyzer,
+					Message: "//lint:allow " + d.analyzer + ": unknown analyzer"})
+			case d.reason == "":
+				out = append(out, Finding{Pos: d.pos, Analyzer: directiveAnalyzer,
+					Message: "//lint:allow " + d.analyzer + " has an empty reason; justify the suppression"})
+			}
+		}
+		for _, a := range analyzers {
+			for _, f := range a.Run(p) {
+				if !suppressed(f) {
+					out = append(out, f)
+				}
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return out
+}
+
+// pathHasSegment reports whether the module-relative package path (or, for
+// the module root where rel is empty, the package name) contains one of the
+// given path segments.
+func pathHasSegment(p *Package, segments map[string]bool) bool {
+	if p.Rel == "" {
+		return segments[p.Name]
+	}
+	for _, seg := range strings.Split(p.Rel, "/") {
+		if segments[seg] {
+			return true
+		}
+	}
+	return false
+}
+
+// importedPackage resolves a selector base like the `time` in time.Now to
+// the import path of the package it names, or "" if it is not a package
+// qualifier.
+func importedPackage(p *Package, expr ast.Expr) string {
+	id, ok := expr.(*ast.Ident)
+	if !ok {
+		return ""
+	}
+	pn, ok := p.Info.Uses[id].(*types.PkgName)
+	if !ok {
+		return ""
+	}
+	return pn.Imported().Path()
+}

@@ -1,0 +1,293 @@
+// Package loading and type-checking for fancy-vet.
+//
+// The loader is deliberately restricted to the Go standard library
+// (go/parser, go/types, go/ast, go/token, go/build): the module must stay
+// dependency-free, so the usual golang.org/x/tools/go/packages machinery is
+// off the table. Instead we resolve import paths ourselves: paths inside the
+// module map onto directories under the module root, everything else is
+// assumed to live in GOROOT and is parsed and type-checked from source with
+// cgo disabled (the pure-Go fallback files are always sufficient for type
+// information). Packages are checked in dependency order with a shared
+// FileSet so positions stay comparable across the whole run.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/build"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Module identifies the module under analysis.
+type Module struct {
+	Path string // module path from the go.mod "module" directive
+	Root string // absolute directory containing go.mod
+}
+
+// FindModule locates the enclosing module of dir by walking up to the
+// nearest go.mod.
+func FindModule(dir string) (*Module, error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return nil, err
+	}
+	for d := abs; ; {
+		data, err := os.ReadFile(filepath.Join(d, "go.mod"))
+		if err == nil {
+			path := modulePath(string(data))
+			if path == "" {
+				return nil, fmt.Errorf("lint: %s/go.mod has no module directive", d)
+			}
+			return &Module{Path: path, Root: d}, nil
+		}
+		parent := filepath.Dir(d)
+		if parent == d {
+			return nil, fmt.Errorf("lint: no go.mod found above %s", abs)
+		}
+		d = parent
+	}
+}
+
+// modulePath extracts the module path from go.mod contents.
+func modulePath(gomod string) string {
+	for _, line := range strings.Split(gomod, "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "module"); ok {
+			rest = strings.TrimSpace(rest)
+			return strings.Trim(rest, `"`)
+		}
+	}
+	return ""
+}
+
+// Package is one type-checked package of the module under analysis, the
+// unit every analyzer runs over.
+type Package struct {
+	Path  string // full import path ("fancy/internal/sim")
+	Rel   string // module-relative path ("internal/sim", "" for the root)
+	Name  string // package name
+	Fset  *token.FileSet
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+}
+
+// loader resolves, parses and type-checks packages on demand.
+type loader struct {
+	mod     *Module
+	fset    *token.FileSet
+	ctx     build.Context
+	sizes   types.Sizes
+	pkgs    map[string]*Package       // module packages by import path
+	imports map[string]*types.Package // every checked package by import path
+	loading map[string]bool           // cycle detection
+	errs    []error                   // type errors in module packages
+}
+
+func newLoader(mod *Module) *loader {
+	ctx := build.Default
+	// Disable cgo so build-tag file selection always picks the pure-Go
+	// fallbacks; their exported type surface is what we need.
+	ctx.CgoEnabled = false
+	return &loader{
+		mod:     mod,
+		fset:    token.NewFileSet(),
+		ctx:     ctx,
+		sizes:   types.SizesFor("gc", ctx.GOARCH),
+		pkgs:    make(map[string]*Package),
+		imports: make(map[string]*types.Package),
+		loading: make(map[string]bool),
+	}
+}
+
+// Import implements types.Importer over the module + GOROOT source tree.
+func (l *loader) Import(path string) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if tp, ok := l.imports[path]; ok {
+		return tp, nil
+	}
+	if l.loading[path] {
+		return nil, fmt.Errorf("import cycle through %q", path)
+	}
+	l.loading[path] = true
+	defer delete(l.loading, path)
+
+	dir, local, err := l.resolve(path)
+	if err != nil {
+		return nil, err
+	}
+	pkg, err := l.check(path, dir, local)
+	if err != nil {
+		return nil, err
+	}
+	return pkg, nil
+}
+
+// resolve maps an import path to a source directory. local reports whether
+// the package belongs to the module under analysis.
+func (l *loader) resolve(path string) (dir string, local bool, err error) {
+	if path == l.mod.Path {
+		return l.mod.Root, true, nil
+	}
+	if rest, ok := strings.CutPrefix(path, l.mod.Path+"/"); ok {
+		return filepath.Join(l.mod.Root, filepath.FromSlash(rest)), true, nil
+	}
+	bp, err := l.ctx.Import(path, l.mod.Root, build.FindOnly)
+	if err != nil {
+		return "", false, fmt.Errorf("cannot find package %q: %v", path, err)
+	}
+	return bp.Dir, false, nil
+}
+
+// check parses and type-checks the package in dir under import path.
+func (l *loader) check(path, dir string, local bool) (*types.Package, error) {
+	bp, err := l.ctx.ImportDir(dir, 0)
+	if err != nil {
+		return nil, fmt.Errorf("package %q: %v", path, err)
+	}
+	names := append([]string(nil), bp.GoFiles...)
+	sort.Strings(names)
+	var files []*ast.File
+	for _, name := range names {
+		f, err := parser.ParseFile(l.fset, filepath.Join(dir, name), nil,
+			parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, fmt.Errorf("package %q: %v", path, err)
+		}
+		files = append(files, f)
+	}
+
+	var info *types.Info
+	if local {
+		info = &types.Info{
+			Types:      make(map[ast.Expr]types.TypeAndValue),
+			Uses:       make(map[*ast.Ident]types.Object),
+			Defs:       make(map[*ast.Ident]types.Object),
+			Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		}
+	}
+	conf := types.Config{
+		Importer: l,
+		Sizes:    l.sizes,
+		Error: func(err error) {
+			// Collect module-package errors for the caller; tolerate
+			// stdlib hiccups (partial type information is enough).
+			if local {
+				l.errs = append(l.errs, err)
+			}
+		},
+	}
+	tp, err := conf.Check(path, l.fset, files, info)
+	if err != nil && tp == nil {
+		return nil, fmt.Errorf("package %q: %v", path, err)
+	}
+	l.imports[path] = tp
+	if local {
+		rel := strings.TrimPrefix(strings.TrimPrefix(path, l.mod.Path), "/")
+		l.pkgs[path] = &Package{
+			Path:  path,
+			Rel:   rel,
+			Name:  tp.Name(),
+			Fset:  l.fset,
+			Files: files,
+			Types: tp,
+			Info:  info,
+		}
+	}
+	return tp, nil
+}
+
+// Load loads the packages selected by patterns (relative directories,
+// optionally ending in "/...") from the module and returns them sorted by
+// import path. A bare "./..." loads every package under the module root;
+// directories named "testdata" or "vendor" and hidden or underscore-prefixed
+// directories are skipped, matching the go tool's convention.
+func Load(mod *Module, patterns ...string) ([]*Package, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	l := newLoader(mod)
+	for _, pat := range patterns {
+		if err := l.loadPattern(pat); err != nil {
+			return nil, err
+		}
+	}
+	if len(l.errs) > 0 {
+		msgs := make([]string, 0, len(l.errs))
+		for _, e := range l.errs {
+			msgs = append(msgs, e.Error())
+		}
+		sort.Strings(msgs)
+		return nil, fmt.Errorf("type errors:\n\t%s", strings.Join(msgs, "\n\t"))
+	}
+	pkgs := make([]*Package, 0, len(l.pkgs))
+	for _, p := range l.pkgs {
+		pkgs = append(pkgs, p)
+	}
+	sort.Slice(pkgs, func(i, j int) bool { return pkgs[i].Path < pkgs[j].Path })
+	return pkgs, nil
+}
+
+func (l *loader) loadPattern(pat string) error {
+	pat = filepath.ToSlash(pat)
+	recursive := false
+	if rest, ok := strings.CutSuffix(pat, "/..."); ok {
+		recursive = true
+		pat = rest
+	}
+	if pat == "." || pat == "./" || pat == "" {
+		pat = "."
+	}
+	dir := filepath.Join(l.mod.Root, filepath.FromSlash(strings.TrimPrefix(pat, "./")))
+	if !recursive {
+		return l.loadDir(dir, false)
+	}
+	return filepath.WalkDir(dir, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		name := d.Name()
+		if path != dir && (name == "testdata" || name == "vendor" ||
+			strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+			return filepath.SkipDir
+		}
+		return l.loadDir(path, true)
+	})
+}
+
+// loadDir loads the package in dir. When lax, directories without Go files
+// are skipped silently (pattern walks traverse plenty of them).
+func (l *loader) loadDir(dir string, lax bool) error {
+	if _, err := l.ctx.ImportDir(dir, 0); err != nil {
+		if _, ok := err.(*build.NoGoError); ok && lax {
+			return nil
+		}
+		if lax {
+			// Directories whose files are all excluded by build
+			// constraints are also skippable during a walk.
+			return nil
+		}
+		return err
+	}
+	rel, err := filepath.Rel(l.mod.Root, dir)
+	if err != nil {
+		return err
+	}
+	path := l.mod.Path
+	if rel != "." {
+		path = l.mod.Path + "/" + filepath.ToSlash(rel)
+	}
+	_, err = l.Import(path)
+	return err
+}

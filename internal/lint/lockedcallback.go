@@ -1,0 +1,196 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// AnalyzerLockedCallback flags invoking a func-typed field of the receiver
+// while a sync.Mutex or sync.RWMutex of the same receiver is held. A stored
+// callback can do anything — including calling back into the struct and
+// re-acquiring the same lock — so the safe pattern is copy the callback out
+// under the lock, unlock, then call. This is exactly the subscribe/dispatch
+// shape of the fleet and telemetry packages.
+var AnalyzerLockedCallback = &Analyzer{
+	Name: "lockedcallback",
+	Doc:  "never invoke a stored callback field while the receiver's mutex is held",
+	Run:  runLockedCallback,
+}
+
+var lockMethods = map[string]int{
+	"Lock":    +1,
+	"RLock":   +1,
+	"Unlock":  -1,
+	"RUnlock": -1,
+}
+
+func runLockedCallback(p *Package) []Finding {
+	var out []Finding
+	for _, f := range p.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Recv == nil || fd.Body == nil ||
+				len(fd.Recv.List) == 0 || len(fd.Recv.List[0].Names) == 0 {
+				continue
+			}
+			recv := fd.Recv.List[0].Names[0].Name
+			if recv == "_" {
+				continue
+			}
+			w := &lockWalker{p: p, recv: recv}
+			w.stmts(fd.Body.List, map[string]bool{})
+			out = append(out, w.findings...)
+		}
+	}
+	return out
+}
+
+type lockWalker struct {
+	p        *Package
+	recv     string
+	findings []Finding
+}
+
+// stmts walks a statement list in order, tracking which receiver mutexes
+// are held. Nested blocks get a copy of the state: a Lock inside a branch
+// conservatively does not leak out, and an Unlock inside a branch does not
+// clear the outer state.
+func (w *lockWalker) stmts(list []ast.Stmt, held map[string]bool) {
+	for _, s := range list {
+		if mu, op := w.mutexOp(s); mu != "" {
+			if op > 0 {
+				held[mu] = true
+			} else {
+				delete(held, mu)
+			}
+			continue
+		}
+		if len(held) > 0 {
+			w.scan(s, held)
+		}
+		switch st := s.(type) {
+		case *ast.BlockStmt:
+			w.stmts(st.List, copyState(held))
+		case *ast.IfStmt:
+			w.stmts(st.Body.List, copyState(held))
+			if st.Else != nil {
+				w.stmts([]ast.Stmt{st.Else}, copyState(held))
+			}
+		case *ast.ForStmt:
+			w.stmts(st.Body.List, copyState(held))
+		case *ast.RangeStmt:
+			w.stmts(st.Body.List, copyState(held))
+		case *ast.SwitchStmt:
+			for _, c := range st.Body.List {
+				if cc, ok := c.(*ast.CaseClause); ok {
+					w.stmts(cc.Body, copyState(held))
+				}
+			}
+		case *ast.TypeSwitchStmt:
+			for _, c := range st.Body.List {
+				if cc, ok := c.(*ast.CaseClause); ok {
+					w.stmts(cc.Body, copyState(held))
+				}
+			}
+		case *ast.SelectStmt:
+			for _, c := range st.Body.List {
+				if cc, ok := c.(*ast.CommClause); ok {
+					w.stmts(cc.Body, copyState(held))
+				}
+			}
+		case *ast.LabeledStmt:
+			w.stmts([]ast.Stmt{st.Stmt}, held)
+		}
+	}
+}
+
+func copyState(held map[string]bool) map[string]bool {
+	c := make(map[string]bool, len(held))
+	for k, v := range held {
+		c[k] = v
+	}
+	return c
+}
+
+// mutexOp recognizes statements of the form recv.mu.Lock() (or RLock /
+// Unlock / RUnlock, possibly through an embedded sync.Mutex), returning the
+// lock key and +1/-1. A deferred Unlock keeps the lock held to function
+// end, so it is deliberately not treated as a release.
+func (w *lockWalker) mutexOp(s ast.Stmt) (string, int) {
+	es, ok := s.(*ast.ExprStmt)
+	if !ok {
+		return "", 0
+	}
+	call, ok := es.X.(*ast.CallExpr)
+	if !ok || len(call.Args) != 0 {
+		return "", 0
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", 0
+	}
+	op, ok := lockMethods[sel.Sel.Name]
+	if !ok || w.rootIdent(sel.X) != w.recv {
+		return "", 0
+	}
+	selection := w.p.Info.Selections[sel]
+	if selection == nil || selection.Kind() != types.MethodVal {
+		return "", 0
+	}
+	m := selection.Obj()
+	if m.Pkg() == nil || m.Pkg().Path() != "sync" {
+		return "", 0
+	}
+	return types.ExprString(sel.X), op
+}
+
+// scan reports calls to func-typed fields of the receiver inside s.
+func (w *lockWalker) scan(s ast.Stmt, held map[string]bool) {
+	ast.Inspect(s, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok || w.rootIdent(sel.X) != w.recv {
+			return true
+		}
+		selection := w.p.Info.Selections[sel]
+		if selection == nil || selection.Kind() != types.FieldVal {
+			return true
+		}
+		if _, ok := selection.Type().Underlying().(*types.Signature); !ok {
+			return true
+		}
+		lock := ""
+		for mu := range held { // deterministic: keeps the smallest key
+			if lock == "" || mu < lock {
+				lock = mu
+			}
+		}
+		w.findings = append(w.findings, Finding{
+			Pos:      w.p.Fset.Position(call.Pos()),
+			Analyzer: "lockedcallback",
+			Message: "callback " + types.ExprString(sel) + " invoked while " + lock +
+				" is held; copy it out, unlock, then call (deadlock hazard)",
+		})
+		return true
+	})
+}
+
+// rootIdent returns the leftmost identifier of a selector chain ("srv" for
+// srv.state.mu), or "" if the expression is not rooted in an identifier.
+func (w *lockWalker) rootIdent(e ast.Expr) string {
+	for {
+		switch x := e.(type) {
+		case *ast.Ident:
+			return x.Name
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.ParenExpr:
+			e = x.X
+		default:
+			return ""
+		}
+	}
+}

@@ -1,0 +1,26 @@
+// Fixture for the globalrand analyzer: package-level math/rand is banned
+// everywhere, seeded *rand.Rand generators are the approved pattern.
+package globalrand
+
+import "math/rand"
+
+// Bad draws from the shared global stream (true positive).
+func Bad() int {
+	return rand.Intn(6)
+}
+
+// BadValue takes the global function as a value (true positive).
+func BadValue() func() float64 {
+	return rand.Float64
+}
+
+// Jitter demonstrates a justified suppression.
+func Jitter() float64 {
+	return rand.Float64() //lint:allow globalrand fixture demonstrates a justified suppression
+}
+
+// OK threads a seeded generator (true negative).
+func OK(seed int64) int {
+	r := rand.New(rand.NewSource(seed))
+	return r.Intn(6)
+}

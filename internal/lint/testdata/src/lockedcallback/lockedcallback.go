@@ -1,0 +1,62 @@
+// Fixture for the lockedcallback analyzer: invoking a stored callback
+// field while a mutex of the same receiver is held.
+package lockedcallback
+
+import "sync"
+
+// Bus is the subscribe/dispatch shape the analyzer protects.
+type Bus struct {
+	mu      sync.Mutex
+	onEvent func(int)
+	n       int
+}
+
+// PublishLocked invokes the callback under a deferred unlock, so the lock
+// is held at the call (true positive).
+func (b *Bus) PublishLocked(v int) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.n++
+	b.onEvent(v)
+}
+
+// Publish copies the callback out, unlocks, then calls (true negative).
+func (b *Bus) Publish(v int) {
+	b.mu.Lock()
+	fn := b.onEvent
+	b.n++
+	b.mu.Unlock()
+	if fn != nil {
+		fn(v)
+	}
+}
+
+// PublishReentrant demonstrates a justified suppression.
+func (b *Bus) PublishReentrant(v int) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.onEvent(v) //lint:allow lockedcallback handler contract forbids re-entering Bus
+}
+
+// Feed covers the RWMutex read-lock variant.
+type Feed struct {
+	mu   sync.RWMutex
+	sink func(int)
+}
+
+// Broadcast invokes the sink between RLock and RUnlock (true positive).
+func (f *Feed) Broadcast(v int) {
+	f.mu.RLock()
+	f.sink(v)
+	f.mu.RUnlock()
+}
+
+// Snapshot releases the read lock before calling (true negative).
+func (f *Feed) Snapshot(v int) {
+	f.mu.RLock()
+	sink := f.sink
+	f.mu.RUnlock()
+	if sink != nil {
+		sink(v)
+	}
+}

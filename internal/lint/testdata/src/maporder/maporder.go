@@ -1,0 +1,63 @@
+// Fixture for the maporder analyzer: ranging over a map is fine until the
+// loop body has order-sensitive effects with no dominating sort.
+package maporder
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Keys appends map keys to an escaping slice with no sort (true positive).
+func Keys(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+// Dump prints in iteration order (true positive).
+func Dump(m map[string]int) {
+	for k, v := range m {
+		fmt.Println(k, v)
+	}
+}
+
+// SortedKeys is the collect-then-sort idiom (true negative).
+func SortedKeys(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// Sum aggregates commutatively (true negative).
+func Sum(m map[string]int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+// PerKey appends only to per-iteration state fetched by key, so order
+// across keys cannot matter (true negative).
+func PerKey(m map[string][]int, extra map[string]int) map[string][]int {
+	for k, v := range extra {
+		xs := m[k]
+		xs = append(xs, v)
+		m[k] = xs
+	}
+	return m
+}
+
+// Values demonstrates a justified suppression.
+func Values(m map[string]int) []int {
+	var vals []int
+	for _, v := range m { //lint:allow maporder fixture demonstrates a justified suppression
+		vals = append(vals, v)
+	}
+	return vals
+}

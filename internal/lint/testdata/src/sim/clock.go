@@ -1,0 +1,31 @@
+// Fixture for the walltime analyzer: the package path contains "sim", so
+// wall-clock access is banned.
+package sim
+
+import "time"
+
+// Bad reads the wall clock in a simulation-facing package (true positive).
+func Bad() time.Time {
+	return time.Now()
+}
+
+// BadSleep blocks on the wall clock (true positive).
+func BadSleep() {
+	time.Sleep(time.Millisecond)
+}
+
+// Allowed demonstrates a justified suppression.
+func Allowed() {
+	time.Sleep(time.Microsecond) //lint:allow walltime fixture demonstrates a justified suppression
+}
+
+// EmptyReason carries a directive with no reason: the directive itself is a
+// finding and the walltime finding is NOT suppressed.
+func EmptyReason() {
+	_ = time.Now //lint:allow walltime
+}
+
+// OK uses time only for data types and formatting (true negative).
+func OK(d time.Duration) string {
+	return d.String()
+}

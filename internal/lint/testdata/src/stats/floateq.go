@@ -1,0 +1,33 @@
+// Fixture for the floateq analyzer: the package path contains "stats", so
+// floating-point == / != is flagged.
+package stats
+
+// Same compares floats bit-exactly (true positive).
+func Same(a, b float64) bool {
+	return a == b
+}
+
+// Changed uses != on a float32 operand (true positive).
+func Changed(a float32, b int) bool {
+	return a != float32(b)
+}
+
+// IsSentinel demonstrates a justified suppression.
+func IsSentinel(x float64) bool {
+	return x == -1 //lint:allow floateq sentinel is assigned exactly and never computed
+}
+
+// SameInt compares integers (true negative).
+func SameInt(a, b int) bool {
+	return a == b
+}
+
+// Close compares with an epsilon (true negative: only == and != are
+// flagged, ordered comparisons are fine).
+func Close(a, b float64) bool {
+	d := a - b
+	if d < 0 {
+		d = -d
+	}
+	return d < 1e-9
+}

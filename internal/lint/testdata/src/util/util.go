@@ -1,0 +1,23 @@
+// Fixture for analyzer scoping: util is neither simulation-facing nor a
+// stats package, so walltime and floateq do not apply here.
+package util
+
+import "time"
+
+// Stamp reads the wall clock outside the simulation (true negative:
+// walltime is scoped to simulation-facing packages).
+func Stamp() time.Time {
+	return time.Now()
+}
+
+// Equal compares floats outside the stats/exp/fancy scope (true negative
+// for floateq).
+func Equal(a, b float64) bool {
+	return a == b
+}
+
+// UnknownDirective names an analyzer that does not exist; the directive is
+// reported as a finding.
+func UnknownDirective() int {
+	return 1 //lint:allow nosuchcheck this analyzer name is bogus
+}

@@ -10,6 +10,7 @@
 //	fancy-fleet -events                      # include the full event log
 //	fancy-fleet -mgmt-loss 0.2 -crash-correlator 2.1s   # survivability drill
 //	fancy-fleet -mgmt-loss 0.1 -partition seattle       # degraded-mode drill
+//	fancy-fleet -mgmt-loss 0.2 -replicas 3 -kill-leader 2.1s   # failover drill
 //
 // The run is deterministic for a given flag set; the fleet report at the
 // end is the aggregate snapshot (per-link health, localization times,
@@ -19,6 +20,9 @@
 // internal/mgmt between every switch agent and the correlator;
 // -crash-correlator and -partition then exercise the survivability story
 // (checkpoint/restart recovery, degraded-mode local protection).
+// -replicas runs the correlator as a consensus group over that same
+// management plane; -kill-leader assassinates the active leader mid-run and
+// recovery is a phi-driven election plus replicated-log restore.
 package main
 
 import (
@@ -56,6 +60,9 @@ func main() {
 		crashCorr = flag.Duration("crash-correlator", 0, "crash the correlator at this time (0 = never)")
 		crashDown = flag.Duration("crash-downtime", 300*time.Millisecond, "correlator downtime before restart")
 		partition = flag.String("partition", "", "switch to partition from the management plane mid-run (failure start → heal at fail start + half the remaining run)")
+
+		replicas   = flag.Int("replicas", 0, "correlator replicas (0/1 = single instance, 3+ = consensus group; needs the management plane)")
+		killLeader = flag.Duration("kill-leader", 0, "crash the active consensus leader at this time (0 = never; needs -replicas)")
 	)
 	flag.Parse()
 
@@ -91,7 +98,7 @@ func main() {
 		TreeSeed:     3,
 	}}
 	mgmtWanted := *mgmtLoss > 0 || *mgmtDelay > 0 || *mgmtJitter > 0 || *mgmtDup > 0 ||
-		*crashCorr > 0 || *partition != ""
+		*crashCorr > 0 || *partition != "" || *replicas > 1 || *killLeader > 0
 	if mgmtWanted {
 		cfg.Mgmt = &mgmt.Config{
 			Loss:      *mgmtLoss,
@@ -99,6 +106,11 @@ func main() {
 			Jitter:    sim.Time(*mgmtJitter),
 			Duplicate: *mgmtDup,
 		}
+		cfg.Replicas = *replicas
+	}
+	if *killLeader > 0 && *replicas <= 1 {
+		fmt.Fprintln(os.Stderr, "fancy-fleet: -kill-leader needs -replicas > 1")
+		os.Exit(2)
 	}
 	f, err := fleet.New(s, n, cfg)
 	if err != nil {
@@ -150,6 +162,12 @@ func main() {
 		s.ScheduleAt(sim.Time(*crashCorr+*crashDown), f.RestartCorrelator)
 		fmt.Printf("correlator crash at %v, restart at %v\n", *crashCorr, *crashCorr+*crashDown)
 	}
+	if *killLeader > 0 {
+		killed := -1
+		s.ScheduleAt(sim.Time(*killLeader), func() { killed = f.KillLeader() })
+		s.ScheduleAt(sim.Time(*killLeader+*crashDown), func() { f.RestartReplica(killed) })
+		fmt.Printf("leader kill at %v, dead replica rejoins at %v\n", *killLeader, *killLeader+*crashDown)
+	}
 	if *partition != "" {
 		if _, ok := n.Switches[*partition]; !ok {
 			fmt.Fprintf(os.Stderr, "fancy-fleet: no switch %q to partition\n", *partition)
@@ -165,6 +183,9 @@ func main() {
 	if mgmtWanted {
 		fmt.Printf("management plane: loss=%.0f%% dup=%.0f%% delay=%v jitter=%v\n",
 			*mgmtLoss*100, *mgmtDup*100, *mgmtDelay, *mgmtJitter)
+	}
+	if *replicas > 1 {
+		fmt.Printf("correlator: %d-replica consensus group, leader %s\n", *replicas, f.Leader())
 	}
 
 	fmt.Printf("failing %s at %v (loss %.0f%%), %d switches / %d directed links monitored\n\n",

@@ -26,7 +26,9 @@ import (
 // management plane with a mid-run correlator crash, the most event-dense
 // configuration we have — and serializes everything observable: the full
 // event log, the verdict set with timestamps, and the health snapshot.
-func chaosTranscript(t *testing.T, seed int64) string {
+// With replicas > 1 the crash kills the LEADER of a consensus group and
+// recovery goes through a phi-driven election and replicated-log restore.
+func chaosTranscript(t *testing.T, seed int64, replicas int) string {
 	t.Helper()
 	dl := topo.DirectedLink{From: "kansascity", To: "denver"}
 	duration := 3 * sim.Second
@@ -51,7 +53,8 @@ func chaosTranscript(t *testing.T, seed int64) string {
 			Tree:         tree.Params{Width: 32, Depth: 3, Split: 2, Pipelined: true},
 			TreeSeed:     3,
 		},
-		Mgmt: &mgmt.Config{Loss: 0.2, Duplicate: 0.1, Jitter: sim.Millisecond},
+		Mgmt:     &mgmt.Config{Loss: 0.2, Duplicate: 0.1, Jitter: sim.Millisecond},
+		Replicas: replicas,
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -79,19 +82,30 @@ func chaosTranscript(t *testing.T, seed int64) string {
 // TestSameSeedSameTranscript is the determinism contract: two runs from one
 // seed are byte-identical; a different seed must still localize the same
 // gray link (the verdict is seed-independent even though the transcript is
-// not).
+// not). Both the single-instance and the replicated correlator must hold
+// it — elections, log replication and redirects included.
 func TestSameSeedSameTranscript(t *testing.T) {
 	const seed = 1234
-	a := chaosTranscript(t, seed)
-	b := chaosTranscript(t, seed)
-	if a != b {
-		t.Fatalf("same seed produced different transcripts:\n--- run 1 ---\n%s\n--- run 2 ---\n%s", a, b)
-	}
-	if !strings.Contains(a, "verdict kansascity->denver") {
-		t.Fatalf("transcript has no verdict for the injected link:\n%s", a)
-	}
-	c := chaosTranscript(t, seed+1)
-	if !strings.Contains(c, "verdict kansascity->denver") {
-		t.Fatalf("other-seed transcript has no verdict for the injected link:\n%s", c)
+	for _, tc := range []struct {
+		name     string
+		replicas int
+	}{
+		{"single-instance", 0},
+		{"replica3", 3},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			a := chaosTranscript(t, seed, tc.replicas)
+			b := chaosTranscript(t, seed, tc.replicas)
+			if a != b {
+				t.Fatalf("same seed produced different transcripts:\n--- run 1 ---\n%s\n--- run 2 ---\n%s", a, b)
+			}
+			if !strings.Contains(a, "verdict kansascity->denver") {
+				t.Fatalf("transcript has no verdict for the injected link:\n%s", a)
+			}
+			c := chaosTranscript(t, seed+1, tc.replicas)
+			if !strings.Contains(c, "verdict kansascity->denver") {
+				t.Fatalf("other-seed transcript has no verdict for the injected link:\n%s", c)
+			}
+		})
 	}
 }

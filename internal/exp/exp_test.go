@@ -489,10 +489,20 @@ func TestFleetChaosQuick(t *testing.T) {
 			if row.Handbacks == 0 {
 				t.Errorf("%s: no degraded-mode handback after the crash", row.Link)
 			}
+		case "replica3+leaderkill":
+			if row.MgmtLost == 0 {
+				t.Errorf("%s: no management loss exercised", row.Link)
+			}
+			if row.Failovers == 0 {
+				t.Errorf("%s: leader killed but no takeover recorded", row.Link)
+			}
 		}
 	}
 	out := r.Render()
 	if !strings.Contains(out, "loss20+crash") || !strings.Contains(out, "per-link detail") {
 		t.Fatalf("unexpected render:\n%s", out)
+	}
+	if !strings.Contains(out, "replica3+leaderkill") || !strings.Contains(out, "Failovers") {
+		t.Fatalf("replicated cell missing from render:\n%s", out)
 	}
 }

@@ -25,21 +25,28 @@ import (
 )
 
 // ChaosFleetConfig is one cell of the sweep: a management-plane impairment
-// level plus a correlator crash schedule.
+// level plus a correlator crash schedule, optionally with a replicated
+// correlator group.
 type ChaosFleetConfig struct {
-	Name  string
-	Loss  float64 // management-datagram loss probability
-	Crash bool    // crash the correlator mid-run, restart 300 ms later
+	Name     string
+	Loss     float64 // management-datagram loss probability
+	Crash    bool    // crash the correlator mid-run, restart 300 ms later
+	Replicas int     // correlator replicas (0/1 = single instance)
 }
 
-// fleetChaosConfigs is the sweep grid. The last cell is the acceptance
-// configuration: 20% loss plus a crash/restart spanning the first evidence
-// window.
+// fleetChaosConfigs is the sweep grid. loss20+crash is the single-instance
+// acceptance configuration from the checkpoint/restart work (20% loss plus
+// a crash/restart spanning the first evidence window); replica3+leaderkill
+// is the replicated acceptance configuration — same impairment, but the
+// crashed correlator is the LEADER of a 3-replica consensus group, and
+// recovery is a phi-driven election plus replicated-log restore instead of
+// a scheduled local restart.
 func fleetChaosConfigs() []ChaosFleetConfig {
 	return []ChaosFleetConfig{
 		{Name: "perfect", Loss: 0, Crash: false},
 		{Name: "loss10", Loss: 0.10, Crash: false},
 		{Name: "loss20+crash", Loss: 0.20, Crash: true},
+		{Name: "replica3+leaderkill", Loss: 0.20, Crash: true, Replicas: 3},
 	}
 }
 
@@ -57,6 +64,7 @@ type ChaosFleetRow struct {
 	MgmtLost   uint64 // management datagrams dropped by the impairments
 	MgmtHoles  int    // report seqs lost for good
 	Duplicates uint64 // transport duplicates suppressed
+	Failovers  uint64 // replica leader takeovers (replicated cells only)
 }
 
 // ChaosFleetResult aggregates the sweep.
@@ -78,12 +86,12 @@ func (r *ChaosFleetResult) Render() string {
 		}
 		byCfg[row.Config] = append(byCfg[row.Config], row)
 	}
-	headers := []string{"Config", "Exact", "Dup verdicts", "TTL median", "TTL max", "Mgmt lost", "Holes"}
+	headers := []string{"Config", "Exact", "Dup verdicts", "TTL median", "TTL max", "Mgmt lost", "Holes", "Failovers"}
 	var rows [][]string
 	for _, cfg := range order {
 		trials := byCfg[cfg]
 		exact, dups := 0, 0
-		var lost uint64
+		var lost, failovers uint64
 		holes := 0
 		var ttls []sim.Time
 		for _, t := range trials {
@@ -96,6 +104,7 @@ func (r *ChaosFleetResult) Render() string {
 			}
 			lost += t.MgmtLost
 			holes += t.MgmtHoles
+			failovers += t.Failovers
 		}
 		med, max := sim.Time(0), sim.Time(0)
 		if len(ttls) > 0 {
@@ -105,7 +114,8 @@ func (r *ChaosFleetResult) Render() string {
 		rows = append(rows, []string{cfg,
 			fmt.Sprintf("%d/%d", exact, len(trials)),
 			fmt.Sprintf("%d", dups), med.String(), max.String(),
-			fmt.Sprintf("%d", lost), fmt.Sprintf("%d", holes)})
+			fmt.Sprintf("%d", lost), fmt.Sprintf("%d", holes),
+			fmt.Sprintf("%d", failovers)})
 	}
 	b.WriteString(stats.Table(headers, rows))
 	// Per-link detail for the most impaired configuration.
@@ -182,7 +192,8 @@ func fleetChaosTrial(seed int64, dl topo.DirectedLink, duration sim.Time, cfg Ch
 			Tree:         tree.Params{Width: 32, Depth: 3, Split: 2, Pipelined: true},
 			TreeSeed:     3,
 		},
-		Mgmt: &mgmt.Config{Loss: cfg.Loss, Duplicate: cfg.Loss / 2, Jitter: sim.Millisecond},
+		Mgmt:     &mgmt.Config{Loss: cfg.Loss, Duplicate: cfg.Loss / 2, Jitter: sim.Millisecond},
+		Replicas: cfg.Replicas,
 	})
 	if err != nil {
 		panic(err)
@@ -205,9 +216,18 @@ func fleetChaosTrial(seed int64, dl topo.DirectedLink, duration sim.Time, cfg Ch
 	const failAt = sim.Second
 	n.Direction(dl.From, dl.To).SetFailure(netsim.FailEntries(seed+1, failAt, 1.0, entry))
 	if cfg.Crash {
-		// Crash spanning the first evidence window; restart 300 ms later.
-		s.ScheduleAt(failAt+100*sim.Millisecond, f.CrashCorrelator)
-		s.ScheduleAt(failAt+400*sim.Millisecond, f.RestartCorrelator)
+		if cfg.Replicas > 1 {
+			// Kill the LEADER spanning the first evidence window; recovery
+			// is a phi-driven election and a replicated-log restore, not a
+			// scheduled restart. The dead replica rejoins as a follower.
+			killed := -1
+			s.ScheduleAt(failAt+100*sim.Millisecond, func() { killed = f.KillLeader() })
+			s.ScheduleAt(failAt+400*sim.Millisecond, func() { f.RestartReplica(killed) })
+		} else {
+			// Crash spanning the first evidence window; restart 300 ms later.
+			s.ScheduleAt(failAt+100*sim.Millisecond, f.CrashCorrelator)
+			s.ScheduleAt(failAt+400*sim.Millisecond, f.RestartCorrelator)
+		}
 	}
 	s.Run(duration)
 
@@ -230,5 +250,6 @@ func fleetChaosTrial(seed int64, dl topo.DirectedLink, duration sim.Time, cfg Ch
 	row.MgmtLost = snap.MgmtNet.Lost
 	row.MgmtHoles = snap.MgmtHoles
 	row.Duplicates = snap.MgmtDuplicates
+	row.Failovers = snap.Corr.Failovers
 	return row
 }

@@ -76,7 +76,20 @@ type switchAgent struct {
 func newSwitchAgent(f *Fleet, sw string, srv *telemetry.Server) *switchAgent {
 	a := &switchAgent{f: f, sw: sw, srv: srv, apps: make(map[int]*reroute.App)}
 	if f.mgmtNet != nil {
-		a.client = mgmt.NewClient(f.S, f.mgmtNet, sw, correlatorEndpoint)
+		target := correlatorEndpoint
+		if f.group != nil {
+			target = f.group.replicas[0].name
+		}
+		a.client = mgmt.NewClient(f.S, f.mgmtNet, sw, target)
+		if f.group != nil {
+			// Leader discovery: the agent knows every replica endpoint and
+			// rotates through them on silence; redirects re-aim it directly.
+			eps := make([]string, f.group.n)
+			for i, r := range f.group.replicas {
+				eps[i] = r.name
+			}
+			a.client.SetEndpoints(eps)
+		}
 		a.client.OnOnline = a.onOnline
 		a.client.OnCall = a.onCall
 	}

@@ -144,6 +144,11 @@ func (f *Fleet) persist() {
 	}
 	f.lastCkpt = f.Checkpoint()
 	f.Corr.Checkpoints++
+	if f.replicating() {
+		// Replicated mode: a persisted checkpoint is also a log entry, so
+		// followers track every durable state change, not just verdicts.
+		f.group.replicate(f.lastCkpt, "window", nil)
+	}
 }
 
 // LastCheckpoint returns the most recent periodic checkpoint (nil before
@@ -157,6 +162,10 @@ func (f *Fleet) LastCheckpoint() *Checkpoint { return f.lastCkpt }
 // partition and engage degraded-mode local protection. Detectors and
 // agents keep running throughout.
 func (f *Fleet) CrashCorrelator() {
+	if f.group != nil {
+		f.CrashReplica(f.group.active)
+		return
+	}
 	if f.crashed {
 		return
 	}
@@ -166,6 +175,16 @@ func (f *Fleet) CrashCorrelator() {
 	if f.mgmtSrv != nil {
 		f.mgmtSrv.SetAccepting(false)
 	}
+	f.haltDuty()
+	f.emit(Event{Time: f.S.Now(), Kind: EventCorrelatorCrash, Link: correlatorEndpoint,
+		Entry: netsim.InvalidEntry})
+}
+
+// haltDuty stops every timer the current correlator incarnation owns:
+// pending verdict windows, the liveness sweep and the checkpoint cadence.
+// Used on crash and on leader takeover (the deposed incarnation's timers
+// must not fire into the new one's state).
+func (f *Fleet) haltDuty() {
 	for _, key := range f.order {
 		ls := f.links[key]
 		if ls.verdictTimer != nil {
@@ -178,8 +197,20 @@ func (f *Fleet) CrashCorrelator() {
 	if f.ckptTimer != nil {
 		f.ckptTimer.Stop()
 	}
-	f.emit(Event{Time: f.S.Now(), Kind: EventCorrelatorCrash, Link: correlatorEndpoint,
-		Entry: netsim.InvalidEntry})
+}
+
+// resumeDuty reconciles with live telemetry and restarts the periodic
+// duties after a restore: every switch's restart counter is re-read so a
+// reboot during the outage suppresses cross-epoch evidence instead of
+// producing a wrong verdict, then the sweep and checkpoint cadences resume.
+func (f *Fleet) resumeDuty() {
+	for _, sw := range f.switches {
+		f.refreshRestarts(sw, nil)
+	}
+	f.sweepTimer = f.S.Schedule(f.cfg.SweepInterval, f.sweep)
+	if f.cfg.CheckpointInterval > 0 {
+		f.ckptTimer = f.S.Schedule(f.cfg.CheckpointInterval, f.periodicCheckpoint)
+	}
 }
 
 // RestartCorrelator brings the correlator back from its last periodic
@@ -190,12 +221,28 @@ func (f *Fleet) CrashCorrelator() {
 // checkpointed sequence state, and every switch's restart counter is
 // re-read so reboots during the outage are not misdiagnosed.
 func (f *Fleet) RestartCorrelator() {
+	if f.group != nil {
+		if f.group.lastCrashed >= 0 {
+			f.RestartReplica(f.group.lastCrashed)
+		}
+		return
+	}
 	if !f.crashed {
 		return
 	}
-	cp := f.lastCkpt
 	now := f.S.Now()
+	detail := f.restoreState(f.lastCkpt)
+	f.emit(Event{Time: now, Kind: EventCorrelatorRestart, Link: correlatorEndpoint,
+		Entry: netsim.InvalidEntry, Detail: detail})
+	f.resumeDuty()
+}
 
+// restoreState wipes the correlator state machine and overlays cp (nil
+// restores from scratch): confirmed verdicts and the alarm/reroute dedup
+// maps come back verbatim, evidence windows that were pending re-open with
+// a fresh full window, and the management server resumes accepting with the
+// checkpointed sequence state. Returns a human-readable restore summary.
+func (f *Fleet) restoreState(cp *Checkpoint) string {
 	// Wipe to zero state, then overlay the checkpoint.
 	f.Alarms, f.Suppressed, f.Localizations, f.Reroutes = 0, 0, 0, 0
 	f.restartsSeen = make(map[string]int)
@@ -281,23 +328,10 @@ func (f *Fleet) RestartCorrelator() {
 			f.mgmtSrv.RestoreSeq(cp.Seq)
 		}
 	}
-	detail := "from scratch (no checkpoint)"
-	if cp != nil {
-		detail = fmt.Sprintf("checkpoint at %v, %d pending window(s) re-opened", cp.Time, restored)
+	if cp == nil {
+		return "from scratch (no checkpoint)"
 	}
-	f.emit(Event{Time: now, Kind: EventCorrelatorRestart, Link: correlatorEndpoint,
-		Entry: netsim.InvalidEntry, Detail: detail})
-
-	// Reconcile with live telemetry: re-read every switch's restart
-	// counter so a reboot during the outage suppresses cross-epoch
-	// evidence instead of producing a wrong verdict.
-	for _, sw := range f.switches {
-		f.refreshRestarts(sw, nil)
-	}
-	f.sweepTimer = f.S.Schedule(f.cfg.SweepInterval, f.sweep)
-	if f.cfg.CheckpointInterval > 0 {
-		f.ckptTimer = f.S.Schedule(f.cfg.CheckpointInterval, f.periodicCheckpoint)
-	}
+	return fmt.Sprintf("checkpoint at %v, %d pending window(s) re-opened", cp.Time, restored)
 }
 
 // Crashed reports whether the correlator is currently down.

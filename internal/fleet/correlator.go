@@ -47,6 +47,15 @@ const (
 	// outage; restart carries what the checkpoint recovered.
 	EventCorrelatorCrash
 	EventCorrelatorRestart
+	// EventLeaderElected: a correlator replica won an election and took
+	// over the fleet state machine; Detail carries the ballot and what the
+	// replicated log recovered.
+	EventLeaderElected
+	// EventQuorumLost / EventQuorumRestored bracket a leader's loss of its
+	// acknowledgment quorum: between them the leader runs in explicit
+	// degraded single-instance mode (PR 3 checkpoint/restart semantics).
+	EventQuorumLost
+	EventQuorumRestored
 )
 
 func (k EventKind) String() string {
@@ -79,6 +88,12 @@ func (k EventKind) String() string {
 		return "correlator-crash"
 	case EventCorrelatorRestart:
 		return "correlator-restart"
+	case EventLeaderElected:
+		return "leader-elected"
+	case EventQuorumLost:
+		return "quorum-lost"
+	case EventQuorumRestored:
+		return "quorum-restored"
 	}
 	return fmt.Sprintf("fleet-event(%d)", uint8(k))
 }
@@ -291,8 +306,16 @@ func (f *Fleet) onAlarm(ls *linkState, ev fancy.Event) {
 
 	if ls.localized {
 		// The link is already a confirmed gray link; new evidence extends
-		// the affected set and reacts immediately, with no second window.
+		// the affected set and reacts with no second window — through the
+		// replicated log when one is running, so a reroute commit is never
+		// lost to a leader crash.
 		f.recordEvidence(ls, ev)
+		if f.replicating() {
+			f.propose("evidence "+ls.key, func() {
+				f.react(ls, []fancy.Event{ev})
+			})
+			return
+		}
 		f.react(ls, []fancy.Event{ev})
 		f.persist()
 		return
@@ -383,11 +406,58 @@ func (f *Fleet) finishVerdict(ls *linkState) {
 	for _, ev := range ls.evidence {
 		f.recordEvidence(ls, ev)
 	}
-	f.emit(Event{Time: now, Kind: EventLocalized, Link: ls.key, Entry: netsim.InvalidEntry,
-		Detail: fmt.Sprintf("%d alarm(s) in %v%s", len(ls.evidence), now-ls.incidentStart, f.corroboration(ls))})
-	f.react(ls, ls.evidence)
-	ls.evidence = nil
+	detail := fmt.Sprintf("%d alarm(s) in %v%s", len(ls.evidence), now-ls.incidentStart, f.corroboration(ls))
+	if f.replicating() {
+		// Replicated mode: the state change above rides the proposed
+		// entry's checkpoint, but the externally visible actions — the
+		// operator alert and the gating reroute commands — wait for the
+		// acknowledgment quorum. The evidence stays on the link until the
+		// commit closure runs, so a leader that dies pre-commit leaves a
+		// checkpoint from which the next leader can finish the job (see
+		// announcePending).
+		f.propose("verdict "+ls.key, func() {
+			f.announceLocalized(ls, detail)
+		})
+		return
+	}
+	f.announceLocalized(ls, detail)
 	f.persist() // a confirmed verdict must survive any later crash
+}
+
+// announceLocalized fires a confirmed verdict's external effects: the
+// EventLocalized alert and the evidence replay into the upstream reroute
+// application. The alert is deduplicated on (link, localization time) — the
+// same sink-level dedup an operator alerting pipeline applies — so a
+// verdict that commits on one leader and is finished by its successor
+// announces exactly once, and the reroute replay is idempotent at the
+// agent. Clears the link's pending evidence either way.
+func (f *Fleet) announceLocalized(ls *linkState, detail string) {
+	if !ls.localized {
+		return // superseded (acknowledged) before the commit landed
+	}
+	key := fmt.Sprintf("%s|%d", ls.key, int64(ls.localizedAt))
+	if f.emitOnce(key, Event{Time: f.S.Now(), Kind: EventLocalized, Link: ls.key,
+		Entry: netsim.InvalidEntry, Detail: detail}) {
+		f.react(ls, ls.evidence)
+	}
+	ls.evidence = nil
+	if f.replicating() {
+		f.persist()
+	}
+}
+
+// announcePending finishes verdicts a previous leader confirmed but never
+// announced: a localized link restored with its evidence still attached
+// means the commit closure never ran on the dead leader. The emitOnce dedup
+// keeps this safe against the race where the old leader did announce just
+// before dying.
+func (f *Fleet) announcePending() {
+	for _, key := range f.order {
+		ls := f.links[key]
+		if ls.localized && len(ls.evidence) > 0 {
+			f.announceLocalized(ls, fmt.Sprintf("%d alarm(s), finished after failover", len(ls.evidence)))
+		}
+	}
 }
 
 func (f *Fleet) recordEvidence(ls *linkState, ev fancy.Event) {

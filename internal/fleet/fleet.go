@@ -100,6 +100,15 @@ type Config struct {
 	// its evidence windows, verdicts and health state for crash recovery.
 	// Default 250 ms; negative disables checkpointing.
 	CheckpointInterval sim.Time
+
+	// Replicas runs the correlator as a consensus group of this many
+	// replicas (endpoints "corr0".."corrN-1") instead of a single instance:
+	// confirmed verdicts, gating reroute commits and evidence-window
+	// checkpoints travel a Paxos-style replicated log over the management
+	// network, leader election is driven by phi-accrual suspicion of the
+	// leader's beats, and switch agents discover the leader by redirect.
+	// Requires Mgmt. 0 or 1 keeps the single-instance correlator.
+	Replicas int
 }
 
 func (c Config) withDefaults() Config {
@@ -176,6 +185,16 @@ type CorrelatorStats struct {
 	// Handbacks counts degraded-mode reconciliations received from agents
 	// after a partition healed.
 	Handbacks uint64
+	// Elections counts leader-election campaigns started by any replica
+	// (including retries); Failovers counts completed takeovers where a new
+	// leader restored the fleet state machine from the replicated log.
+	Elections uint64
+	Failovers uint64
+	// QuorumLosses counts transitions into degraded single-instance mode (a
+	// leader alive but unable to reach an acknowledgment majority).
+	QuorumLosses uint64
+	// WireRejects counts consensus datagrams dropped by the strict decoder.
+	WireRejects uint64
 }
 
 // Fleet is a deployed ISP-wide control plane.
@@ -192,9 +211,18 @@ type Fleet struct {
 	switches []string // sorted switch names, the canonical iteration order
 	agents   map[string]*switchAgent
 
-	// Management plane (nil in legacy in-process mode).
+	// Management plane (nil in legacy in-process mode). With replication,
+	// mgmtSrv always points at the ACTIVE replica's server — the one
+	// driving the fleet state machine — and is re-aimed on failover.
 	mgmtNet *mgmt.Network
 	mgmtSrv *mgmt.Server
+	group   *corrGroup // nil unless cfg.Replicas > 1
+
+	// announced deduplicates externally visible verdict announcements
+	// (operator alerts + reroute replays) across crashes and failovers,
+	// keyed "link|localizedAt" — the sink-level dedup an operator alerting
+	// pipeline applies.
+	announced map[string]bool
 
 	links    map[string]*linkState
 	order    []string // sorted link keys, the canonical iteration order
@@ -247,16 +275,26 @@ func New(s *sim.Sim, net *topo.Network, cfg Config) (*Fleet, error) {
 		epochPrev:       make(map[string]uint8),
 		rerouteSeen:     make(map[string]bool),
 		aliveSeen:       make(map[string]bool),
+		announced:       make(map[string]bool),
 	}
 	for sw := range net.Switches {
 		f.switches = append(f.switches, sw)
 	}
 	sort.Strings(f.switches)
+	if cfg.Replicas > 1 && cfg.Mgmt == nil {
+		return nil, fmt.Errorf("fleet: Replicas=%d requires a management network (Config.Mgmt)", cfg.Replicas)
+	}
 	if cfg.Mgmt != nil {
 		f.mgmtNet = mgmt.NewNetwork(s, *cfg.Mgmt)
-		f.mgmtSrv = mgmt.NewServer(s, f.mgmtNet, correlatorEndpoint)
-		f.mgmtSrv.OnReport = func(from string, seq uint64, payload any) {
+		onReport := func(from string, seq uint64, payload any) {
 			f.handleReport(from, payload)
+		}
+		if cfg.Replicas > 1 {
+			f.group = newCorrGroup(f, cfg.Replicas, onReport)
+			f.mgmtSrv = f.group.replicas[0].srv
+		} else {
+			f.mgmtSrv = mgmt.NewServer(s, f.mgmtNet, correlatorEndpoint)
+			f.mgmtSrv.OnReport = onReport
 		}
 	}
 	for _, sw := range f.switches {
@@ -444,4 +482,16 @@ func (f *Fleet) emit(ev Event) {
 	if f.OnEvent != nil {
 		f.OnEvent(ev)
 	}
+}
+
+// emitOnce emits ev unless key was already announced, reporting whether it
+// emitted. The announced set survives correlator crashes and failovers —
+// it models the alert sink, not correlator state.
+func (f *Fleet) emitOnce(key string, ev Event) bool {
+	if f.announced[key] {
+		return false
+	}
+	f.announced[key] = true
+	f.emit(ev)
+	return true
 }

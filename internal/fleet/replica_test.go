@@ -1,0 +1,484 @@
+package fleet
+
+// Replicated-correlator tests: consensus verdict log over the lossy
+// management network, phi-driven leader failover, partition-heal handback
+// to a different leader, quorum-loss degraded fallback, and same-seed
+// determinism of the whole replicated control plane.
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+	"strconv"
+	"strings"
+	"testing"
+
+	"fancy/internal/mgmt"
+	"fancy/internal/netsim"
+	"fancy/internal/sim"
+	"fancy/internal/topo"
+)
+
+// replicatedCfg is the common 3-replica config over a lossy channel.
+func replicatedCfg(loss float64, entries ...netsim.EntryID) Config {
+	cfg := fleetCfg(entries...)
+	cfg.Mgmt = &mgmt.Config{Loss: loss, Duplicate: loss / 2, Jitter: sim.Millisecond}
+	cfg.Replicas = 3
+	return cfg
+}
+
+// TestReplicatedLocalization: with a healthy 3-replica group and 20% loss,
+// verdicts travel the consensus log and localization stays exact — one
+// verdict, committed through a quorum, no failovers.
+func TestReplicatedLocalization(t *testing.T) {
+	s := sim.New(42)
+	n, err := topo.Build(s, lineSpec(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	const entry = netsim.EntryID(10)
+	if err := n.InstallShortestPaths(map[netsim.EntryID]string{entry: "H2"}); err != nil {
+		t.Fatal(err)
+	}
+	f, err := New(s, n, replicatedCfg(0.2, entry))
+	if err != nil {
+		t.Fatal(err)
+	}
+	udp(n, "H1", entry, 2e6, 8*sim.Second)
+	n.Direction("B", "C").SetFailure(netsim.FailEntries(9, 2*sim.Second, 1.0, entry))
+	s.Run(8 * sim.Second)
+
+	if got := f.Localized(); len(got) != 1 || got[0] != "B->C" {
+		t.Fatalf("localized %v, want exactly [B->C]", got)
+	}
+	if nLoc := countEvents(f, EventLocalized, "B->C"); nLoc != 1 {
+		t.Fatalf("%d localization events, want exactly 1", nLoc)
+	}
+	snap := f.Snapshot()
+	if !snap.Replicated || snap.Leader != "corr0" {
+		t.Fatalf("Replicated=%v Leader=%q, want replicated under corr0", snap.Replicated, snap.Leader)
+	}
+	if snap.CommitIndex == 0 {
+		t.Fatal("nothing committed through the consensus log")
+	}
+	if f.Corr.Failovers != 0 {
+		t.Fatalf("Failovers=%d with a healthy leader, want 0 (spurious election churn)", f.Corr.Failovers)
+	}
+	// Every replica must hold a recent accepted entry (log replication +
+	// built-in compaction actually propagating state).
+	for _, rr := range snap.Replicas {
+		if rr.AccIndex == 0 {
+			t.Fatalf("replica %s never accepted an entry: %+v", rr.Name, rr)
+		}
+	}
+}
+
+// TestLeaderFailover is the tentpole scenario: the leader is killed under
+// 20% loss before the verdict window closes; a follower detects the silence
+// via phi, wins the election, restores from the replicated log and finishes
+// the verdict — exactly once, with agents redirected to the new leader.
+func TestLeaderFailover(t *testing.T) {
+	s := sim.New(7)
+	n, err := topo.Build(s, lineSpec(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	const entry = netsim.EntryID(10)
+	if err := n.InstallShortestPaths(map[netsim.EntryID]string{entry: "H2"}); err != nil {
+		t.Fatal(err)
+	}
+	f, err := New(s, n, replicatedCfg(0.2, entry))
+	if err != nil {
+		t.Fatal(err)
+	}
+	udp(n, "H1", entry, 2e6, 8*sim.Second)
+	const failAt = 2 * sim.Second
+	n.Direction("B", "C").SetFailure(netsim.FailEntries(9, failAt, 1.0, entry))
+	// Kill the leader shortly after the failure starts alarming: the crash
+	// lands around the open evidence window, the worst time to lose state.
+	s.ScheduleAt(failAt+100*sim.Millisecond, func() {
+		if id := f.KillLeader(); id != 0 {
+			t.Errorf("KillLeader killed replica %d, want 0 (corr0 leads at boot)", id)
+		}
+	})
+	s.Run(8 * sim.Second)
+
+	if got := f.Localized(); len(got) != 1 || got[0] != "B->C" {
+		t.Fatalf("localized %v, want exactly [B->C] across the failover", got)
+	}
+	if nLoc := countEvents(f, EventLocalized, "B->C"); nLoc != 1 {
+		t.Fatalf("%d localization events, want exactly 1 (no duplicate verdicts)", nLoc)
+	}
+	if f.Corr.Failovers == 0 || !hasEvent(f, EventLeaderElected, "ballot") {
+		t.Fatalf("no leader takeover recorded: Failovers=%d", f.Corr.Failovers)
+	}
+	snap := f.Snapshot()
+	if snap.Leader == "corr0" {
+		t.Fatalf("leader still %s after killing it", snap.Leader)
+	}
+	// Agents must have discovered the new leader (redirects or rotation)
+	// and resumed reporting: the fleet is not in degraded local mode.
+	for _, ar := range snap.Agents {
+		if ar.Degraded {
+			t.Fatalf("agent %s still degraded after failover", ar.Switch)
+		}
+	}
+	if !snap.QuorumDegraded && f.Crashed() {
+		t.Fatal("fleet still marked crashed after a successful takeover")
+	}
+}
+
+// TestFailoverTTL bounds the control-plane outage: from leader kill to the
+// first post-takeover verdict must stay within a small multiple of the
+// detection timescale (phi horizon + election + restore + re-opened
+// window), not the multi-second restart of the single-instance path.
+func TestFailoverTTL(t *testing.T) {
+	s := sim.New(11)
+	n, err := topo.Build(s, lineSpec(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	const entry = netsim.EntryID(10)
+	if err := n.InstallShortestPaths(map[netsim.EntryID]string{entry: "H2"}); err != nil {
+		t.Fatal(err)
+	}
+	f, err := New(s, n, replicatedCfg(0.1, entry))
+	if err != nil {
+		t.Fatal(err)
+	}
+	udp(n, "H1", entry, 2e6, 8*sim.Second)
+	const failAt = 2 * sim.Second
+	const killAt = failAt + 100*sim.Millisecond
+	n.Direction("B", "C").SetFailure(netsim.FailEntries(9, failAt, 1.0, entry))
+	var electedAt sim.Time
+	s.ScheduleAt(killAt, func() { f.KillLeader() })
+	s.Run(8 * sim.Second)
+	for _, ev := range f.Events {
+		if ev.Kind == EventLeaderElected {
+			electedAt = ev.Time
+			break
+		}
+	}
+	if electedAt == 0 {
+		t.Fatal("no takeover happened")
+	}
+	if d := electedAt - killAt; d > 500*sim.Millisecond {
+		t.Fatalf("takeover took %v after the kill, want well under 500ms", d)
+	}
+	ttl := f.LocalizedAt("B->C") - failAt
+	if ttl <= 0 || ttl > 2*sim.Second {
+		t.Fatalf("time-to-localize %v across a leader kill, want bounded", ttl)
+	}
+}
+
+// TestPartitionHealReconcileToNewLeader: a switch goes degraded behind a
+// partition, reroutes locally, and while it is unreachable the leader dies
+// and a different replica takes over. After the heal the agent must hand
+// gating back to the NEW leader — one confirmed verdict, one recorded
+// reroute, one handback, no duplicates and nothing lost.
+func TestPartitionHealReconcileToNewLeader(t *testing.T) {
+	s := sim.New(31)
+	cfg := fleetCfg(10, 11)
+	cfg.Mgmt = &mgmt.Config{}
+	cfg.Replicas = 3
+	n, f, entry := abileneProtected(t, s, cfg)
+
+	udp(n, "h-seattle", entry, 2e6, 8*sim.Second)
+
+	const partitionAt = 1500 * sim.Millisecond
+	const failAt = 2 * sim.Second
+	const killAt = 2200 * sim.Millisecond
+	const healAt = 3500 * sim.Millisecond
+	s.ScheduleAt(partitionAt, func() { f.PartitionSwitch("seattle") })
+	n.Direction("seattle", "sunnyvale").SetFailure(netsim.FailEntries(7, failAt, 1.0, entry))
+	s.ScheduleAt(killAt, func() { f.KillLeader() })
+	s.ScheduleAt(healAt-sim.Millisecond, func() {
+		if f.Leader() == "corr0" {
+			t.Error("no failover before the heal — scenario broken")
+		}
+		if !f.Rerouted("seattle", entry) {
+			t.Error("degraded-mode local reroute did not engage during the partition")
+		}
+	})
+	s.ScheduleAt(healAt, func() { f.HealSwitch("seattle") })
+	s.Run(8 * sim.Second)
+
+	if f.Degraded("seattle") {
+		t.Fatal("agent still degraded after the heal")
+	}
+	if f.Leader() == "corr0" {
+		t.Fatalf("leader is %s, want a different replica after the kill", f.Leader())
+	}
+	// Every agent briefly degrades during the failover gap (the new leader
+	// takes tens of milliseconds to elect) and reconciles on discovery, so
+	// the fleet-wide handback count exceeds one — but the partitioned
+	// switch itself must hand its long degraded spell back EXACTLY once,
+	// to the new leader.
+	if f.Corr.Handbacks == 0 {
+		t.Fatal("no reconcile reached the new leader")
+	}
+	if n := countEvents(f, EventDegradedHandback, "seattle"); n != 1 {
+		t.Fatalf("%d handbacks from seattle, want exactly 1", n)
+	}
+	if !hasEvent(f, EventDegradedHandback, "local reroute(s)") {
+		t.Fatal("no degraded-mode handback recorded at the new leader")
+	}
+	if got := f.Localized(); len(got) != 1 || got[0] != "seattle->sunnyvale" {
+		t.Fatalf("localized %v, want exactly [seattle->sunnyvale]", got)
+	}
+	if nLoc := countEvents(f, EventLocalized, "seattle->sunnyvale"); nLoc != 1 {
+		t.Fatalf("%d localization events, want exactly 1 (no duplicate verdicts)", nLoc)
+	}
+	if f.Reroutes != 1 {
+		t.Fatalf("Reroutes=%d, want 1 (degraded reroute recorded once at the new leader)", f.Reroutes)
+	}
+	// The agent found the new leader via redirect/rotation, not luck.
+	snap := f.Snapshot()
+	for _, ar := range snap.Agents {
+		if ar.Switch == "seattle" && ar.Stats.Redirects == 0 && ar.Stats.Rotations == 0 {
+			t.Fatal("seattle reconciled without any redirect or endpoint rotation — leader discovery not exercised")
+		}
+	}
+}
+
+// TestQuorumLossDegradedFallback: with both followers dead the leader
+// cannot commit through the log; it must detect the loss, degrade to
+// single-instance checkpointing (PR 3 semantics) without blocking verdicts,
+// and resume replicated commits when the followers return.
+func TestQuorumLossDegradedFallback(t *testing.T) {
+	s := sim.New(13)
+	n, err := topo.Build(s, lineSpec(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	const entry = netsim.EntryID(10)
+	if err := n.InstallShortestPaths(map[netsim.EntryID]string{entry: "H2"}); err != nil {
+		t.Fatal(err)
+	}
+	f, err := New(s, n, replicatedCfg(0, entry))
+	if err != nil {
+		t.Fatal(err)
+	}
+	udp(n, "H1", entry, 2e6, 8*sim.Second)
+	n.Direction("B", "C").SetFailure(netsim.FailEntries(9, 2*sim.Second, 1.0, entry))
+	s.ScheduleAt(1500*sim.Millisecond, func() {
+		f.CrashReplica(1)
+		f.CrashReplica(2)
+	})
+	s.ScheduleAt(3*sim.Second, func() {
+		if !f.QuorumDegraded() {
+			t.Error("leader did not notice losing both followers")
+		}
+		if got := f.Localized(); len(got) != 1 || got[0] != "B->C" {
+			t.Errorf("localized %v during quorum loss, want [B->C] (degraded commits must not block)", got)
+		}
+	})
+	s.ScheduleAt(4*sim.Second, func() {
+		f.RestartReplica(1)
+		f.RestartReplica(2)
+	})
+	s.Run(8 * sim.Second)
+
+	if f.QuorumDegraded() {
+		t.Fatal("quorum not restored after both followers returned")
+	}
+	if f.Corr.QuorumLosses != 1 {
+		t.Fatalf("QuorumLosses=%d, want exactly 1", f.Corr.QuorumLosses)
+	}
+	if !hasEvent(f, EventQuorumLost, "single-instance") || !hasEvent(f, EventQuorumRestored, "resuming") {
+		t.Fatal("quorum loss/restore transitions not surfaced as events")
+	}
+	if nLoc := countEvents(f, EventLocalized, "B->C"); nLoc != 1 {
+		t.Fatalf("%d localization events, want 1", nLoc)
+	}
+	if f.Corr.Failovers != 0 {
+		t.Fatalf("Failovers=%d, want 0 (a minority cannot elect)", f.Corr.Failovers)
+	}
+	// Restarted followers catch up from the leader's beats.
+	snap := f.Snapshot()
+	for _, rr := range snap.Replicas {
+		if rr.Crashed {
+			t.Fatalf("replica %s still crashed", rr.Name)
+		}
+		if rr.AccIndex == 0 {
+			t.Fatalf("replica %s never caught up after restart", rr.Name)
+		}
+	}
+}
+
+// TestReplicaCrashSoak: repeated leader assassination — every elected
+// leader is killed in turn and the previous one restarted — must never
+// lose or duplicate the confirmed verdict.
+func TestReplicaCrashSoak(t *testing.T) {
+	s := sim.New(17)
+	n, err := topo.Build(s, lineSpec(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	const entry = netsim.EntryID(10)
+	if err := n.InstallShortestPaths(map[netsim.EntryID]string{entry: "H2"}); err != nil {
+		t.Fatal(err)
+	}
+	f, err := New(s, n, replicatedCfg(0.1, entry))
+	if err != nil {
+		t.Fatal(err)
+	}
+	udp(n, "H1", entry, 2e6, 12*sim.Second)
+	n.Direction("B", "C").SetFailure(netsim.FailEntries(9, 2*sim.Second, 1.0, entry))
+	kills := 0
+	prev := -1
+	var round func()
+	round = func() {
+		if s.Now() > 9*sim.Second {
+			return
+		}
+		if prev >= 0 {
+			f.RestartReplica(prev)
+		}
+		prev = f.KillLeader()
+		if prev >= 0 {
+			kills++
+		}
+		s.Schedule(1200*sim.Millisecond, round)
+	}
+	s.ScheduleAt(2200*sim.Millisecond, round)
+	s.Run(12 * sim.Second)
+
+	if kills < 3 {
+		t.Fatalf("only %d leader kills executed — soak too short", kills)
+	}
+	if got := f.Localized(); len(got) != 1 || got[0] != "B->C" {
+		t.Fatalf("localized %v after %d leader kills, want exactly [B->C]", got, kills)
+	}
+	if nLoc := countEvents(f, EventLocalized, "B->C"); nLoc != 1 {
+		t.Fatalf("%d localization events after %d kills, want exactly 1", nLoc, kills)
+	}
+	if int(f.Corr.Failovers) < kills-1 {
+		t.Fatalf("Failovers=%d after %d kills, want at least %d", f.Corr.Failovers, kills, kills-1)
+	}
+}
+
+// TestReplicatedDeterminism: the full replicated control plane — elections,
+// log replication, failover, redirects — must replay byte-identically under
+// the same seed.
+func TestReplicatedDeterminism(t *testing.T) {
+	run := func() string {
+		s := sim.New(23)
+		n, err := topo.Build(s, lineSpec(0))
+		if err != nil {
+			t.Fatal(err)
+		}
+		const entry = netsim.EntryID(10)
+		if err := n.InstallShortestPaths(map[netsim.EntryID]string{entry: "H2"}); err != nil {
+			t.Fatal(err)
+		}
+		f, err := New(s, n, replicatedCfg(0.25, entry))
+		if err != nil {
+			t.Fatal(err)
+		}
+		udp(n, "H1", entry, 2e6, 6*sim.Second)
+		n.Direction("B", "C").SetFailure(netsim.FailEntries(9, 2*sim.Second, 1.0, entry))
+		s.ScheduleAt(2300*sim.Millisecond, func() { f.KillLeader() })
+		s.ScheduleAt(3100*sim.Millisecond, func() { f.RestartReplica(0) })
+		s.Run(6 * sim.Second)
+		var b strings.Builder
+		b.WriteString(f.Snapshot().Report())
+		for _, ev := range f.Events {
+			fmt.Fprintf(&b, "%v %v %s %s\n", ev.Time, ev.Kind, ev.Link, ev.Detail)
+		}
+		return b.String()
+	}
+	r1, r2 := run(), run()
+	if r1 != r2 {
+		t.Fatalf("non-deterministic replicated fleet:\n--- run 1 ---\n%s--- run 2 ---\n%s", r1, r2)
+	}
+}
+
+// TestReplicasRequireMgmt: a replica group without a management network is
+// a configuration error, not a silent fallback.
+func TestReplicasRequireMgmt(t *testing.T) {
+	s := sim.New(1)
+	n, err := topo.Build(s, lineSpec(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := fleetCfg(10)
+	cfg.Replicas = 3
+	if _, err := New(s, n, cfg); err == nil {
+		t.Fatal("New accepted Replicas=3 without Config.Mgmt")
+	}
+}
+
+// soakReplicaOne is one seeded replica-chaos trial: 20% management loss,
+// the active leader assassinated at seed-derived times (the dead replica
+// rejoins at the next kill), and the exactly-once verdict contract checked
+// at the end regardless of how the kills landed.
+func soakReplicaOne(t *testing.T, seed int64) {
+	rng := rand.New(rand.NewSource(seed))
+	s := sim.New(seed)
+	n, err := topo.Build(s, lineSpec(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	const entry = netsim.EntryID(10)
+	if err := n.InstallShortestPaths(map[netsim.EntryID]string{entry: "H2"}); err != nil {
+		t.Fatal(err)
+	}
+	f, err := New(s, n, replicatedCfg(0.2, entry))
+	if err != nil {
+		t.Fatal(err)
+	}
+	udp(n, "H1", entry, 2e6, 10*sim.Second)
+	n.Direction("B", "C").SetFailure(netsim.FailEntries(seed+1, 2*sim.Second, 1.0, entry))
+
+	kills := 0
+	prev := -1
+	var round func()
+	round = func() {
+		if prev >= 0 {
+			f.RestartReplica(prev)
+		}
+		prev = f.KillLeader()
+		if prev >= 0 {
+			kills++
+		}
+		gap := 800*sim.Millisecond + sim.Time(rng.Int63n(int64(sim.Second)))
+		if s.Now()+gap < 8*sim.Second {
+			s.Schedule(gap, round)
+		}
+	}
+	s.ScheduleAt(2*sim.Second+sim.Time(rng.Int63n(int64(400*sim.Millisecond))), round)
+	s.Run(10 * sim.Second)
+
+	if kills < 2 {
+		t.Fatalf("only %d leader kills executed — soak schedule broken", kills)
+	}
+	if got := f.Localized(); len(got) != 1 || got[0] != "B->C" {
+		t.Fatalf("localized %v after %d leader kills, want exactly [B->C]", got, kills)
+	}
+	if nLoc := countEvents(f, EventLocalized, "B->C"); nLoc != 1 {
+		t.Fatalf("%d localization events after %d kills, want exactly 1", nLoc, kills)
+	}
+}
+
+// TestReplicaCrashSoakSeeds drives soakReplicaOne over a batch of seeds. The
+// default batch rides along in regular CI; the nightly workflow widens it
+// via FANCY_REPLICA_SOAK_RUNS and adds the race detector. Every trial is
+// fully deterministic, so a green batch stays green.
+func TestReplicaCrashSoakSeeds(t *testing.T) {
+	runs := 6
+	if v := os.Getenv("FANCY_REPLICA_SOAK_RUNS"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n <= 0 {
+			t.Fatalf("bad FANCY_REPLICA_SOAK_RUNS=%q: %v", v, err)
+		}
+		runs = n
+	}
+	for i := 0; i < runs; i++ {
+		seed := int64(5000 + i)
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			t.Parallel()
+			soakReplicaOne(t, seed)
+		})
+	}
+}

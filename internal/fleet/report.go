@@ -19,6 +19,16 @@ type AgentReport struct {
 	Stats    mgmt.ClientStats
 }
 
+// ReplicaReport is one correlator replica's slice of a Snapshot.
+type ReplicaReport struct {
+	Name     string
+	Active   bool // currently driving the fleet state machine
+	Leader   bool
+	Crashed  bool
+	Promised uint64 // highest promised ballot (acceptor stable state)
+	AccIndex uint64 // highest accepted log index
+}
+
 // LinkReport is the per-directed-link slice of a Snapshot.
 type LinkReport struct {
 	Link        string
@@ -50,8 +60,16 @@ type Snapshot struct {
 	MgmtNet        mgmt.NetStats
 	MgmtHoles      int    // report seqs lost for good (spool overflow)
 	MgmtDuplicates uint64 // duplicate deliveries suppressed at the correlator
+	MgmtSpoolDrops uint64 // reports evicted from full agent spools, fleet-wide
 	Corr           CorrelatorStats
 	Agents         []AgentReport // in sorted switch order
+
+	// Correlator replication (populated only with cfg.Replicas > 1).
+	Replicated     bool
+	Leader         string // replica currently driving the fleet
+	CommitIndex    uint64
+	QuorumDegraded bool            // leader running without its ack quorum
+	Replicas       []ReplicaReport // in replica-id order
 }
 
 // Snapshot assembles the current fleet-wide view.
@@ -94,6 +112,24 @@ func (f *Fleet) Snapshot() Snapshot {
 				Spooled:  a.client.SpoolLen(),
 				Stats:    a.client.Stats,
 			})
+			snap.MgmtSpoolDrops += a.client.Stats.SpoolDrops
+		}
+		if g := f.group; g != nil {
+			snap.Replicated = true
+			snap.Leader = f.Leader()
+			snap.CommitIndex = g.commitIndex
+			snap.QuorumDegraded = g.quorumLost
+			for _, r := range g.replicas {
+				rr := ReplicaReport{
+					Name: r.name, Active: g.active == r.id,
+					Leader: r.isLeader, Crashed: r.crashed,
+					Promised: r.promised,
+				}
+				if r.acc != nil {
+					rr.AccIndex = r.acc.Index
+				}
+				snap.Replicas = append(snap.Replicas, rr)
+			}
 		}
 	}
 	for _, det := range f.Detectors {
@@ -124,6 +160,30 @@ func (s Snapshot) Report() string {
 		fmt.Fprintf(&b, "  correlator: checkpoints=%d crashes=%d restores=%d stale-events=%d epoch-purges=%d get-fails=%d cmd-fails=%d handbacks=%d\n",
 			s.Corr.Checkpoints, s.Corr.Crashes, s.Corr.Restores, s.Corr.StaleEvents,
 			s.Corr.EpochPurges, s.Corr.GetFails, s.Corr.RerouteCmdFails, s.Corr.Handbacks)
+		if s.Replicated {
+			degraded := "quorum"
+			if s.QuorumDegraded {
+				degraded = "DEGRADED"
+			}
+			fmt.Fprintf(&b, "  replication: leader=%s commit=%d %s elections=%d failovers=%d quorum-losses=%d wire-rejects=%d\n",
+				s.Leader, s.CommitIndex, degraded, s.Corr.Elections, s.Corr.Failovers,
+				s.Corr.QuorumLosses, s.Corr.WireRejects)
+			for _, rr := range s.Replicas {
+				role := "follower"
+				switch {
+				case rr.Crashed:
+					role = "CRASHED"
+				case rr.Leader:
+					role = "leader"
+				}
+				active := ""
+				if rr.Active {
+					active = " active"
+				}
+				fmt.Fprintf(&b, "  replica %-8s %-8s promised=%d acc=%d%s\n",
+					rr.Name, role, rr.Promised, rr.AccIndex, active)
+			}
+		}
 		for _, ar := range s.Agents {
 			state := "online"
 			if ar.Degraded {
@@ -131,9 +191,9 @@ func (s Snapshot) Report() string {
 			} else if !ar.Online {
 				state = "offline"
 			}
-			fmt.Fprintf(&b, "  agent %-8s %-8s spool=%-3d reports=%d retries=%d exhausted=%d offline-transitions=%d\n",
+			fmt.Fprintf(&b, "  agent %-8s %-8s spool=%-3d reports=%d retries=%d exhausted=%d spool-drops=%d redirects=%d offline-transitions=%d\n",
 				ar.Switch, state, ar.Spooled, ar.Stats.Reports, ar.Stats.Retries,
-				ar.Stats.Exhausted, ar.Stats.Offline)
+				ar.Stats.Exhausted, ar.Stats.SpoolDrops, ar.Stats.Redirects, ar.Stats.Offline)
 		}
 	}
 	for _, lr := range s.Links {

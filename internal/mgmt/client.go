@@ -2,6 +2,7 @@ package mgmt
 
 import (
 	"math/rand"
+	"sort"
 
 	"fancy/internal/sim"
 )
@@ -17,6 +18,8 @@ type ClientStats struct {
 	ProbeRetries uint64 // heartbeat retransmissions
 	Offline      uint64 // online→offline transitions
 	Calls        uint64 // RPC requests served for the correlator
+	Redirects    uint64 // redirect answers received from non-leader replicas
+	Rotations    uint64 // endpoint rotations after an unanswered target
 }
 
 // Client is the switch-side endpoint of the management protocol: it ships
@@ -28,7 +31,14 @@ type Client struct {
 	net  *Network
 	cfg  Config
 	name string
-	srv  string // server endpoint name
+	srv  string // current server endpoint name
+
+	// endpoints is the full candidate server list (correlator replicas).
+	// Empty means single-server mode: srv is the only target. With
+	// candidates, an unanswered target rotates to the next and a
+	// DgramRedirect re-aims directly at the announced leader.
+	endpoints []string
+	epIdx     int
 
 	nextSeq      uint64 // report sequence space (contiguous, gap-checked)
 	probeSeq     uint64 // heartbeat probe ids, a separate space
@@ -82,6 +92,64 @@ func (c *Client) Online() bool { return c.online }
 // SpoolLen reports how many reports are currently parked awaiting a
 // reachable server.
 func (c *Client) SpoolLen() int { return len(c.spool) }
+
+// Target returns the server endpoint currently being addressed.
+func (c *Client) Target() string { return c.srv }
+
+// SetEndpoints installs the candidate server list (correlator replicas).
+// If the current target is not on the list the client re-aims at the first
+// candidate; otherwise it stays put and only rotates on future misses.
+func (c *Client) SetEndpoints(eps []string) {
+	c.endpoints = append([]string(nil), eps...)
+	c.epIdx = 0
+	for i, ep := range c.endpoints {
+		if ep == c.srv {
+			c.epIdx = i
+			return
+		}
+	}
+	if len(c.endpoints) > 0 {
+		c.Retarget(c.endpoints[0])
+	}
+}
+
+// Retarget re-aims the client at a different server endpoint and
+// retransmits every in-flight report there in ascending sequence order.
+// Attempt counters are preserved: a report that already burned attempts on
+// a dead leader keeps its budget, so a genuinely unreachable fleet still
+// exhausts and spools on the usual schedule.
+func (c *Client) Retarget(srv string) {
+	if srv == c.srv {
+		return
+	}
+	c.srv = srv
+	for i, ep := range c.endpoints {
+		if ep == srv {
+			c.epIdx = i
+			break
+		}
+	}
+	seqs := make([]uint64, 0, len(c.inflight))
+	for seq := range c.inflight {
+		seqs = append(seqs, seq)
+	}
+	sort.Slice(seqs, func(i, j int) bool { return seqs[i] < seqs[j] })
+	for _, seq := range seqs {
+		p := c.inflight[seq]
+		p.timer.Stop()
+		c.send(p)
+	}
+}
+
+// rotate advances to the next candidate endpoint after the current target
+// went unanswered. No-op without a candidate list.
+func (c *Client) rotate() {
+	if len(c.endpoints) < 2 {
+		return
+	}
+	c.Stats.Rotations++
+	c.Retarget(c.endpoints[(c.epIdx+1)%len(c.endpoints)])
+}
 
 func (c *Client) rng() *rand.Rand { return c.net.rng(c.name, c.srv) }
 
@@ -173,6 +241,9 @@ func (c *Client) probe(seq uint64, attempt int) {
 
 func (c *Client) miss() {
 	c.misses++
+	// Try the next replica before (and after) giving up: a dead leader is
+	// indistinguishable from a partition until another endpoint answers.
+	c.rotate()
 	if c.online && c.misses >= c.cfg.OfflineAfter {
 		c.online = false
 		c.Stats.Offline++
@@ -195,9 +266,20 @@ func (c *Client) onDgram(d Dgram) {
 			c.lastProbeAck = d.Seq
 		}
 		c.ackSeen()
+	case DgramRedirect:
+		c.Stats.Redirects++
+		hint, _ := d.Payload.(string)
+		if hint != "" && hint != c.srv {
+			// The replica answered, so the path is alive — clear the miss
+			// streak — but only a real ack flushes the spool (ackSeen).
+			c.misses = 0
+			c.Retarget(hint)
+		}
 	case DgramCallReq:
 		c.Stats.Calls++
-		resp := Dgram{From: c.name, To: c.srv, Kind: DgramCallResp, Seq: d.Seq}
+		// Answer the caller, not the configured target: with replicas, any
+		// leader may issue reads regardless of where reports are aimed.
+		resp := Dgram{From: c.name, To: d.From, Kind: DgramCallResp, Seq: d.Seq}
 		if c.OnCall == nil {
 			resp.Err = "mgmt: no call handler"
 		} else if v, err := c.OnCall(d.Payload); err != nil {

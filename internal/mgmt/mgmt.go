@@ -67,9 +67,20 @@ type Config struct {
 	// sequence hole.
 	SpoolLimit int
 
-	// UnreachableAfter is the server-side liveness horizon: a client not
-	// heard from for this long is considered unreachable (default 60 ms).
+	// UnreachableAfter is the server-side liveness bootstrap horizon: a
+	// client not heard from for this long is considered unreachable
+	// (default 60 ms) until the phi-accrual window warms up, after which
+	// suspicion adapts to the observed arrival jitter.
 	UnreachableAfter sim.Time
+
+	// PhiThreshold is the accrual suspicion level treated as failure, used
+	// by both the server-side liveness sweep and replica leader election
+	// (default DefaultPhiThreshold = 8). PhiWindow and PhiMinSamples size
+	// the inter-arrival sample window and its warm-up floor (defaults 100
+	// and 5).
+	PhiThreshold  float64
+	PhiWindow     int
+	PhiMinSamples int
 }
 
 func (c Config) withDefaults() Config {
@@ -103,7 +114,22 @@ func (c Config) withDefaults() Config {
 	if c.UnreachableAfter == 0 {
 		c.UnreachableAfter = 60 * sim.Millisecond
 	}
+	if c.PhiThreshold <= 0 {
+		c.PhiThreshold = DefaultPhiThreshold
+	}
+	if c.PhiWindow <= 0 {
+		c.PhiWindow = DefaultPhiWindow
+	}
+	if c.PhiMinSamples <= 0 {
+		c.PhiMinSamples = DefaultPhiMinSamples
+	}
 	return c
+}
+
+// NewPhi builds a phi-accrual detector from the configuration's suspicion
+// knobs, bootstrapped by the fixed UnreachableAfter horizon.
+func (c Config) NewPhi() *PhiDetector {
+	return NewPhiDetector(c.PhiThreshold, c.PhiWindow, c.PhiMinSamples, c.UnreachableAfter)
 }
 
 // DgramKind tags a management datagram.
@@ -118,6 +144,14 @@ const (
 	DgramCallResp
 	DgramHeartbeat
 	DgramHeartbeatAck
+	// DgramRedirect is a server's "not me — talk to Payload" answer to a
+	// report or heartbeat that reached a non-leader correlator replica; the
+	// client re-targets and retransmits. An empty Payload means "no leader
+	// known here": the client keeps rotating through its endpoint list.
+	DgramRedirect
+	// DgramConsensus carries an encoded replicated-log message between
+	// correlator replicas (see internal/fleet's consensus wire format).
+	DgramConsensus
 )
 
 // Dgram is one management-plane datagram.

@@ -1,0 +1,184 @@
+package mgmt
+
+// Phi-accrual adaptive failure detection (Hayashibara et al., "The φ
+// Accrual Failure Detector"; applied adaptively per Satzger et al., "A New
+// Adaptive Accrual Failure Detector for Dependable Distributed Systems").
+//
+// A fixed liveness timeout is the wrong tool on a management network whose
+// delay distribution moves: a constant tuned for the quiet network false-
+// suspects under loss-driven retry jitter, and one tuned for the stormy
+// network detects real crashes late. The accrual detector instead keeps a
+// sliding window of observed heartbeat inter-arrival times and outputs a
+// continuous suspicion level
+//
+//	phi(t) = -log10( P(no arrival gap this long | observed gaps) )
+//
+// using a normal approximation of the windowed distribution. phi ≈ 1 means
+// "a gap this long happens about once in 10 gaps"; phi ≥ 8 means the
+// current silence is astronomically unlikely under the observed behavior —
+// the peer is gone. Because the window tracks whatever jitter the channel
+// currently exhibits (loss-induced retransmission gaps included), the
+// threshold keeps its meaning as conditions change: suspicion latency
+// stretches under heavy loss and tightens on a quiet network, with no
+// re-tuning.
+//
+// Everything here is pure arithmetic over sim.Time values — deterministic
+// for a deterministic input schedule, with no wall clock and no randomness.
+
+import (
+	"math"
+
+	"fancy/internal/sim"
+)
+
+// phiDefaults mirror the liveness sweep and replica-election consumers.
+const (
+	// DefaultPhiThreshold is the suspicion level treated as failure.
+	DefaultPhiThreshold = 8.0
+	// DefaultPhiWindow is the inter-arrival sample window size.
+	DefaultPhiWindow = 100
+	// DefaultPhiMinSamples is the warm-up floor: below it the detector
+	// falls back to its bootstrap horizon instead of trusting statistics
+	// of two or three gaps.
+	DefaultPhiMinSamples = 5
+)
+
+// minPhiStdDev keeps the normal approximation honest on a perfectly
+// regular channel: a zero-variance window would make any gap infinitely
+// suspicious, so the spread is floored at 100 µs.
+const minPhiStdDev = 100 * sim.Microsecond
+
+// PhiDetector is one monitored peer's accrual state. The zero value is not
+// usable; construct with NewPhiDetector.
+type PhiDetector struct {
+	threshold float64
+	bootstrap sim.Time // fixed horizon used until the window warms up
+	minKeep   int      // samples required before the statistics are trusted
+
+	window []sim.Time // inter-arrival ring buffer
+	next   int        // ring write cursor
+
+	last  sim.Time // most recent arrival
+	born  sim.Time // when monitoring (re)started; anchors the bootstrap horizon
+	heard bool
+}
+
+// NewPhiDetector builds a detector with the given suspicion threshold,
+// window size, warm-up sample count and bootstrap horizon; zero values take
+// the package defaults (bootstrap must be provided by the caller — it is
+// the consumer's legacy fixed timeout).
+func NewPhiDetector(threshold float64, window, minSamples int, bootstrap sim.Time) *PhiDetector {
+	if threshold <= 0 {
+		threshold = DefaultPhiThreshold
+	}
+	if window <= 0 {
+		window = DefaultPhiWindow
+	}
+	if minSamples <= 0 {
+		minSamples = DefaultPhiMinSamples
+	}
+	return &PhiDetector{
+		threshold: threshold,
+		bootstrap: bootstrap,
+		minKeep:   minSamples,
+		window:    make([]sim.Time, 0, window),
+	}
+}
+
+// Observe records one arrival (heartbeat, ack, or any sign of life) at now.
+// Out-of-order observations (now before the last arrival) are ignored: the
+// simulator delivers in timestamp order, but duplicated datagrams can share
+// an instant.
+func (p *PhiDetector) Observe(now sim.Time) {
+	if p.heard {
+		gap := now - p.last
+		if gap <= 0 {
+			return // duplicate delivery within the same instant
+		}
+		if len(p.window) < cap(p.window) {
+			p.window = append(p.window, gap)
+		} else {
+			p.window[p.next] = gap
+		}
+		p.next = (p.next + 1) % cap(p.window)
+	}
+	p.last = now
+	p.heard = true
+}
+
+// Heard reports whether the peer was ever observed.
+func (p *PhiDetector) Heard() bool { return p.heard }
+
+// LastSeen returns the most recent arrival (0, false if never heard).
+func (p *PhiDetector) LastSeen() (sim.Time, bool) { return p.last, p.heard }
+
+// Samples reports how many inter-arrival gaps the window currently holds.
+func (p *PhiDetector) Samples() int { return len(p.window) }
+
+// warm reports whether the window holds enough samples to trust.
+func (p *PhiDetector) warm() bool { return len(p.window) >= p.minKeep }
+
+// Phi returns the current suspicion level at now. Before the first arrival,
+// or before the window warms up, it returns 0 below the bootstrap horizon
+// and exactly the threshold at or beyond it (so Suspect degrades to the
+// legacy fixed-timeout behavior during warm-up).
+func (p *PhiDetector) Phi(now sim.Time) float64 {
+	if !p.heard || !p.warm() {
+		if p.heard && p.bootstrap > 0 && now-p.last >= p.bootstrap {
+			return p.threshold
+		}
+		if !p.heard && p.bootstrap > 0 && now-p.born >= p.bootstrap {
+			return p.threshold // never heard at all: suspect past the horizon
+		}
+		return 0
+	}
+	elapsed := now - p.last
+	if elapsed <= 0 {
+		return 0
+	}
+	mean, sd := p.stats()
+	// P(gap >= elapsed) under the normal approximation; phi = -log10 of it.
+	z := (float64(elapsed) - mean) / sd
+	pLater := 0.5 * math.Erfc(z/math.Sqrt2)
+	if pLater < 1e-300 {
+		pLater = 1e-300 // clamp: keep phi finite and comparisons total
+	}
+	return -math.Log10(pLater)
+}
+
+// stats computes the windowed mean and (floored) standard deviation.
+func (p *PhiDetector) stats() (mean, sd float64) {
+	var sum float64
+	for _, g := range p.window {
+		sum += float64(g)
+	}
+	n := float64(len(p.window))
+	mean = sum / n
+	var varsum float64
+	for _, g := range p.window {
+		d := float64(g) - mean
+		varsum += d * d
+	}
+	sd = math.Sqrt(varsum / n)
+	if sd < float64(minPhiStdDev) {
+		sd = float64(minPhiStdDev)
+	}
+	return mean, sd
+}
+
+// Suspect reports whether the suspicion level has crossed the threshold.
+func (p *PhiDetector) Suspect(now sim.Time) bool {
+	return p.Phi(now) >= p.threshold
+}
+
+// Reset forgets everything (peer restarted from scratch, or the monitor
+// changed targets): the next Observe starts a fresh window, and the
+// bootstrap horizon re-anchors at now — a freshly reset detector grants the
+// peer a full grace period before silence counts against it.
+func (p *PhiDetector) Reset(now sim.Time) {
+	p.window = p.window[:0]
+	p.next = 0
+	p.heard = false
+	p.last = 0
+	p.born = now
+}

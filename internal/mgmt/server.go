@@ -27,6 +27,7 @@ type clientTrack struct {
 	above    map[uint64]struct{} // delivered seqs beyond a hole
 	lastSeen sim.Time
 	heard    bool
+	phi      *PhiDetector // accrual liveness over datagram arrivals
 }
 
 // pendingCall is one in-flight RPC attempt cycle.
@@ -56,6 +57,12 @@ type Server struct {
 	// accepting gates inbound processing: a crashed correlator neither
 	// handles nor acknowledges anything (see SetAccepting).
 	accepting bool
+
+	// Intercept, if set, sees every inbound datagram of an accepting
+	// server before normal processing; returning true consumes it. The
+	// fleet's replica layer uses it to handle consensus traffic and to
+	// redirect agent reports away from non-leader replicas.
+	Intercept func(Dgram) bool
 
 	// OnReport receives each unique in-order-or-later report. Duplicates
 	// are filtered before this point; reordering is visible (the fleet
@@ -95,21 +102,31 @@ func (srv *Server) SetAccepting(on bool) {
 func (srv *Server) track(name string) *clientTrack {
 	ct, ok := srv.clients[name]
 	if !ok {
-		ct = &clientTrack{above: make(map[uint64]struct{})}
+		ct = &clientTrack{above: make(map[uint64]struct{}), phi: srv.cfg.NewPhi()}
 		srv.clients[name] = ct
 	}
 	return ct
+}
+
+// seen records one sign of life from a client: the fixed-horizon timestamp
+// and the accrual window both advance.
+func (ct *clientTrack) seen(now sim.Time) {
+	ct.lastSeen, ct.heard = now, true
+	ct.phi.Observe(now)
 }
 
 func (srv *Server) onDgram(d Dgram) {
 	if !srv.accepting {
 		return
 	}
+	if srv.Intercept != nil && srv.Intercept(d) {
+		return
+	}
 	switch d.Kind {
 	case DgramReport:
 		srv.Stats.Reports++
 		ct := srv.track(d.From)
-		ct.lastSeen, ct.heard = srv.s.Now(), true
+		ct.seen(srv.s.Now())
 		// Always ack: the client may have missed a previous ack.
 		srv.net.Send(Dgram{From: srv.name, To: d.From, Kind: DgramReportAck, Seq: d.Seq})
 		if d.Seq <= ct.contig {
@@ -133,7 +150,7 @@ func (srv *Server) onDgram(d Dgram) {
 		}
 	case DgramHeartbeat:
 		ct := srv.track(d.From)
-		ct.lastSeen, ct.heard = srv.s.Now(), true
+		ct.seen(srv.s.Now())
 		srv.net.Send(Dgram{From: srv.name, To: d.From, Kind: DgramHeartbeatAck, Seq: d.Seq})
 	case DgramCallResp:
 		pc, ok := srv.calls[d.Seq]
@@ -184,11 +201,22 @@ func (srv *Server) attempt(pc *pendingCall) {
 
 func (srv *Server) rng(to string) *rand.Rand { return srv.net.rng(srv.name, to) }
 
-// Alive reports whether the client has been heard from within the
-// configured liveness horizon.
+// Alive reports whether the client is believed reachable: phi-accrual
+// suspicion over the observed datagram inter-arrival times once the window
+// has warmed up, the fixed UnreachableAfter horizon before that.
 func (srv *Server) Alive(name string) bool {
 	ct, ok := srv.clients[name]
-	return ok && ct.heard && srv.s.Now()-ct.lastSeen <= srv.cfg.UnreachableAfter
+	return ok && ct.heard && !ct.phi.Suspect(srv.s.Now())
+}
+
+// Phi returns the current accrual suspicion level for a client (0 if the
+// client was never heard from and the bootstrap horizon has not passed).
+func (srv *Server) Phi(name string) float64 {
+	ct, ok := srv.clients[name]
+	if !ok {
+		return 0
+	}
+	return ct.phi.Phi(srv.s.Now())
 }
 
 // LastSeen returns when the client was last heard from (0, false if never).
@@ -242,7 +270,10 @@ func (srv *Server) SeqCheckpoint() map[string]SeqState {
 func (srv *Server) RestoreSeq(cp map[string]SeqState) {
 	srv.clients = make(map[string]*clientTrack, len(cp))
 	for name, st := range cp {
-		ct := &clientTrack{contig: st.Contig, above: make(map[uint64]struct{}, len(st.Above))}
+		// Fresh phi state: the restarted incarnation re-learns arrival
+		// statistics rather than trusting the dead one's window.
+		ct := &clientTrack{above: make(map[uint64]struct{}, len(st.Above)), phi: srv.cfg.NewPhi()}
+		ct.contig = st.Contig
 		for _, s := range st.Above {
 			ct.above[s] = struct{}{}
 		}

@@ -9,6 +9,7 @@ package fancy
 
 import (
 	"testing"
+	"time"
 
 	"fancy/internal/exp"
 )
@@ -200,6 +201,46 @@ func BenchmarkAblationBlink(b *testing.B) {
 		r := exp.AblationBlink(exp.Quick, benchSeed)
 		if len(r.Rows) != 2 {
 			b.Fatal("missing scenarios")
+		}
+	}
+}
+
+func BenchmarkHHChurn(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := exp.HHChurn(exp.Quick, benchSeed)
+		if r.DynamicMedian >= r.StaticMedian {
+			b.Fatalf("dynamic allocation regression: median %v >= static %v",
+				r.DynamicMedian, r.StaticMedian)
+		}
+	}
+}
+
+// TestBenchArtifact regenerates BENCH_fleet.json, the machine-readable
+// benchmark cells (TTL medians per sweep cell plus wall-clock) that CI
+// archives as a build artifact. Wall-clock is measured here, outside the
+// simulator, which is why the walltime suppressions are sound.
+func TestBenchArtifact(t *testing.T) {
+	if testing.Short() {
+		t.Skip("artifact generation skipped in -short mode")
+	}
+	var cells []exp.BenchCell
+	stamp := func(run func() []exp.BenchCell) {
+		start := time.Now() //lint:allow walltime wall-clock of the host run, not simulated time
+		out := run()
+		wall := time.Since(start).Seconds() //lint:allow walltime wall-clock of the host run, not simulated time
+		for i := range out {
+			out[i].WallSeconds = wall
+		}
+		cells = append(cells, out...)
+	}
+	stamp(func() []exp.BenchCell { return exp.FleetAbilene(exp.Quick, benchSeed).BenchCells(benchSeed) })
+	stamp(func() []exp.BenchCell { return exp.HHChurn(exp.Quick, benchSeed).BenchCells() })
+	if err := exp.WriteBenchJSON("BENCH_fleet.json", cells); err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range cells {
+		if c.WallSeconds <= 0 || (c.TTLMedianMs <= 0 && c.Experiment != "fleet") {
+			t.Errorf("degenerate cell: %+v", c)
 		}
 	}
 }

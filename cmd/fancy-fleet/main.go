@@ -11,6 +11,7 @@
 //	fancy-fleet -mgmt-loss 0.2 -crash-correlator 2.1s   # survivability drill
 //	fancy-fleet -mgmt-loss 0.1 -partition seattle       # degraded-mode drill
 //	fancy-fleet -mgmt-loss 0.2 -replicas 3 -kill-leader 2.1s   # failover drill
+//	fancy-fleet -hh                          # dynamic dedicated-counter allocation
 //
 // The run is deterministic for a given flag set; the fleet report at the
 // end is the aggregate snapshot (per-link health, localization times,
@@ -23,6 +24,12 @@
 // -replicas runs the correlator as a consensus group over that same
 // management plane; -kill-leader assassinates the active leader mid-run and
 // recovery is a phi-driven election plus replicated-log restore.
+//
+// -hh swaps the static dedicated pin for the in-dataplane heavy-hitter
+// stage: a churning background workload shares the path, every detector
+// sketches its egress traffic, and the per-switch allocation loop promotes
+// the observed heavy hitters (the target entry among them) into dedicated
+// counters at runtime. The closing report gains the hh-alloc line.
 package main
 
 import (
@@ -35,6 +42,7 @@ import (
 	"fancy/internal/fancy"
 	"fancy/internal/fancy/tree"
 	"fancy/internal/fleet"
+	"fancy/internal/hh"
 	"fancy/internal/mgmt"
 	"fancy/internal/netsim"
 	"fancy/internal/sim"
@@ -63,6 +71,9 @@ func main() {
 
 		replicas   = flag.Int("replicas", 0, "correlator replicas (0/1 = single instance, 3+ = consensus group; needs the management plane)")
 		killLeader = flag.Duration("kill-leader", 0, "crash the active consensus leader at this time (0 = never; needs -replicas)")
+
+		hhMode  = flag.Bool("hh", false, "dynamic dedicated-counter allocation: heavy-hitter stage + churning background workload instead of a static pin")
+		hhSlots = flag.Int("hh-slots", 8, "dedicated-counter slots per port available to the allocation loop (needs -hh)")
 	)
 	flag.Parse()
 
@@ -88,7 +99,25 @@ func main() {
 		os.Exit(2)
 	}
 	const entry = netsim.EntryID(10)
-	if err := n.InstallShortestPaths(map[netsim.EntryID]string{entry: "hdst"}); err != nil {
+	dur := sim.Time(*duration)
+	routes := map[netsim.EntryID]string{entry: "hdst"}
+	var churn *traffic.ChurnSchedule
+	if *hhMode {
+		// The background entry set includes the target entry; its dedicated
+		// source keeps it in the head, so the allocation loop promotes it.
+		churn = traffic.NewChurnSchedule(traffic.ChurnConfig{
+			Entries:       32,
+			AggregateBps:  10e6,
+			ShiftInterval: dur / 2,
+			Epochs:        2,
+			HotRanks:      *hhSlots,
+			Seed:          *seed,
+		})
+		for i := 0; i < churn.Config().Entries; i++ {
+			routes[netsim.EntryID(i)] = "hdst"
+		}
+	}
+	if err := n.InstallShortestPaths(routes); err != nil {
 		fmt.Fprintf(os.Stderr, "fancy-fleet: %v\n", err)
 		os.Exit(2)
 	}
@@ -97,6 +126,13 @@ func main() {
 		Tree:         tree.Params{Width: 32, Depth: 3, Split: 2, Pipelined: true},
 		TreeSeed:     3,
 	}}
+	if *hhMode {
+		cfg.Fancy.HighPriority = nil // dedicated counters come from the allocation loop
+		cfg.HH = &fleet.HHFleetConfig{
+			Sketch:       hh.Params{Stages: 3, Width: 32, Seed: uint64(*seed)},
+			DynamicSlots: *hhSlots,
+		}
+	}
 	mgmtWanted := *mgmtLoss > 0 || *mgmtDelay > 0 || *mgmtJitter > 0 || *mgmtDup > 0 ||
 		*crashCorr > 0 || *partition != "" || *replicas > 1 || *killLeader > 0
 	if mgmtWanted {
@@ -147,9 +183,13 @@ func main() {
 		fmt.Printf("no loop-free detour from %s avoiding %s: running detection only\n", from, to)
 	}
 
-	dur := sim.Time(*duration)
 	traffic.NewUDPSource(s, n.Hosts["hsrc"], netsim.FlowID(entry), entry,
 		netsim.EntryAddr(entry, 1), *rate, 1000, dur).Start()
+	if churn != nil {
+		srcs := churn.Launch(s, n.Hosts["hsrc"])
+		fmt.Printf("heavy-hitter stage: %d dynamic slots/port, churn background: %d entries, %d sources, %d epochs\n",
+			*hhSlots, churn.Config().Entries, srcs, churn.Epochs())
+	}
 	n.Direction(from, to).SetFailure(
 		netsim.FailEntries(*seed+1, sim.Time(*failAt), *loss, entry))
 

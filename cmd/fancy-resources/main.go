@@ -7,6 +7,11 @@
 //	fancy-resources
 //	fancy-resources -dedicated 1024 -width 250
 //	fancy-resources -budget 20000 -entries 500   # input translation check
+//	fancy-resources -hh-stages 3 -hh-width 64    # heavy-hitter stage sizing
+//
+// With -hh-stages > 0 the report includes the heavy-hitter sketch stage
+// (internal/hh) and the command exits non-zero if the full deployment no
+// longer fits the Tofino-1 envelope.
 package main
 
 import (
@@ -29,6 +34,8 @@ func main() {
 		budget    = flag.Int("budget", 0, "per-port memory budget in bytes (runs input translation)")
 		entries   = flag.Int("entries", 500, "high-priority entries for input translation")
 		emitP4    = flag.Bool("p4", false, "emit the P4_16 program skeleton instead of the report")
+		hhStages  = flag.Int("hh-stages", 3, "heavy-hitter sketch stages (0 = stage not deployed)")
+		hhWidth   = flag.Int("hh-width", 64, "heavy-hitter sketch slots per stage")
 	)
 	flag.Parse()
 
@@ -72,11 +79,32 @@ func main() {
 	d.MachinesPerPort = *dedicated
 	d.TreeWidth = *width
 	d.Ports = *ports
+	d.HHStages = *hhStages
+	d.HHWidth = *hhWidth
 	fmt.Printf("register memory for %d ports, %d dedicated/port, width-%d tree:\n", *ports, *dedicated, *width)
 	fmt.Printf("  state machines:     %8.1f KB\n", float64(d.StateMachineBytes())/1024)
 	fmt.Printf("  dedicated counters: %8.1f KB\n", float64(d.DedicatedCounterBytes())/1024)
 	fmt.Printf("  hash-based tree:    %8.1f KB\n", float64(d.TreeBytes())/1024)
 	fmt.Printf("  rerouting:          %8.1f KB\n", float64(d.RerouteBytes())/1024)
+	if d.HHStages > 0 {
+		fmt.Printf("  heavy-hitter stage: %8.1f KB (%d-stage x %d-slot sketch/port)\n",
+			float64(d.HeavyHitterBytes())/1024, d.HHStages, d.HHWidth)
+	}
 	fmt.Printf("  total:              %8.1f KB (%.1f KB with rerouting)\n",
 		float64(d.TotalBytes(false))/1024, float64(d.TotalBytes(true))/1024)
+
+	if d.HHStages > 0 {
+		chip := tofino.Tofino32()
+		r := chip.FancyResources(d, true)
+		u := chip.Utilization(r)
+		fmt.Printf("\nfull deployment + heavy-hitter stage on %s:\n", chip.Name)
+		fmt.Printf("  sram=%.1f%% salu=%.1f%% vliw=%.1f%% tcam=%.1f%% hash=%.1f%% txbar=%.1f%% exbar=%.1f%%\n",
+			u.SRAM*100, u.SALU*100, u.VLIW*100, u.TCAM*100,
+			u.HashBits*100, u.TernaryXbar*100, u.ExactXbar*100)
+		if !chip.Fits(r) {
+			fmt.Fprintln(os.Stderr, "fancy-resources: deployment does NOT fit the Tofino-1 envelope")
+			os.Exit(1)
+		}
+		fmt.Println("  fits the Tofino-1 envelope")
+	}
 }

@@ -86,6 +86,7 @@ type Ctx struct {
 	emits       []Emit
 	accessed    map[*Register]bool
 	newMeta     map[string]Value
+	phv         map[string]Value
 	err         error
 }
 
@@ -127,6 +128,22 @@ func (c *Ctx) SetMeta(k string, v Value) {
 
 // Meta reads metadata as it was when the pass started (0 when absent).
 func (c *Ctx) Meta(k string) Value { return c.Pkt.Meta[k] }
+
+// SetPHV writes a packet-header-vector scratch word. Unlike SetMeta, PHV
+// writes are visible to LATER stages of the SAME pass — that is exactly
+// what the hardware's intra-pipeline metadata bus provides — and are
+// discarded when the pass ends, so nothing carries across a
+// recirculation except explicit SetMeta state.
+func (c *Ctx) SetPHV(k string, v Value) {
+	if c.phv == nil {
+		c.phv = map[string]Value{}
+	}
+	c.phv[k] = v
+}
+
+// PHV reads a scratch word written earlier in the current pass (0 when
+// absent).
+func (c *Ctx) PHV(k string) Value { return c.phv[k] }
 
 // Recirculate resubmits the packet for another pass.
 func (c *Ctx) Recirculate() { c.disposition = Recirculate }

@@ -1,0 +1,110 @@
+package dataplane
+
+import (
+	"math/rand"
+	"testing"
+
+	"fancy/internal/hh"
+	"fancy/internal/netsim"
+)
+
+// TestHHProgramEquivalence is the contract between the control-plane
+// sketch model and the register-level program: fed the same packet
+// sequence they must hold identical slot contents (keys and counts in
+// every stage), make identical admission decisions, and leave the
+// admission RNG in the same state. This is what lets the switch agent
+// reason about the dataplane stage using hh.Sketch alone.
+func TestHHProgramEquivalence(t *testing.T) {
+	p := hh.Params{Stages: 3, Width: 16, Seed: 2026}
+	sk := hh.NewSketch(p)
+	g := BuildHeavyHitter(p)
+
+	rng := rand.New(rand.NewSource(8))
+	z := rand.NewZipf(rng, 1.2, 1, 120)
+	admitted := 0
+	for i := 0; i < 8000; i++ {
+		entry := uint32(z.Uint64())
+		wantAdmit := sk.Observe(netsim.EntryID(entry))
+		res, err := g.Inject(Value(entry))
+		if err != nil {
+			t.Fatalf("packet %d (entry %d): %v", i, entry, err)
+		}
+		gotAdmit := res.Passes == 2
+		if gotAdmit != wantAdmit {
+			t.Fatalf("packet %d (entry %d): program admit=%v, sketch admit=%v", i, entry, gotAdmit, wantAdmit)
+		}
+		if wantAdmit {
+			admitted++
+			if res.Disposition != Drop {
+				t.Fatalf("claim pass disposition = %v, want Drop (clone consumed)", res.Disposition)
+			}
+		} else if res.Disposition != Forward || res.Passes != 1 {
+			t.Fatalf("non-admitted packet: disposition=%v passes=%d", res.Disposition, res.Passes)
+		}
+	}
+	if admitted == 0 {
+		t.Fatal("no admissions in 8000 packets — nothing was exercised")
+	}
+	_, recircs := sk.Window()
+	if g.Pipe.Recircs != recircs {
+		t.Fatalf("recirculations: program %d, sketch %d", g.Pipe.Recircs, recircs)
+	}
+	for stage := 0; stage < p.Stages; stage++ {
+		for idx := 0; idx < p.Width; idx++ {
+			gk, gc := g.Slot(stage, idx)
+			sk2, sc := sk.Slot(stage, idx)
+			if gk != sk2 || gc != sc {
+				t.Fatalf("slot [%d][%d]: program (key=%d,count=%d), sketch (key=%d,count=%d)",
+					stage, idx, gk, gc, sk2, sc)
+			}
+		}
+	}
+}
+
+// TestHHProgramStageBudget: the program must respect the hardware
+// constraints the emulator enforces — most importantly one stateful access
+// per register per pass (RegOp errors out otherwise, which the equivalence
+// test would surface) — and home each stage's registers in distinct
+// stages so the per-stage memory report is meaningful.
+func TestHHProgramStageBudget(t *testing.T) {
+	p := hh.Params{Stages: 4, Width: 32, Seed: 1}
+	g := BuildHeavyHitter(p)
+	mem := g.Pipe.MemoryByStage()
+	if len(mem) != p.Stages+1 {
+		t.Fatalf("pipeline has %d stages, want %d", len(mem), p.Stages+1)
+	}
+	for i := 0; i < p.Stages; i++ {
+		if mem[i] != 2*p.Width {
+			t.Errorf("stage %d homes %d cells, want %d (keys+counts)", i, mem[i], 2*p.Width)
+		}
+	}
+	if mem[p.Stages] != 1 {
+		t.Errorf("decision stage homes %d cells, want 1 (rng)", mem[p.Stages])
+	}
+}
+
+// TestHHProgramPHVScratchIsPerPass: PHV state must not leak across
+// passes; a value set in one pass reads as zero after a recirculation.
+func TestHHProgramPHVScratchIsPerPass(t *testing.T) {
+	pipe := NewPipeline(1)
+	var second Value
+	passes := 0
+	pipe.Stage(0).AddTable(&Table{Name: "t", Default: func(c *Ctx) {
+		passes++
+		if passes == 1 {
+			c.SetPHV("x", 7)
+			if c.PHV("x") != 7 {
+				t.Error("PHV not visible later in the same pass")
+			}
+			c.Recirculate()
+			return
+		}
+		second = c.PHV("x")
+	}})
+	if _, err := pipe.Process(NewPacket(nil)); err != nil {
+		t.Fatal(err)
+	}
+	if second != 0 {
+		t.Fatalf("PHV leaked across passes: %d", second)
+	}
+}

@@ -1,0 +1,123 @@
+package exp
+
+// Machine-readable benchmark cells: the CI artifact format. Each sweep
+// contributes one cell per configuration it compares, carrying the TTL
+// medians (simulated time) plus the wall-clock the caller measured around
+// the run. encoding/json sorts map keys, so the artifact is byte-stable
+// for a given seed.
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+
+	"fancy/internal/sim"
+)
+
+// BenchCell is one row of the benchmark artifact.
+type BenchCell struct {
+	Experiment  string             `json:"experiment"`
+	Cell        string             `json:"cell"`
+	Scale       string             `json:"scale"`
+	Seed        int64              `json:"seed"`
+	WallSeconds float64            `json:"wall_seconds"`
+	TTLMedianMs float64            `json:"ttl_median_ms,omitempty"`
+	TTLMaxMs    float64            `json:"ttl_max_ms,omitempty"`
+	Values      map[string]float64 `json:"values,omitempty"`
+}
+
+// WriteBenchJSON writes cells as an indented JSON array, sorted by
+// (experiment, cell) for stable diffs.
+func WriteBenchJSON(path string, cells []BenchCell) error {
+	sorted := append([]BenchCell(nil), cells...)
+	sort.Slice(sorted, func(i, j int) bool {
+		if sorted[i].Experiment != sorted[j].Experiment {
+			return sorted[i].Experiment < sorted[j].Experiment
+		}
+		return sorted[i].Cell < sorted[j].Cell
+	})
+	data, err := json.MarshalIndent(sorted, "", "  ")
+	if err != nil {
+		return fmt.Errorf("exp: marshal bench cells: %w", err)
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+func ttlMs(t sim.Time) float64 { return float64(t) / float64(sim.Millisecond) }
+
+// BenchCells summarizes the fleet localization sweep: one cell with the
+// TTL distribution over the exactly-localized trials.
+func (r *FleetResult) BenchCells(seed int64) []BenchCell {
+	var ttls []sim.Time
+	exact := 0
+	var maxTTL sim.Time
+	for _, row := range r.Rows {
+		if row.Exact {
+			exact++
+			ttls = append(ttls, row.TTL)
+			if row.TTL > maxTTL {
+				maxTTL = row.TTL
+			}
+		}
+	}
+	return []BenchCell{{
+		Experiment:  "fleet",
+		Cell:        "localization",
+		Scale:       r.Scale.String(),
+		Seed:        seed,
+		TTLMedianMs: ttlMs(ttlMedian(ttls)),
+		TTLMaxMs:    ttlMs(maxTTL),
+		Values: map[string]float64{
+			"exact":  float64(exact),
+			"trials": float64(len(r.Rows)),
+		},
+	}}
+}
+
+// BenchCells summarizes the churn sweep: one cell per allocation mode,
+// medians over the newly-hot prefixes.
+func (r *HHChurnResult) BenchCells() []BenchCell {
+	maxOver := func(dyn bool) sim.Time {
+		var m sim.Time
+		for _, row := range r.Rows {
+			if !row.NewlyHot {
+				continue
+			}
+			ttl := row.StaticTTL
+			if dyn {
+				ttl = row.DynamicTTL
+			}
+			if ttl > m {
+				m = ttl
+			}
+		}
+		return m
+	}
+	return []BenchCell{
+		{
+			Experiment:  "hh-churn",
+			Cell:        "static",
+			Scale:       r.Scale.String(),
+			Seed:        r.Seed,
+			TTLMedianMs: ttlMs(r.StaticMedian),
+			TTLMaxMs:    ttlMs(maxOver(false)),
+			Values:      map[string]float64{"slots": float64(r.Slots)},
+		},
+		{
+			Experiment:  "hh-churn",
+			Cell:        "dynamic",
+			Scale:       r.Scale.String(),
+			Seed:        r.Seed,
+			TTLMedianMs: ttlMs(r.DynamicMedian),
+			TTLMaxMs:    ttlMs(maxOver(true)),
+			Values: map[string]float64{
+				"slots":            float64(r.Slots),
+				"promotions":       float64(r.HH.Promotions),
+				"demotions":        float64(r.HH.Demotions),
+				"flaps_suppressed": float64(r.HH.FlapsSuppressed),
+				"deferred":         float64(r.HH.Deferred),
+			},
+		},
+	}
+}

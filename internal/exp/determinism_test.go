@@ -15,6 +15,7 @@ import (
 	"fancy/internal/fancy"
 	"fancy/internal/fancy/tree"
 	"fancy/internal/fleet"
+	"fancy/internal/hh"
 	"fancy/internal/mgmt"
 	"fancy/internal/netsim"
 	"fancy/internal/sim"
@@ -28,7 +29,7 @@ import (
 // event log, the verdict set with timestamps, and the health snapshot.
 // With replicas > 1 the crash kills the LEADER of a consensus group and
 // recovery goes through a phi-driven election and replicated-log restore.
-func chaosTranscript(t *testing.T, seed int64, replicas int) string {
+func chaosTranscript(t *testing.T, seed int64, replicas int, hhSlots int) string {
 	t.Helper()
 	dl := topo.DirectedLink{From: "kansascity", To: "denver"}
 	duration := 3 * sim.Second
@@ -47,7 +48,7 @@ func chaosTranscript(t *testing.T, seed int64, replicas int) string {
 	if err := n.InstallShortestPaths(map[netsim.EntryID]string{entry: "hdst"}); err != nil {
 		t.Fatal(err)
 	}
-	f, err := fleet.New(s, n, fleet.Config{
+	cfg := fleet.Config{
 		Fancy: fancy.Config{
 			HighPriority: []netsim.EntryID{entry},
 			Tree:         tree.Params{Width: 32, Depth: 3, Split: 2, Pipelined: true},
@@ -55,7 +56,14 @@ func chaosTranscript(t *testing.T, seed int64, replicas int) string {
 		},
 		Mgmt:     &mgmt.Config{Loss: 0.2, Duplicate: 0.1, Jitter: sim.Millisecond},
 		Replicas: replicas,
-	})
+	}
+	if hhSlots > 0 {
+		cfg.HH = &fleet.HHFleetConfig{
+			Sketch:       hh.Params{Stages: 3, Width: 32, Seed: 5},
+			DynamicSlots: hhSlots,
+		}
+	}
+	f, err := fleet.New(s, n, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -89,20 +97,22 @@ func TestSameSeedSameTranscript(t *testing.T) {
 	for _, tc := range []struct {
 		name     string
 		replicas int
+		hhSlots  int
 	}{
-		{"single-instance", 0},
-		{"replica3", 3},
+		{"single-instance", 0, 0},
+		{"replica3", 3, 0},
+		{"hh-alloc", 0, 4},
 	} {
 		t.Run(tc.name, func(t *testing.T) {
-			a := chaosTranscript(t, seed, tc.replicas)
-			b := chaosTranscript(t, seed, tc.replicas)
+			a := chaosTranscript(t, seed, tc.replicas, tc.hhSlots)
+			b := chaosTranscript(t, seed, tc.replicas, tc.hhSlots)
 			if a != b {
 				t.Fatalf("same seed produced different transcripts:\n--- run 1 ---\n%s\n--- run 2 ---\n%s", a, b)
 			}
 			if !strings.Contains(a, "verdict kansascity->denver") {
 				t.Fatalf("transcript has no verdict for the injected link:\n%s", a)
 			}
-			c := chaosTranscript(t, seed+1, tc.replicas)
+			c := chaosTranscript(t, seed+1, tc.replicas, tc.hhSlots)
 			if !strings.Contains(c, "verdict kansascity->denver") {
 				t.Fatalf("other-seed transcript has no verdict for the injected link:\n%s", c)
 			}

@@ -17,6 +17,7 @@ import (
 	"fmt"
 
 	"fancy/internal/fancy/tree"
+	"fancy/internal/hh"
 	"fancy/internal/netsim"
 	"fancy/internal/sim"
 )
@@ -78,6 +79,45 @@ type Config struct {
 	// "to prioritize failure detection for most traffic" (§4.2, fn. 1);
 	// SelectRandom exists for the ablation study.
 	ZoomSelection ZoomSelection
+
+	// DynamicSlots reserves extra dedicated-counter slots beyond
+	// HighPriority that the control plane assigns at runtime via
+	// Promote/Demote (units len(HighPriority)..len(HighPriority)+
+	// DynamicSlots-1 on the wire). The slots consume dedicated-counter
+	// memory whether occupied or not — hardware register arrays are
+	// provisioned, not grown.
+	DynamicSlots int
+
+	// HH, when non-nil, deploys the per-port heavy-hitter stage
+	// (internal/hh): every data packet is observed by a HashPipe sketch
+	// with PRECISION admission, and the top-k digest is reported through
+	// Detector.OnHHReport once per ReportInterval. This is the signal the
+	// counter-allocation controller uses to drive DynamicSlots.
+	HH *HHStageConfig
+}
+
+// HHStageConfig parameterizes the heavy-hitter stage.
+type HHStageConfig struct {
+	// Sketch sizes the per-port sketch; each port derives its own seed
+	// from Sketch.Seed via hh.PortSeed.
+	Sketch hh.Params
+
+	// ReportInterval is the sketch measurement window (default 100 ms):
+	// every interval the top-k is encoded, reported, and the sketch reset.
+	ReportInterval sim.Time
+
+	// TopK is the number of prefixes per report (default 8).
+	TopK int
+}
+
+func (h HHStageConfig) withDefaults() HHStageConfig {
+	if h.ReportInterval == 0 {
+		h.ReportInterval = DefaultHHReportInterval
+	}
+	if h.TopK <= 0 {
+		h.TopK = DefaultHHTopK
+	}
+	return h
 }
 
 // ZoomSelection is the zooming algorithm's counter-selection policy.
@@ -101,6 +141,8 @@ const (
 	DefaultMaxAttempts      = 5
 	DefaultMaxProbeInterval = 8 * DefaultTrtx
 	DefaultBloomCells       = 100_000
+	DefaultHHReportInterval = 100 * sim.Millisecond
+	DefaultHHTopK           = 8
 
 	// DedicatedEntryBits is the total memory per dedicated entry across
 	// both session sides, including protocol state (§4.3: 80 bits).
@@ -141,6 +183,10 @@ func (c Config) withDefaults() Config {
 		c.Tree.Split = 2
 		c.Tree.Pipelined = true
 	}
+	if c.HH != nil {
+		h := c.HH.withDefaults()
+		c.HH = &h
+	}
 	return c
 }
 
@@ -163,7 +209,9 @@ type Layout struct {
 func (c Config) Plan() (Layout, error) {
 	c = c.withDefaults()
 	var l Layout
-	l.Dedicated = len(c.HighPriority)
+	// Dynamic slots are provisioned register memory exactly like static
+	// high-priority entries; only their assignment differs.
+	l.Dedicated = len(c.HighPriority) + c.DynamicSlots
 	l.DedicatedBits = l.Dedicated * DedicatedEntryBits
 	l.BudgetBits = c.MemoryBytes * 8
 

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 
+	"fancy/internal/hh"
 	"fancy/internal/netsim"
 	"fancy/internal/sim"
 	"fancy/internal/wire"
@@ -58,6 +59,12 @@ type Detector struct {
 	// may be nil).
 	OnEvent func(Event)
 
+	// OnHHReport receives the encoded heavy-hitter report of a monitored
+	// port once per HH.ReportInterval (nil when cfg.HH is nil or nobody
+	// subscribed). The frame decodes with hh.DecodeReport; the switch
+	// agent's counter-allocation controller is the intended consumer.
+	OnHHReport func(port int, frame []byte)
+
 	// Control-plane overhead accounting (§5.3).
 	CtlMsgsSent  uint64
 	CtlBytesSent uint64
@@ -65,11 +72,21 @@ type Detector struct {
 
 // portMonitor is the sender side for one monitored egress port.
 type portMonitor struct {
-	dedicated []*senderFSM // index = slot
+	dedicated []*senderFSM // index = slot; dynamic slots are nil when free
 	tree      *senderFSM
 	treeCnt   *treeSender
 	custom    []*senderFSM
 	out       Outputs
+
+	// Dynamic dedicated-slot state (cfg.DynamicSlots > 0): which entry
+	// holds which slot, and the free slots in ascending order.
+	dyn     map[netsim.EntryID]int
+	freeDyn []int
+
+	// Heavy-hitter stage state (cfg.HH != nil).
+	hh      *hh.Sketch
+	hhTimer *sim.Timer
+	hhSeq   uint32
 
 	// downUnits counts sub-state-machines currently reporting the link as
 	// unresponsive; EventLinkDown fires on the 0→1 transition only, so a
@@ -105,6 +122,14 @@ func NewDetector(s *sim.Sim, sw *netsim.Switch, cfg Config) (*Detector, error) {
 		}
 		d.slotByEntry[e] = i
 	}
+	if cfg.DynamicSlots < 0 {
+		return nil, fmt.Errorf("fancy: negative DynamicSlots")
+	}
+	// Dedicated slots double as wire unit numbers; they must stay below
+	// the custom-unit range.
+	if total := len(cfg.HighPriority) + cfg.DynamicSlots; total >= int(customUnitBase) {
+		return nil, fmt.Errorf("fancy: %d dedicated slots exceed the unit number space", total)
+	}
 	sw.AddIngressHook(d)
 	sw.AddEgressHook(d)
 	sw.RefreshEgressHooks()
@@ -135,7 +160,7 @@ func (d *Detector) MonitorPort(port int) *Outputs {
 	}
 	m := &portMonitor{
 		out: Outputs{
-			Flags: NewFlagArray(len(d.cfg.HighPriority)),
+			Flags: NewFlagArray(len(d.cfg.HighPriority) + d.cfg.DynamicSlots),
 			Bloom: NewPathBloom(d.cfg.BloomCells),
 		},
 	}
@@ -160,6 +185,23 @@ func (d *Detector) startMonitor(m *portMonitor, port int) {
 		m.dedicated = append(m.dedicated, fsm)
 		delay := sim.Time(int64(d.cfg.ExchangeInterval) * int64(slot) / int64(max(n, 1)))
 		d.s.Schedule(delay, fsm.startSession)
+	}
+	// Dynamic slots start free; Promote fills them. After a restart the
+	// dataplane state is gone, so any previous assignment is forgotten —
+	// the allocation controller relearns from fresh reports (it notices
+	// the epoch change).
+	m.dyn = make(map[netsim.EntryID]int)
+	m.freeDyn = m.freeDyn[:0]
+	for i := 0; i < d.cfg.DynamicSlots; i++ {
+		m.dedicated = append(m.dedicated, nil)
+		m.freeDyn = append(m.freeDyn, n+i)
+	}
+	if d.cfg.HH != nil {
+		p := d.cfg.HH.Sketch
+		p.Seed = hh.PortSeed(p.Seed, port)
+		m.hh = hh.NewSketch(p)
+		m.hhTimer.Stop()
+		m.hhTimer = d.s.Schedule(d.cfg.HH.ReportInterval, func() { d.hhTick(m, port) })
 	}
 	m.treeCnt = newTreeSender(d, port, d.cfg.Tree, d.cfg.TreeSeed)
 	m.tree = &senderFSM{
@@ -192,7 +234,9 @@ func (d *Detector) Restart() {
 	for _, port := range ports {
 		m := d.monitors[port]
 		for _, f := range m.dedicated {
-			f.kill()
+			if f != nil {
+				f.kill()
+			}
 		}
 		custom := m.custom
 		for _, f := range custom {
@@ -271,6 +315,9 @@ func (d *Detector) Flagged(port int, entry netsim.EntryID) bool {
 	if slot, ok := d.slotByEntry[entry]; ok {
 		return m.out.Flags.Get(slot)
 	}
+	if slot, ok := m.dyn[entry]; ok {
+		return m.out.Flags.Get(slot)
+	}
 	return m.out.Bloom.Contains(m.treeCnt.EntryPath(entry))
 }
 
@@ -297,7 +344,9 @@ func (d *Detector) SessionsCompleted(port int) uint64 {
 	}
 	var n uint64
 	for _, f := range m.dedicated {
-		n += f.SessionsCompleted
+		if f != nil {
+			n += f.SessionsCompleted
+		}
 	}
 	return n + m.tree.SessionsCompleted
 }
@@ -321,6 +370,12 @@ type DetectorStats struct {
 	// SessionsDiscarded counts sessions whose comparison was skipped by the
 	// congestion guard (§4.3 footnote 2).
 	SessionsDiscarded uint64
+	// HHReports counts heavy-hitter report windows closed across all ports.
+	HHReports uint64
+	// Promotions and Demotions count dynamic dedicated-slot assignments
+	// and releases across all ports.
+	Promotions uint64
+	Demotions  uint64
 }
 
 // Stats returns a snapshot of the detector's robustness counters.
@@ -472,7 +527,11 @@ func (d *Detector) handleControl(m *wire.Message, port int) {
 			return
 		}
 		if int(m.Unit) < len(mon.dedicated) {
-			mon.dedicated[m.Unit].onControl(m)
+			// A demoted dynamic slot is nil; a straggler ACK or Report
+			// for its dead session is simply stale.
+			if fsm := mon.dedicated[m.Unit]; fsm != nil {
+				fsm.onControl(m)
+			}
 		}
 	}
 }
@@ -507,6 +566,13 @@ func (d *Detector) OnEgress(pkt *netsim.Packet, port int) {
 	if pkt.Entry == netsim.InvalidEntry {
 		return // unclassified traffic (e.g. reverse ACKs) is not monitored
 	}
+	// The heavy-hitter stage sits ahead of the counting logic in the
+	// pipeline and observes every classified data packet — including
+	// already-dedicated traffic, so a promoted prefix keeps appearing in
+	// reports while it stays hot (the allocator skips pinned prefixes).
+	if m.hh != nil {
+		m.hh.Observe(pkt.Entry)
+	}
 	// A packet carries at most one 2-byte tag, so it is counted by exactly
 	// one session per link. Custom sessions take precedence over the
 	// standard counting (they exist to analyze traffic the operator
@@ -519,6 +585,12 @@ func (d *Detector) OnEgress(pkt *netsim.Packet, port int) {
 	if slot, ok := d.slotByEntry[pkt.Entry]; ok {
 		m.dedicated[slot].onEgress(pkt)
 		return
+	}
+	if slot, ok := m.dyn[pkt.Entry]; ok {
+		if fsm := m.dedicated[slot]; fsm != nil {
+			fsm.onEgress(pkt)
+			return
+		}
 	}
 	m.tree.onEgress(pkt)
 }

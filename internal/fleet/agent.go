@@ -11,6 +11,7 @@ import (
 	"fmt"
 
 	"fancy/internal/fancy"
+	"fancy/internal/hh"
 	"fancy/internal/mgmt"
 	"fancy/internal/netsim"
 	"fancy/internal/reroute"
@@ -71,10 +72,15 @@ type switchAgent struct {
 
 	// Engagements counts offline→degraded transitions, for reporting.
 	engagements uint64
+
+	// Heavy-hitter allocation loop (populated only with Config.HH).
+	hhAlloc map[int]*hh.Allocator // per monitored port
+	hhStats hhAllocStats
 }
 
 func newSwitchAgent(f *Fleet, sw string, srv *telemetry.Server) *switchAgent {
-	a := &switchAgent{f: f, sw: sw, srv: srv, apps: make(map[int]*reroute.App)}
+	a := &switchAgent{f: f, sw: sw, srv: srv, apps: make(map[int]*reroute.App),
+		hhAlloc: make(map[int]*hh.Allocator)}
 	if f.mgmtNet != nil {
 		target := correlatorEndpoint
 		if f.group != nil {

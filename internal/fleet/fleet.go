@@ -46,6 +46,7 @@ import (
 	"sort"
 
 	"fancy/internal/fancy"
+	"fancy/internal/hh"
 	"fancy/internal/mgmt"
 	"fancy/internal/netsim"
 	"fancy/internal/reroute"
@@ -109,6 +110,39 @@ type Config struct {
 	// leader's beats, and switch agents discover the leader by redirect.
 	// Requires Mgmt. 0 or 1 keeps the single-instance correlator.
 	Replicas int
+
+	// HH, when non-nil, deploys the heavy-hitter stage on every detector
+	// and runs a counter-allocation controller in each switch agent: the
+	// stage's periodic top-k reports drive hysteresis-gated promotion of
+	// hot prefixes into the switch's dynamic dedicated-counter slots (and
+	// demotion once they cool), so newly hot traffic is detected at
+	// dedicated-counter speed instead of waiting out tree zooming. The
+	// loop is local to each switch — it keeps allocating through
+	// management-plane partitions.
+	HH *HHFleetConfig
+}
+
+// HHFleetConfig tunes the fleet's heavy-hitter allocation loop.
+type HHFleetConfig struct {
+	// Sketch sizes each detector's per-port sketch (defaults 3×32; each
+	// port derives its own seed from Sketch.Seed).
+	Sketch hh.Params
+
+	// ReportInterval and TopK parameterize the per-port digests (defaults
+	// 100 ms, 8 entries).
+	ReportInterval sim.Time
+	TopK           int
+
+	// DynamicSlots is the number of runtime-assignable dedicated-counter
+	// slots per port, beyond Fancy.HighPriority (default 8).
+	DynamicSlots int
+
+	// PromoteAfter, DemoteAfter and MinCount are the allocator's
+	// hysteresis knobs (defaults 2 consecutive hot reports to promote, 3
+	// consecutive absences to demote, window count ≥ 2 to qualify).
+	PromoteAfter int
+	DemoteAfter  int
+	MinCount     uint32
 }
 
 func (c Config) withDefaults() Config {
@@ -132,6 +166,21 @@ func (c Config) withDefaults() Config {
 	}
 	if c.CheckpointInterval == 0 {
 		c.CheckpointInterval = 250 * sim.Millisecond
+	}
+	if c.HH != nil {
+		h := *c.HH
+		if h.DynamicSlots == 0 {
+			h.DynamicSlots = 8
+		}
+		c.HH = &h
+		// Project the fleet knobs onto the per-detector config; the
+		// sketch and digest defaults cascade through fancy/hh.
+		c.Fancy.HH = &fancy.HHStageConfig{
+			Sketch:         h.Sketch,
+			ReportInterval: h.ReportInterval,
+			TopK:           h.TopK,
+		}
+		c.Fancy.DynamicSlots = h.DynamicSlots
 	}
 	return c
 }
@@ -338,6 +387,10 @@ func New(s *sim.Sim, net *topo.Network, cfg Config) (*Fleet, error) {
 		a := newSwitchAgent(f, sw, srv)
 		f.agents[sw] = a
 		f.Detectors[sw].OnEvent = srv.AttachEvents(a.onDetectorEvent)
+		if cfg.HH != nil {
+			f.Detectors[sw].OnHHReport = a.onHHReport
+			a.mountHHStats()
+		}
 	}
 	f.sweepTimer = s.Schedule(cfg.SweepInterval, f.sweep)
 	if cfg.CheckpointInterval > 0 {

@@ -1,0 +1,96 @@
+package fleet
+
+// The agent half of the heavy-hitter allocation loop. Each switch agent
+// owns one hh.Allocator per monitored port; the detector's periodic
+// digests feed it, and its promote/demote decisions are applied straight
+// to the local detector. The loop never crosses the management plane —
+// a partitioned switch keeps re-pointing its dynamic dedicated counters
+// at whatever is hot right now.
+
+import (
+	"fancy/internal/hh"
+)
+
+// hhAllocStats aggregates one agent's allocation-loop counters.
+type hhAllocStats struct {
+	Reports    uint64 // digests ingested
+	DecodeErrs uint64 // frames the strict decoder rejected
+	ApplyErrs  uint64 // allocator decisions the detector refused
+}
+
+// onHHReport receives one encoded heavy-hitter digest from the local
+// detector, runs it through the port's allocator and applies the
+// resulting slot changes.
+func (a *switchAgent) onHHReport(port int, frame []byte) {
+	rep, err := hh.DecodeReport(frame)
+	if err != nil {
+		a.hhStats.DecodeErrs++
+		return
+	}
+	a.hhStats.Reports++
+	alloc, ok := a.hhAlloc[port]
+	if !ok {
+		alloc = hh.NewAllocator(hh.AllocPolicy{
+			Capacity:     a.f.cfg.HH.DynamicSlots,
+			PromoteAfter: a.f.cfg.HH.PromoteAfter,
+			DemoteAfter:  a.f.cfg.HH.DemoteAfter,
+			MinCount:     a.f.cfg.HH.MinCount,
+		}, a.f.cfg.Fancy.HighPriority)
+		a.hhAlloc[port] = alloc
+	}
+	det := a.f.Detectors[a.sw]
+	for _, act := range alloc.Ingest(rep) {
+		switch act.Kind {
+		case hh.Demote:
+			if err := det.Demote(port, act.Entry); err != nil {
+				a.hhStats.ApplyErrs++
+			}
+		case hh.Promote:
+			if _, err := det.Promote(port, act.Entry); err != nil {
+				a.hhStats.ApplyErrs++
+			}
+		}
+	}
+}
+
+// hhAllocTotals sums the per-port allocator stats plus the detector's
+// dynamic-slot occupancy across the agent's monitored ports.
+func (a *switchAgent) hhAllocTotals() (st hh.AllocStats, occupied, capacity int) {
+	for _, alloc := range a.hhAlloc {
+		s := alloc.Stats()
+		st.Reports += s.Reports
+		st.Promotions += s.Promotions
+		st.Demotions += s.Demotions
+		st.FlapsSuppressed += s.FlapsSuppressed
+		st.Deferred += s.Deferred
+		st.EpochResets += s.EpochResets
+	}
+	det := a.f.Detectors[a.sw]
+	for port := range a.f.portLink[a.sw] {
+		used, c := det.DynamicOccupancy(port)
+		occupied += used
+		capacity += c
+	}
+	return st, occupied, capacity
+}
+
+// mountHHStats exposes the agent's allocation-loop counters through the
+// switch's telemetry server, next to the detector's own stats.
+func (a *switchAgent) mountHHStats() {
+	mount := func(name string, fn func() int) {
+		// The names cannot collide with built-ins; a failure here would be
+		// a programming error surfaced by the telemetry tests.
+		_ = a.srv.RegisterStat(name, fn)
+	}
+	mount("hh-agent-reports", func() int { return int(a.hhStats.Reports) })
+	mount("hh-decode-errors", func() int { return int(a.hhStats.DecodeErrs) })
+	mount("hh-apply-errors", func() int { return int(a.hhStats.ApplyErrs) })
+	mount("hh-flaps-suppressed", func() int {
+		st, _, _ := a.hhAllocTotals()
+		return int(st.FlapsSuppressed)
+	})
+	mount("hh-deferred", func() int {
+		st, _, _ := a.hhAllocTotals()
+		return int(st.Deferred)
+	})
+}

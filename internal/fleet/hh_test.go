@@ -1,0 +1,144 @@
+package fleet
+
+import (
+	"strings"
+	"testing"
+
+	"fancy/internal/fancy"
+	"fancy/internal/fancy/tree"
+	"fancy/internal/hh"
+	"fancy/internal/mgmt"
+	"fancy/internal/netsim"
+	"fancy/internal/sim"
+	"fancy/internal/topo"
+)
+
+// hhFleetCfg is a fleet with no static high-priority entries: every
+// dedicated counter is a dynamic slot driven by the allocation loop.
+func hhFleetCfg(slots int) Config {
+	return Config{
+		Fancy: fancy.Config{
+			Tree:     tree.Params{Width: 16, Depth: 2, Split: 2, Pipelined: true},
+			TreeSeed: 3,
+		},
+		HH: &HHFleetConfig{
+			Sketch:       hh.Params{Stages: 3, Width: 32, Seed: 11},
+			DynamicSlots: slots,
+		},
+	}
+}
+
+// TestHHFleetPromoteDetectDemote is the allocation loop end to end: a hot
+// prefix is promoted into a dynamic dedicated slot, a gray failure on it
+// is then detected at dedicated-counter speed, and once the flow stops
+// the slot is demoted and returned.
+func TestHHFleetPromoteDetectDemote(t *testing.T) {
+	s := sim.New(21)
+	n, err := topo.Build(s, lineSpec(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	const entry = netsim.EntryID(20)
+	if err := n.InstallShortestPaths(map[netsim.EntryID]string{entry: "H2"}); err != nil {
+		t.Fatal(err)
+	}
+	f, err := New(s, n, hhFleetCfg(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Heavy flow from t=0; with 100 ms digests and PromoteAfter=2 the
+	// B->C agent promotes it by ~300 ms, well before the failure.
+	udp(n, "H1", entry, 4e6, 1500*sim.Millisecond)
+	n.Direction("B", "C").SetFailure(netsim.FailEntries(9, 600*sim.Millisecond, 1.0, entry))
+	s.Run(1200 * sim.Millisecond)
+
+	bPort := n.PortOf["B"]["C"]
+	if _, ok := f.Detectors["B"].Promoted(bPort, entry); !ok {
+		t.Fatal("hot entry was not promoted on B->C")
+	}
+	// The failure must surface through the dynamic dedicated counter, not
+	// tree zooming: a dedicated detection event for the promoted entry.
+	var dedicatedAt sim.Time
+	for _, ev := range f.Events {
+		if ev.Kind == EventAlarm && strings.Contains(ev.Detail, "dedicated") {
+			dedicatedAt = ev.Time
+			break
+		}
+	}
+	if dedicatedAt == 0 {
+		t.Fatalf("no dedicated alarm in the fleet log: %v", f.Events)
+	}
+	if dedicatedAt > 900*sim.Millisecond {
+		t.Fatalf("dedicated alarm at %v, want within ~3 exchange intervals of the 600 ms failure", dedicatedAt)
+	}
+	if got := f.Localized(); len(got) != 1 || got[0] != "B->C" {
+		t.Fatalf("Localized() = %v, want [B->C]", got)
+	}
+
+	snap := f.Snapshot()
+	if !snap.HHEnabled {
+		t.Fatal("snapshot does not mark HH enabled")
+	}
+	if snap.HH.Reports == 0 || snap.HH.Promotions == 0 {
+		t.Fatalf("allocation loop idle: %+v", snap.HH)
+	}
+	if snap.HH.Occupied == 0 {
+		t.Fatalf("no occupied dynamic slot while the flow is hot: %+v", snap.HH)
+	}
+	if snap.Stats.HHReports == 0 || snap.Stats.Promotions == 0 {
+		t.Fatalf("detector HH stats not summed: %+v", snap.Stats)
+	}
+	if !strings.Contains(snap.Report(), "hh-alloc:") {
+		t.Fatal("Report() lacks the hh-alloc line")
+	}
+
+	// The flow stops at 1.5 s; DemoteAfter=3 empty digests later every
+	// agent lets go of the slot.
+	s.Run(2500 * sim.Millisecond)
+	if _, ok := f.Detectors["B"].Promoted(bPort, entry); ok {
+		t.Fatal("cooled entry still promoted on B->C")
+	}
+	snap = f.Snapshot()
+	if snap.HH.Demotions == 0 {
+		t.Fatalf("no demotion after the flow stopped: %+v", snap.HH)
+	}
+	if snap.HH.Occupied != 0 {
+		t.Fatalf("dynamic slots still occupied after cooling: %+v", snap.HH)
+	}
+	if snap.HH.DecodeErrors != 0 || snap.HH.ApplyErrors != 0 {
+		t.Fatalf("allocation loop errored: %+v", snap.HH)
+	}
+
+	// Agent counters are also served through telemetry.
+	if v, err := f.Telemetry["B"].Get("/fancy/stats/hh-agent-reports"); err != nil || v.(int) == 0 {
+		t.Errorf("hh-agent-reports = %v, %v", v, err)
+	}
+}
+
+// TestHHFleetSurvivesPartition: the allocation loop is local to each
+// switch, so a management-plane partition must not stop promotions.
+func TestHHFleetSurvivesPartition(t *testing.T) {
+	s := sim.New(22)
+	n, err := topo.Build(s, lineSpec(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	const entry = netsim.EntryID(20)
+	if err := n.InstallShortestPaths(map[netsim.EntryID]string{entry: "H2"}); err != nil {
+		t.Fatal(err)
+	}
+	cfg := hhFleetCfg(2)
+	cfg.Mgmt = &mgmt.Config{Loss: 0.2, Jitter: sim.Millisecond}
+	f, err := New(s, n, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.PartitionSwitch("B")
+	udp(n, "H1", entry, 4e6, sim.Second)
+	s.Run(800 * sim.Millisecond)
+
+	if _, ok := f.Detectors["B"].Promoted(n.PortOf["B"]["C"], entry); !ok {
+		t.Fatal("partitioned switch stopped promoting")
+	}
+}

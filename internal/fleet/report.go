@@ -42,6 +42,20 @@ type LinkReport struct {
 	TreePaths   int              // failing hash-tree paths (best-effort traffic)
 }
 
+// HHSnapshot aggregates the heavy-hitter allocation loop fleet-wide.
+type HHSnapshot struct {
+	Reports         uint64 // digests ingested by agents
+	DecodeErrors    uint64 // frames rejected by the strict decoder
+	ApplyErrors     uint64 // allocator decisions the detector refused
+	Promotions      uint64 // allocator-driven slot promotions
+	Demotions       uint64 // allocator-driven slot demotions
+	FlapsSuppressed uint64 // demotion streaks broken by a reappearance
+	Deferred        uint64 // promotions postponed for lack of a free slot
+	EpochResets     uint64 // allocator wipes after a detector restart
+	Occupied        int    // dynamic slots currently assigned, all ports
+	Capacity        int    // dynamic slots provisioned, all ports
+}
+
 // Snapshot is the fleet's aggregate state at one instant.
 type Snapshot struct {
 	Time  sim.Time
@@ -53,6 +67,10 @@ type Snapshot struct {
 	Localizations int
 	Reroutes      int
 	Stats         fancy.DetectorStats // summed over every detector
+
+	// Heavy-hitter allocation loop (populated only with Config.HH).
+	HHEnabled bool
+	HH        HHSnapshot
 
 	// Management plane (populated only when the fleet runs over a
 	// simulated management network).
@@ -140,6 +158,26 @@ func (f *Fleet) Snapshot() Snapshot {
 		snap.Stats.LinkUpEvents += st.LinkUpEvents
 		snap.Stats.Restarts += st.Restarts
 		snap.Stats.SessionsDiscarded += st.SessionsDiscarded
+		snap.Stats.HHReports += st.HHReports
+		snap.Stats.Promotions += st.Promotions
+		snap.Stats.Demotions += st.Demotions
+	}
+	if f.cfg.HH != nil {
+		snap.HHEnabled = true
+		for _, sw := range f.switches {
+			a := f.agents[sw]
+			st, occupied, capacity := a.hhAllocTotals()
+			snap.HH.Reports += st.Reports
+			snap.HH.Promotions += st.Promotions
+			snap.HH.Demotions += st.Demotions
+			snap.HH.FlapsSuppressed += st.FlapsSuppressed
+			snap.HH.Deferred += st.Deferred
+			snap.HH.EpochResets += st.EpochResets
+			snap.HH.DecodeErrors += a.hhStats.DecodeErrs
+			snap.HH.ApplyErrors += a.hhStats.ApplyErrs
+			snap.HH.Occupied += occupied
+			snap.HH.Capacity += capacity
+		}
 	}
 	return snap
 }
@@ -153,6 +191,12 @@ func (s Snapshot) Report() string {
 	fmt.Fprintf(&b, "  detectors: retransmits=%d ctl-corrupted=%d link-down=%d link-up=%d restarts=%d sessions-discarded=%d\n",
 		s.Stats.Retransmits, s.Stats.CtlCorrupted, s.Stats.LinkDownEvents,
 		s.Stats.LinkUpEvents, s.Stats.Restarts, s.Stats.SessionsDiscarded)
+	if s.HHEnabled {
+		fmt.Fprintf(&b, "  hh-alloc: reports=%d promotions=%d demotions=%d flaps-suppressed=%d deferred=%d epoch-resets=%d occupied=%d/%d decode-errors=%d apply-errors=%d\n",
+			s.HH.Reports, s.HH.Promotions, s.HH.Demotions, s.HH.FlapsSuppressed,
+			s.HH.Deferred, s.HH.EpochResets, s.HH.Occupied, s.HH.Capacity,
+			s.HH.DecodeErrors, s.HH.ApplyErrors)
+	}
 	if s.MgmtEnabled {
 		fmt.Fprintf(&b, "  mgmt: sent=%d delivered=%d lost=%d dup=%d partition-drops=%d holes=%d dedup=%d\n",
 			s.MgmtNet.Sent, s.MgmtNet.Delivered, s.MgmtNet.Lost, s.MgmtNet.Duplicated,

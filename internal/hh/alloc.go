@@ -1,0 +1,194 @@
+package hh
+
+import (
+	"sort"
+
+	"fancy/internal/netsim"
+)
+
+// AllocPolicy tunes the counter-allocation controller. The hysteresis pair
+// (PromoteAfter, DemoteAfter) is the flap damper: a prefix must be hot in
+// PromoteAfter consecutive reports to earn a dedicated counter and absent
+// from DemoteAfter consecutive reports to lose it, so a prefix oscillating
+// around the top-k boundary cannot churn the dedicated table every window.
+type AllocPolicy struct {
+	Capacity     int    // dynamic dedicated slots available on the port
+	PromoteAfter int    // consecutive hot reports before promotion (default 2)
+	DemoteAfter  int    // consecutive absent reports before demotion (default 3)
+	MinCount     uint32 // ignore reported prefixes below this window count (default 2)
+}
+
+func (p AllocPolicy) withDefaults() AllocPolicy {
+	if p.PromoteAfter <= 0 {
+		p.PromoteAfter = 2
+	}
+	if p.DemoteAfter <= 0 {
+		p.DemoteAfter = 3
+	}
+	if p.MinCount == 0 {
+		p.MinCount = 2
+	}
+	return p
+}
+
+// ActionKind discriminates allocator decisions.
+type ActionKind uint8
+
+const (
+	// Promote assigns the entry a dynamic dedicated counter.
+	Promote ActionKind = iota
+	// Demote releases the entry's dynamic dedicated counter.
+	Demote
+)
+
+// Action is one allocation decision for the detector to apply.
+type Action struct {
+	Kind  ActionKind
+	Entry netsim.EntryID
+	Count uint32 // last reported window count (0 for demotions)
+}
+
+// AllocStats counts allocator activity for telemetry.
+type AllocStats struct {
+	Reports         uint64 // reports ingested
+	Promotions      uint64
+	Demotions       uint64
+	FlapsSuppressed uint64 // cold streaks broken before DemoteAfter fired
+	Deferred        uint64 // promotion-ready prefixes parked on a full table
+	EpochResets     uint64 // detector restarts that wiped the dynamic table
+}
+
+// Allocator is the per-port counter-allocation controller. It ingests the
+// heavy-hitter reports for one port and emits promote/demote actions,
+// deterministic in the report stream: tracked state is iterated in sorted
+// order and promotion priority follows the report's canonical
+// heaviest-first order.
+type Allocator struct {
+	policy AllocPolicy
+	// pinned prefixes hold static (Table 3) dedicated counters already;
+	// the controller never manages them.
+	pinned map[netsim.EntryID]bool
+
+	epoch     uint8
+	haveEpoch bool
+
+	hot       map[netsim.EntryID]int // candidate consecutive-hot streaks
+	allocated map[netsim.EntryID]int // promoted prefixes -> consecutive-cold streak
+	stats     AllocStats
+}
+
+// NewAllocator builds a controller for one port. pinned lists the
+// statically assigned high-priority prefixes.
+func NewAllocator(policy AllocPolicy, pinned []netsim.EntryID) *Allocator {
+	a := &Allocator{
+		policy:    policy.withDefaults(),
+		pinned:    make(map[netsim.EntryID]bool, len(pinned)),
+		hot:       make(map[netsim.EntryID]int),
+		allocated: make(map[netsim.EntryID]int),
+	}
+	for _, e := range pinned {
+		a.pinned[e] = true
+	}
+	return a
+}
+
+// Stats returns the lifetime counters.
+func (a *Allocator) Stats() AllocStats { return a.stats }
+
+// Occupancy is the number of dynamic slots currently allocated.
+func (a *Allocator) Occupancy() int { return len(a.allocated) }
+
+// Capacity is the number of dynamic slots the controller manages.
+func (a *Allocator) Capacity() int { return a.policy.Capacity }
+
+// Allocated reports whether the controller currently holds a dynamic slot
+// for the entry.
+func (a *Allocator) Allocated(entry netsim.EntryID) bool {
+	_, ok := a.allocated[entry]
+	return ok
+}
+
+func sortedEntries[V any](m map[netsim.EntryID]V) []netsim.EntryID {
+	out := make([]netsim.EntryID, 0, len(m))
+	for e := range m {
+		out = append(out, e)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Ingest consumes one report and returns the actions to apply, demotions
+// first (they free the slots this round's promotions fill). A report from
+// a new detector epoch means the dataplane restarted and every dynamic
+// slot was wiped: the controller forgets its state and relearns.
+func (a *Allocator) Ingest(rep *Report) []Action {
+	if !a.haveEpoch || rep.Epoch != a.epoch {
+		if a.haveEpoch {
+			a.stats.EpochResets++
+		}
+		a.epoch, a.haveEpoch = rep.Epoch, true
+		a.hot = make(map[netsim.EntryID]int)
+		a.allocated = make(map[netsim.EntryID]int)
+	}
+	a.stats.Reports++
+
+	present := make(map[netsim.EntryID]uint32, len(rep.Entries))
+	for _, ec := range rep.Entries {
+		if ec.Count >= a.policy.MinCount && !a.pinned[ec.Entry] {
+			present[ec.Entry] = ec.Count
+		}
+	}
+
+	var actions []Action
+
+	// Allocated prefixes: reset or advance the cold streak.
+	for _, e := range sortedEntries(a.allocated) {
+		if _, ok := present[e]; ok {
+			if a.allocated[e] > 0 {
+				a.stats.FlapsSuppressed++
+			}
+			a.allocated[e] = 0
+			continue
+		}
+		a.allocated[e]++
+		if a.allocated[e] >= a.policy.DemoteAfter {
+			delete(a.allocated, e)
+			a.stats.Demotions++
+			actions = append(actions, Action{Kind: Demote, Entry: e})
+		}
+	}
+
+	// Candidates, heaviest first so contention for the last free slot is
+	// resolved toward the bigger prefix.
+	for _, ec := range rep.Entries {
+		if _, ok := present[ec.Entry]; !ok {
+			continue // pinned or under MinCount
+		}
+		if _, ok := a.allocated[ec.Entry]; ok {
+			continue
+		}
+		a.hot[ec.Entry]++
+		if a.hot[ec.Entry] < a.policy.PromoteAfter {
+			continue
+		}
+		if len(a.allocated) >= a.policy.Capacity {
+			// Keep the streak: the prefix promotes the moment a slot
+			// frees up.
+			a.stats.Deferred++
+			continue
+		}
+		delete(a.hot, ec.Entry)
+		a.allocated[ec.Entry] = 0
+		a.stats.Promotions++
+		actions = append(actions, Action{Kind: Promote, Entry: ec.Entry, Count: present[ec.Entry]})
+	}
+
+	// A candidate absent from this report loses its streak entirely —
+	// consecutive means consecutive.
+	for _, e := range sortedEntries(a.hot) {
+		if _, ok := present[e]; !ok {
+			delete(a.hot, e)
+		}
+	}
+	return actions
+}

@@ -1,0 +1,42 @@
+package hh
+
+import (
+	"bytes"
+	"testing"
+
+	"fancy/internal/netsim"
+)
+
+// FuzzDecodeHHReport fuzzes the agent↔controller report wire format: the
+// decoder must never panic, and any frame it accepts must be exactly the
+// canonical encoding of what it decoded (so decode∘encode is idempotent
+// and no two distinct frames alias one report).
+func FuzzDecodeHHReport(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{reportVersion})
+	f.Add(EncodeReport(&Report{Port: 1, Epoch: 2, Seq: 3}))
+	f.Add(EncodeReport(&Report{
+		Port: 9, Epoch: 0, Seq: 77, Packets: 1e6, Recircs: 31,
+		Entries: []EntryCount{
+			{Entry: 5, Count: 900}, {Entry: 1, Count: 80},
+			{Entry: 2, Count: 80}, {Entry: netsim.EntryID(1<<32 - 1), Count: 1},
+		},
+	}))
+	f.Fuzz(func(t *testing.T, b []byte) {
+		rep, err := DecodeReport(b)
+		if err != nil {
+			return
+		}
+		canon := EncodeReport(rep)
+		if !bytes.Equal(canon, b) {
+			t.Fatalf("accepted non-canonical frame:\n in    %x\n canon %x", b, canon)
+		}
+		again, err := DecodeReport(canon)
+		if err != nil {
+			t.Fatalf("canonical re-decode failed: %v", err)
+		}
+		if !bytes.Equal(EncodeReport(again), canon) {
+			t.Fatal("decode/encode not idempotent")
+		}
+	})
+}

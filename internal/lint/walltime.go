@@ -19,6 +19,8 @@ var simFacingSegments = map[string]bool{
 	"exp":       true,
 	"telemetry": true,
 	"reroute":   true,
+	"hh":        true,
+	"dataplane": true,
 }
 
 // walltimeBanned are the package-level time functions that read or wait on

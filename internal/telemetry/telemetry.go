@@ -21,6 +21,15 @@
 //	/fancy/stats/restarts                        int, device reboots
 //	/fancy/stats/sessions-discarded              int, congestion-guard discards
 //	/fancy/stats/epoch                           int, detector generation number
+//	/fancy/stats/hh-reports                      int, heavy-hitter digests emitted
+//	/fancy/stats/promotions                      int, dynamic-slot promotions
+//	/fancy/stats/demotions                       int, dynamic-slot demotions
+//	/fancy/ports/<port>/hh/occupied              int, dynamic slots in use
+//	/fancy/ports/<port>/hh/capacity              int, dynamic slots provisioned
+//
+// Components above the detector (the switch agent's counter-allocation
+// controller, for one) export their own counters through RegisterStat,
+// which mounts them under /fancy/stats/<name>.
 //
 // Paths are validated at Get/Sample time, so misspellings fail fast.
 package telemetry
@@ -50,6 +59,9 @@ type Server struct {
 	ports []int // monitored ports, for iteration
 
 	subs []*subscription
+
+	// extra holds RegisterStat-mounted counters, name → reader.
+	extra map[string]func() int
 
 	// Delivered counts updates pushed to subscribers.
 	Delivered uint64
@@ -156,6 +168,15 @@ func (srv *Server) Get(path string) (any, error) {
 			return int(st.SessionsDiscarded), nil
 		case "epoch":
 			return int(srv.det.Epoch()), nil
+		case "hh-reports":
+			return int(st.HHReports), nil
+		case "promotions":
+			return int(st.Promotions), nil
+		case "demotions":
+			return int(st.Demotions), nil
+		}
+		if fn, ok := srv.extra[parts[2]]; ok {
+			return fn(), nil
 		}
 		return nil, fmt.Errorf("telemetry: unknown path %q", path)
 	case "ports":
@@ -185,6 +206,12 @@ func (srv *Server) getPort(parts []string, full string) (any, error) {
 		return int(srv.det.SessionsCompleted(port)), nil
 	case "link/down":
 		return srv.det.LinkDown(port), nil
+	case "hh/occupied":
+		used, _ := srv.det.DynamicOccupancy(port)
+		return used, nil
+	case "hh/capacity":
+		_, capacity := srv.det.DynamicOccupancy(port)
+		return capacity, nil
 	}
 	if len(parts) == 4 && parts[1] == "flags" && parts[2] == "dedicated" {
 		slot, err := strconv.Atoi(parts[3])
@@ -197,6 +224,26 @@ func (srv *Server) getPort(parts []string, full string) (any, error) {
 		return out.Flags.Get(slot), nil
 	}
 	return nil, fmt.Errorf("telemetry: unknown path %q", full)
+}
+
+// RegisterStat mounts a component-owned counter at /fancy/stats/<name>,
+// read on demand through fn. Registering a name that collides with a
+// built-in stat is rejected; re-registering the same name replaces the
+// reader (a restarted component re-mounts its counters).
+func (srv *Server) RegisterStat(name string, fn func() int) error {
+	if name == "" || strings.Contains(name, "/") {
+		return fmt.Errorf("telemetry: invalid stat name %q", name)
+	}
+	if _, err := srv.Get("/fancy/stats/" + name); err == nil {
+		if _, ours := srv.extra[name]; !ours {
+			return fmt.Errorf("telemetry: stat %q shadows a built-in path", name)
+		}
+	}
+	if srv.extra == nil {
+		srv.extra = make(map[string]func() int)
+	}
+	srv.extra[name] = fn
+	return nil
 }
 
 // Subscribe delivers ON_CHANGE updates for every event path under prefix.
@@ -251,6 +298,9 @@ func StatsPaths() []string {
 		"/fancy/stats/restarts",
 		"/fancy/stats/sessions-discarded",
 		"/fancy/stats/epoch",
+		"/fancy/stats/hh-reports",
+		"/fancy/stats/promotions",
+		"/fancy/stats/demotions",
 	}
 }
 
@@ -258,12 +308,20 @@ func StatsPaths() []string {
 func (srv *Server) Paths() []string {
 	paths := []string{"/fancy/layout", "/fancy/control/messages", "/fancy/control/bytes"}
 	paths = append(paths, StatsPaths()...)
+	extras := make([]string, 0, len(srv.extra))
+	for name := range srv.extra {
+		extras = append(extras, "/fancy/stats/"+name)
+	}
+	sort.Strings(extras)
+	paths = append(paths, extras...)
 	for _, p := range srv.ports {
 		paths = append(paths,
 			fmt.Sprintf("/fancy/ports/%d/flags/count", p),
 			fmt.Sprintf("/fancy/ports/%d/bloom/inserted", p),
 			fmt.Sprintf("/fancy/ports/%d/sessions/completed", p),
 			fmt.Sprintf("/fancy/ports/%d/link/down", p),
+			fmt.Sprintf("/fancy/ports/%d/hh/occupied", p),
+			fmt.Sprintf("/fancy/ports/%d/hh/capacity", p),
 		)
 	}
 	return paths

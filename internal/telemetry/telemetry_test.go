@@ -354,3 +354,53 @@ func TestLinkDownPath(t *testing.T) {
 		t.Error("link/down = false after a total blackhole")
 	}
 }
+
+func TestRegisterStatAndHHPaths(t *testing.T) {
+	b := newBed(t)
+	// Built-in HH stats paths read zero on a detector without the stage.
+	for _, p := range []string{"/fancy/stats/hh-reports", "/fancy/stats/promotions",
+		"/fancy/stats/demotions"} {
+		if v, err := b.srv.Get(p); err != nil || v != 0 {
+			t.Errorf("Get(%q) = %v, %v; want 0", p, v, err)
+		}
+	}
+	if v, err := b.srv.Get("/fancy/ports/1/hh/occupied"); err != nil || v != 0 {
+		t.Errorf("hh/occupied = %v, %v", v, err)
+	}
+	if v, err := b.srv.Get("/fancy/ports/1/hh/capacity"); err != nil || v != 0 {
+		t.Errorf("hh/capacity = %v, %v", v, err)
+	}
+
+	// Component-owned counters mount under /fancy/stats/<name>.
+	n := 7
+	if err := b.srv.RegisterStat("hh-flaps-suppressed", func() int { return n }); err != nil {
+		t.Fatal(err)
+	}
+	if v, err := b.srv.Get("/fancy/stats/hh-flaps-suppressed"); err != nil || v != 7 {
+		t.Fatalf("registered stat = %v, %v", v, err)
+	}
+	n = 9
+	if v, _ := b.srv.Get("/fancy/stats/hh-flaps-suppressed"); v != 9 {
+		t.Errorf("registered stat is not read live: %v", v)
+	}
+	// Re-registration replaces the reader; shadowing a built-in is refused.
+	if err := b.srv.RegisterStat("hh-flaps-suppressed", func() int { return 1 }); err != nil {
+		t.Errorf("re-registration refused: %v", err)
+	}
+	if err := b.srv.RegisterStat("epoch", func() int { return 0 }); err == nil {
+		t.Error("shadowing a built-in stat was accepted")
+	}
+	if err := b.srv.RegisterStat("a/b", func() int { return 0 }); err == nil {
+		t.Error("stat name with a slash was accepted")
+	}
+	// Registered stats appear in discovery, sorted.
+	var found bool
+	for _, p := range b.srv.Paths() {
+		if p == "/fancy/stats/hh-flaps-suppressed" {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("registered stat missing from Paths()")
+	}
+}

@@ -102,6 +102,12 @@ type DeployConfig struct {
 	TreeDepth        int
 	BloomCells       int
 	MachinesPerPort  int // counting-protocol sub-state-machines
+
+	// Heavy-hitter stage (internal/hh): a d-stage HashPipe sketch with
+	// PRECISION admission per port. Zero stages = stage not deployed
+	// (the paper's configuration).
+	HHStages int
+	HHWidth  int // slots per sketch stage
 }
 
 // PaperConfig returns the prototype configuration of §6/Appendix B.2.
@@ -140,10 +146,21 @@ func (d DeployConfig) RerouteBytes() int {
 	return (d.DedicatedPerPort*d.Ports + 2*d.BloomCells) / 8
 }
 
+// HeavyHitterBytes: each sketch stage is a paired 64-bit cell (32-bit key
+// + 32-bit count) per slot, per port, plus one 64-bit admission RNG cell
+// per port.
+func (d DeployConfig) HeavyHitterBytes() int {
+	if d.HHStages <= 0 {
+		return 0
+	}
+	return (64*d.HHStages*d.HHWidth*d.Ports + 64*d.Ports) / 8
+}
+
 // TotalBytes sums the register memory of the full deployment with
-// rerouting (Appendix B.2 reports 367.6 KB, 394 KB with rerouting).
+// rerouting (Appendix B.2 reports 367.6 KB, 394 KB with rerouting). The
+// heavy-hitter stage, when deployed, is included.
 func (d DeployConfig) TotalBytes(withReroute bool) int {
-	n := d.StateMachineBytes() + d.DedicatedCounterBytes() + d.TreeBytes()
+	n := d.StateMachineBytes() + d.DedicatedCounterBytes() + d.TreeBytes() + d.HeavyHitterBytes()
 	if withReroute {
 		n += d.RerouteBytes()
 	}
@@ -202,13 +219,47 @@ func (c Chip) RerouteComponent(d DeployConfig) Resources {
 	}
 }
 
-// FancyResources composes the deployment's total resource usage.
+// HeavyHitterComponent: the d-stage sketch registers (one paired-SALU
+// key/count cell per stage touched per packet), the admission RNG SALU,
+// one 32-bit hash distribution per stage, and the small claim/decision
+// tables. The stage itself adds no TCAM: every lookup is an exact-match
+// register index.
+func (c Chip) HeavyHitterComponent(d DeployConfig) Resources {
+	if d.HHStages <= 0 {
+		return Resources{}
+	}
+	return Resources{
+		SRAMBlocks:       c.sramBlocks(d.HeavyHitterBytes(), 4),
+		SALUs:            float64(d.HHStages) + 1, // one paired SALU per stage + RNG
+		VLIWActions:      float64(2*d.HHStages) + 4,
+		TCAMBlocks:       0,
+		HashBits:         float64(32 * d.HHStages),
+		TernaryXbarBytes: 0,
+		ExactXbarBytes:   float64(4*d.HHStages) + 8,
+	}
+}
+
+// FancyResources composes the deployment's total resource usage,
+// including the heavy-hitter stage when HHStages > 0.
 func (c Chip) FancyResources(d DeployConfig, withReroute bool) Resources {
 	r := c.DedicatedComponent(d).Add(c.TreeComponent(d))
 	if withReroute {
 		r = r.Add(c.RerouteComponent(d))
 	}
+	r = r.Add(c.HeavyHitterComponent(d))
 	return r
+}
+
+// Fits reports whether the resource bundle fits the chip: every resource
+// at or under capacity.
+func (c Chip) Fits(r Resources) bool {
+	return r.SRAMBlocks <= c.Capacity.SRAMBlocks &&
+		r.SALUs <= c.Capacity.SALUs &&
+		r.VLIWActions <= c.Capacity.VLIWActions &&
+		r.TCAMBlocks <= c.Capacity.TCAMBlocks &&
+		r.HashBits <= c.Capacity.HashBits &&
+		r.TernaryXbarBytes <= c.Capacity.TernaryXbarBytes &&
+		r.ExactXbarBytes <= c.Capacity.ExactXbarBytes
 }
 
 // SwitchP4Reference is the paper's measured utilization of the reference

@@ -133,3 +133,44 @@ func TestChipCapacityPositive(t *testing.T) {
 		t.Errorf("unexpected chip capacities: %+v", c)
 	}
 }
+
+// TestHeavyHitterEnvelope: adding the heavy-hitter stage to the paper's
+// prototype configuration must keep the full deployment (with rerouting)
+// inside the Tofino-1 envelope, and a zero-stage config must cost nothing
+// so the Table 4 baseline is unchanged.
+func TestHeavyHitterEnvelope(t *testing.T) {
+	chip := Tofino32()
+	base := PaperConfig()
+	if r := chip.HeavyHitterComponent(base); r != (Resources{}) {
+		t.Fatalf("zero-stage HH component is not free: %+v", r)
+	}
+	withHH := base
+	withHH.HHStages, withHH.HHWidth = 3, 64
+	if withHH.HeavyHitterBytes() == 0 {
+		t.Fatal("HH stage consumes no register memory")
+	}
+	r := chip.FancyResources(withHH, true)
+	if !chip.Fits(r) {
+		t.Fatalf("FANcY + reroute + HH stage does not fit Tofino-1: %+v vs %+v", r, chip.Capacity)
+	}
+	baseR := chip.FancyResources(base, true)
+	if r.SALUs <= baseR.SALUs || r.HashBits <= baseR.HashBits {
+		t.Fatal("HH stage added no SALUs/hash bits — accounting is broken")
+	}
+	if got, want := withHH.TotalBytes(true)-base.TotalBytes(true), withHH.HeavyHitterBytes(); got != want {
+		t.Fatalf("TotalBytes delta = %d, want HeavyHitterBytes = %d", got, want)
+	}
+}
+
+// TestFits: a bundle exceeding any single capacity must not fit.
+func TestFits(t *testing.T) {
+	chip := Tofino32()
+	if !chip.Fits(chip.Capacity) {
+		t.Fatal("capacity itself must fit")
+	}
+	over := chip.Capacity
+	over.SALUs++
+	if chip.Fits(over) {
+		t.Fatal("over-capacity bundle reported as fitting")
+	}
+}

@@ -205,6 +205,20 @@ func BenchmarkAblationBlink(b *testing.B) {
 	}
 }
 
+func BenchmarkVerifiedReroute(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := exp.VerifiedReroute(exp.Quick, benchSeed)
+		if r.BaselineLoopAtoms < 1 {
+			b.Fatal("baseline installed no loop; the chaos composition regressed")
+		}
+		for _, row := range r.Rows {
+			if !row.Exact || row.Rejected == 0 || row.Repaired == 0 || row.Unsafe != 0 {
+				b.Fatalf("seed %d: gate regression %+v", row.Seed, row)
+			}
+		}
+	}
+}
+
 func BenchmarkHHChurn(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		r := exp.HHChurn(exp.Quick, benchSeed)
@@ -234,7 +248,15 @@ func TestBenchArtifact(t *testing.T) {
 		cells = append(cells, out...)
 	}
 	stamp(func() []exp.BenchCell { return exp.FleetAbilene(exp.Quick, benchSeed).BenchCells(benchSeed) })
+	stamp(func() []exp.BenchCell { return exp.FleetAbileneVerified(exp.Quick, benchSeed).BenchCells(benchSeed) })
 	stamp(func() []exp.BenchCell { return exp.HHChurn(exp.Quick, benchSeed).BenchCells() })
+	stamp(func() []exp.BenchCell { return exp.VerifiedReroute(exp.Quick, benchSeed).BenchCells() })
+	stamp(func() []exp.BenchCell {
+		epoch := time.Now() //lint:allow walltime stopwatch epoch for the latency cell, measured outside the simulator
+		return []exp.BenchCell{exp.VerifyLatencyCell(benchSeed, func() float64 {
+			return time.Since(epoch).Seconds() //lint:allow walltime stopwatch read for the latency cell, measured outside the simulator
+		})}
+	})
 	if err := exp.WriteBenchJSON("BENCH_fleet.json", cells); err != nil {
 		t.Fatal(err)
 	}

@@ -78,6 +78,19 @@ func experiments() []experiment {
 			}},
 		{"fleet-chaos", "fleet survivability: localization vs mgmt-plane loss + correlator crash",
 			text(func(s exp.Scale, seed int64) string { return exp.FleetChaos(s, seed).Render() })},
+		{"fleet-verified", "fleet localization sweep with the verified-commit gate on",
+			func(s exp.Scale, seed int64) (string, []exp.BenchCell) {
+				r := exp.FleetAbileneVerified(s, seed)
+				return r.Render(), r.BenchCells(seed)
+			}},
+		{"verified-reroute", "verified reroute: concurrent-failure chaos suite + check latency",
+			func(s exp.Scale, seed int64) (string, []exp.BenchCell) {
+				r := exp.VerifiedReroute(s, seed)
+				epoch := time.Now()
+				cells := append(r.BenchCells(), exp.VerifyLatencyCell(seed,
+					func() float64 { return time.Since(epoch).Seconds() }))
+				return r.Render(), cells
+			}},
 		{"hh-churn", "churning heavy hitters: dynamic vs static dedicated-counter allocation",
 			func(s exp.Scale, seed int64) (string, []exp.BenchCell) {
 				r := exp.HHChurn(s, seed)

@@ -1,0 +1,56 @@
+// Command fancy-benchgate is the CI benchmark regression gate: it compares
+// a freshly generated benchmark artifact against the committed baseline and
+// exits non-zero when a cell regressed beyond tolerance.
+//
+// Usage:
+//
+//	fancy-benchgate -baseline BENCH_baseline.json -current BENCH_fleet.json
+//	fancy-benchgate -ttl-tolerance 0.25 -wall-tolerance 0.25 ...
+//
+// TTL medians are simulated time and compared strictly; wall time is
+// compared as share-of-total so machine speed cancels; wallclock-marked
+// latency cells are held to the paper's absolute localization budget. See
+// internal/exp.GateBench for the exact rules. Refresh the baseline by
+// copying the current artifact over it in the same change that explains
+// the regression.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"fancy/internal/exp"
+)
+
+func main() {
+	var (
+		baseline = flag.String("baseline", "BENCH_baseline.json", "committed baseline artifact")
+		current  = flag.String("current", "BENCH_fleet.json", "freshly generated artifact")
+		ttlTol   = flag.Float64("ttl-tolerance", 0.25, "fractional TTL-median tolerance (0.25 = +25%)")
+		wallTol  = flag.Float64("wall-tolerance", 0.25, "fractional wall-share tolerance")
+	)
+	flag.Parse()
+
+	base, err := exp.ReadBenchJSON(*baseline)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	cur, err := exp.ReadBenchJSON(*current)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+
+	findings := exp.GateBench(base, cur, *ttlTol, *wallTol)
+	if len(findings) > 0 {
+		fmt.Fprintf(os.Stderr, "benchmark regression gate: %d finding(s)\n", len(findings))
+		for _, f := range findings {
+			fmt.Fprintln(os.Stderr, "  "+f)
+		}
+		os.Exit(1)
+	}
+	fmt.Printf("benchmark gate ok: %d baseline cell(s) within tolerance (ttl %+.0f%%, wall %+.0f%%)\n",
+		len(base), *ttlTol*100, *wallTol*100)
+}

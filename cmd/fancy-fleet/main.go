@@ -12,6 +12,9 @@
 //	fancy-fleet -mgmt-loss 0.1 -partition seattle       # degraded-mode drill
 //	fancy-fleet -mgmt-loss 0.2 -replicas 3 -kill-leader 2.1s   # failover drill
 //	fancy-fleet -hh                          # dynamic dedicated-counter allocation
+//	fancy-fleet -verify                      # verified-commit gate on every reroute
+//	fancy-fleet -inject-loop                 # concurrent failures whose backups compose into a loop
+//	fancy-fleet -inject-loop -verify         # ...which the gate rejects and repairs
 //
 // The run is deterministic for a given flag set; the fleet report at the
 // end is the aggregate snapshot (per-link health, localization times,
@@ -30,6 +33,16 @@
 // sketches its egress traffic, and the per-switch allocation loop promotes
 // the observed heavy hitters (the target entry among them) into dedicated
 // counters at runtime. The closing report gains the hh-alloc line.
+//
+// -verify puts the verified-commit gate in front of every fleet-wide
+// reroute: the correlator checks each backup flip against an incremental
+// atom model and rejects, repairs or holds unsafe ones. -inject-loop swaps
+// the scenario for the concurrent-failure composition (traffic
+// washington→kansascity, atlanta and houston protected with backups
+// through each other, both their primary egress links failed): without
+// -verify the demo installs the atlanta↔houston loop, with it the gate
+// rejects houston's flip and repairs via losangeles. Either way the run
+// closes with a forwarding-state audit over every atom.
 package main
 
 import (
@@ -48,6 +61,7 @@ import (
 	"fancy/internal/sim"
 	"fancy/internal/topo"
 	"fancy/internal/traffic"
+	"fancy/internal/verify"
 )
 
 func main() {
@@ -74,20 +88,34 @@ func main() {
 
 		hhMode  = flag.Bool("hh", false, "dynamic dedicated-counter allocation: heavy-hitter stage + churning background workload instead of a static pin")
 		hhSlots = flag.Int("hh-slots", 8, "dedicated-counter slots per port available to the allocation loop (needs -hh)")
+
+		verifyGate = flag.Bool("verify", false, "verified-commit gate: check every reroute against the atom-based forwarding model before committing")
+		injectLoop = flag.Bool("inject-loop", false, "concurrent-failure demo: backups that compose into a forwarding loop (overrides -link; pair with -verify to see the gate reject and repair it)")
 	)
 	flag.Parse()
 
+	srcAt, dstAt := "", ""
+	if *injectLoop {
+		// The composed scenario: traffic washington→kansascity rides
+		// atlanta→indianapolis; atlanta's backup detours via houston,
+		// houston's via atlanta, and both primary egress links fail.
+		*link = "atlanta->indianapolis"
+		srcAt, dstAt = "washington", "kansascity"
+	}
 	from, to, ok := strings.Cut(*link, "->")
 	if !ok {
 		fmt.Fprintf(os.Stderr, "fancy-fleet: -link must look like from->to, got %q\n", *link)
 		os.Exit(2)
 	}
+	if srcAt == "" {
+		srcAt, dstAt = from, to
+	}
 
 	s := sim.New(*seed)
 	spec := topo.Abilene()
 	spec.Hosts = []topo.HostSpec{
-		{Name: "hsrc", Attach: from},
-		{Name: "hdst", Attach: to},
+		{Name: "hsrc", Attach: srcAt},
+		{Name: "hdst", Attach: dstAt},
 	}
 	n, err := topo.Build(s, spec)
 	if err != nil {
@@ -148,6 +176,9 @@ func main() {
 		fmt.Fprintln(os.Stderr, "fancy-fleet: -kill-leader needs -replicas > 1")
 		os.Exit(2)
 	}
+	if *verifyGate {
+		cfg.Verify = &fleet.VerifyConfig{}
+	}
 	f, err := fleet.New(s, n, cfg)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "fancy-fleet: %v\n", err)
@@ -161,14 +192,31 @@ func main() {
 		// Headline events only.
 		switch ev.Kind {
 		case fleet.EventLocalized, fleet.EventSuppressed, fleet.EventRerouted,
-			fleet.EventLinkFlapping:
+			fleet.EventLinkFlapping, fleet.EventRerouteRejected,
+			fleet.EventRerouteRepaired, fleet.EventRerouteHeld,
+			fleet.EventVerifyFallback:
 			fmt.Println(ev)
 		}
 	}
 
 	// Protect the target entry at the failed link's upstream switch, if a
 	// provably loop-free detour exists.
-	if nb, ok := loopFreeBackup(n, from, to); ok {
+	if *injectLoop {
+		protect := func(sw, primaryTo, backupTo string) {
+			route := n.Switches[sw].Routes.InsertEntry(entry, netsim.Route{
+				Port:   n.PortOf[sw][primaryTo],
+				Backup: n.PortOf[sw][backupTo],
+			})
+			if err := f.Protect(sw, entry, route); err != nil {
+				fmt.Fprintf(os.Stderr, "fancy-fleet: %v\n", err)
+				os.Exit(2)
+			}
+			fmt.Printf("protecting entry %d at %s: primary via %s, backup via %s\n",
+				entry, sw, primaryTo, backupTo)
+		}
+		protect("atlanta", "indianapolis", "houston")
+		protect("houston", "kansascity", "atlanta")
+	} else if nb, ok := loopFreeBackup(n, from, to); ok {
 		route := n.Switches[from].Routes.InsertEntry(entry, netsim.Route{
 			Port:   n.PortOf[from][to],
 			Backup: n.PortOf[from][nb],
@@ -192,6 +240,15 @@ func main() {
 	}
 	n.Direction(from, to).SetFailure(
 		netsim.FailEntries(*seed+1, sim.Time(*failAt), *loss, entry))
+	if *injectLoop {
+		n.Direction("houston", "kansascity").SetFailure(
+			netsim.FailEntries(*seed+2, sim.Time(*failAt), *loss, entry))
+		fmt.Printf("also failing houston->kansascity at %v: both backups now compose into a loop\n",
+			*failAt)
+	}
+	if *verifyGate {
+		fmt.Println("verified-commit gate: every reroute checked against the atom model before committing")
+	}
 
 	if *crashCorr > 0 {
 		if !mgmtWanted {
@@ -234,6 +291,16 @@ func main() {
 
 	fmt.Println()
 	fmt.Print(f.Snapshot().Report())
+
+	// Close with a forwarding-state audit: the gate's own model when
+	// verifying, else a fresh snapshot of the final installed routes — the
+	// latter is what exposes the loop the unverified -inject-loop run left
+	// behind.
+	audit := f.Verifier().Audit
+	if !*verifyGate {
+		audit = verify.NewModel(n).Audit
+	}
+	fmt.Printf("\npost-run forwarding audit: %s\n", audit())
 }
 
 // loopFreeBackup picks from's cheapest neighbor detour toward to that

@@ -1,0 +1,95 @@
+package exp
+
+// Benchmark regression gate: CI compares the freshly generated
+// BENCH_fleet.json against the committed BENCH_baseline.json and fails the
+// build when a cell regressed beyond tolerance. Two regression axes:
+//
+//   - TTL medians are simulated time — deterministic for a given seed — so
+//     any growth beyond tolerance is a real behavior change, not noise.
+//     Cells marked Values["wallclock"]=1 carry host wall time instead and
+//     are exempt from the ratio check; they are held to the absolute
+//     budget below.
+//   - WallSeconds is host time and noisy across machines, so cells are
+//     compared by their share of the run's total wall time, which cancels
+//     the machine's overall speed. Cells under the floor are skipped.
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+// wallclockBudgetMs is the absolute latency budget for wallclock-marked
+// cells: the paper's end-to-end localization budget (~156 ms median). A
+// safety check whose own latency approaches it is broken regardless of
+// what the baseline measured.
+const wallclockBudgetMs = 156
+
+// wallFloorSeconds is the minimum wall time for the share comparison;
+// below it the share is dominated by scheduling noise.
+const wallFloorSeconds = 0.05
+
+// ReadBenchJSON loads a benchmark-cell artifact written by WriteBenchJSON.
+func ReadBenchJSON(path string) ([]BenchCell, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("exp: read bench cells: %w", err)
+	}
+	var cells []BenchCell
+	if err := json.Unmarshal(data, &cells); err != nil {
+		return nil, fmt.Errorf("exp: parse %s: %w", path, err)
+	}
+	return cells, nil
+}
+
+func benchKey(c BenchCell) string {
+	return c.Experiment + "/" + c.Cell + "/" + c.Scale
+}
+
+// GateBench returns one finding per regression of current against baseline.
+// Every baseline cell must still exist; new current cells pass freely (they
+// enter the gate when the baseline is refreshed). ttlTol and wallTol are
+// fractional tolerances (0.25 = +25%).
+func GateBench(baseline, current []BenchCell, ttlTol, wallTol float64) []string {
+	cur := make(map[string]BenchCell, len(current))
+	var curWall float64
+	for _, c := range current {
+		cur[benchKey(c)] = c
+		curWall += c.WallSeconds
+	}
+	var baseWall float64
+	for _, b := range baseline {
+		baseWall += b.WallSeconds
+	}
+
+	var findings []string
+	for _, b := range baseline {
+		key := benchKey(b)
+		c, ok := cur[key]
+		if !ok {
+			findings = append(findings, fmt.Sprintf("%s: cell missing from current run", key))
+			continue
+		}
+		if c.Values["wallclock"] == 1 { //lint:allow floateq wallclock is an exact 0/1 marker, not a measurement
+			if c.TTLMedianMs > wallclockBudgetMs {
+				findings = append(findings, fmt.Sprintf(
+					"%s: median latency %.3fms exceeds the %dms budget", key, c.TTLMedianMs, wallclockBudgetMs))
+			}
+		} else if b.TTLMedianMs > 0 && c.TTLMedianMs > b.TTLMedianMs*(1+ttlTol) {
+			findings = append(findings, fmt.Sprintf(
+				"%s: TTL median %.3fms vs baseline %.3fms (tolerance %+.0f%%)",
+				key, c.TTLMedianMs, b.TTLMedianMs, ttlTol*100))
+		}
+		if b.WallSeconds >= wallFloorSeconds && c.WallSeconds >= wallFloorSeconds &&
+			baseWall > 0 && curWall > 0 {
+			baseShare := b.WallSeconds / baseWall
+			curShare := c.WallSeconds / curWall
+			if curShare > baseShare*(1+wallTol) {
+				findings = append(findings, fmt.Sprintf(
+					"%s: wall share %.1f%% vs baseline %.1f%% (tolerance %+.0f%%)",
+					key, curShare*100, baseShare*100, wallTol*100))
+			}
+		}
+	}
+	return findings
+}

@@ -1,0 +1,122 @@
+package exp
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func gateCell(experiment, cell string, ttl, wall float64, vals map[string]float64) BenchCell {
+	return BenchCell{Experiment: experiment, Cell: cell, Scale: "quick",
+		TTLMedianMs: ttl, WallSeconds: wall, Values: vals}
+}
+
+func TestGateBenchPassesIdentical(t *testing.T) {
+	cells := []BenchCell{
+		gateCell("fleet", "localization", 156, 1.0, nil),
+		gateCell("hh-churn", "dynamic", 60, 0.5, nil),
+	}
+	if f := GateBench(cells, cells, 0.25, 0.25); len(f) != 0 {
+		t.Fatalf("identical runs flagged: %v", f)
+	}
+}
+
+func TestGateBenchTTLRegression(t *testing.T) {
+	base := []BenchCell{gateCell("fleet", "localization", 100, 1.0, nil)}
+	cur := []BenchCell{gateCell("fleet", "localization", 130, 1.0, nil)}
+	f := GateBench(base, cur, 0.25, 0.25)
+	if len(f) != 1 || !strings.Contains(f[0], "TTL median") {
+		t.Fatalf("30%% TTL growth not flagged at 25%% tolerance: %v", f)
+	}
+	if f := GateBench(base, []BenchCell{gateCell("fleet", "localization", 120, 1.0, nil)}, 0.25, 0.25); len(f) != 0 {
+		t.Fatalf("20%% TTL growth flagged at 25%% tolerance: %v", f)
+	}
+}
+
+func TestGateBenchMissingCell(t *testing.T) {
+	// Sub-floor wall times keep the share check out of the picture.
+	base := []BenchCell{
+		gateCell("fleet", "localization", 100, 0.01, nil),
+		gateCell("verified-reroute", "verified", 300, 0.01, nil),
+	}
+	cur := base[:1]
+	f := GateBench(base, cur, 0.25, 0.25)
+	if len(f) != 1 || !strings.Contains(f[0], "missing") {
+		t.Fatalf("dropped cell not flagged: %v", f)
+	}
+}
+
+func TestGateBenchNewCellPasses(t *testing.T) {
+	base := []BenchCell{gateCell("fleet", "localization", 100, 1.0, nil)}
+	cur := append([]BenchCell{gateCell("new-exp", "fresh", 10, 1.0, nil)}, base...)
+	if f := GateBench(base, cur, 0.25, 0.25); len(f) != 0 {
+		t.Fatalf("new cell flagged: %v", f)
+	}
+}
+
+// Wall time is compared as share-of-total so a uniformly slower machine
+// never trips the gate; one cell ballooning relative to the rest does.
+func TestGateBenchWallShare(t *testing.T) {
+	base := []BenchCell{
+		gateCell("a", "x", 10, 1.0, nil),
+		gateCell("b", "y", 10, 1.0, nil),
+	}
+	slowMachine := []BenchCell{
+		gateCell("a", "x", 10, 3.0, nil),
+		gateCell("b", "y", 10, 3.0, nil),
+	}
+	if f := GateBench(base, slowMachine, 0.25, 0.25); len(f) != 0 {
+		t.Fatalf("uniform slowdown flagged: %v", f)
+	}
+	oneBalloon := []BenchCell{
+		gateCell("a", "x", 10, 5.0, nil),
+		gateCell("b", "y", 10, 1.0, nil),
+	}
+	f := GateBench(base, oneBalloon, 0.25, 0.25)
+	if len(f) != 1 || !strings.Contains(f[0], "wall share") {
+		t.Fatalf("relative balloon not flagged: %v", f)
+	}
+	// Cells under the floor are scheduling noise, never flagged.
+	tiny := []BenchCell{gateCell("a", "x", 10, 0.001, nil)}
+	tinySlow := []BenchCell{gateCell("a", "x", 10, 0.04, nil)}
+	if f := GateBench(tiny, tinySlow, 0.25, 0.25); len(f) != 0 {
+		t.Fatalf("sub-floor cell flagged: %v", f)
+	}
+}
+
+// Wallclock-marked cells (host latency measurements) skip the ratio check —
+// they are host-dependent — but are held to the absolute paper budget.
+func TestGateBenchWallclockCells(t *testing.T) {
+	wc := map[string]float64{"wallclock": 1}
+	base := []BenchCell{gateCell("verified-reroute", "check-latency", 0.001, 0.01, wc)}
+	noisy := []BenchCell{gateCell("verified-reroute", "check-latency", 0.05, 0.01, wc)}
+	if f := GateBench(base, noisy, 0.25, 0.25); len(f) != 0 {
+		t.Fatalf("host-dependent latency jitter flagged: %v", f)
+	}
+	blown := []BenchCell{gateCell("verified-reroute", "check-latency", 200, 0.01, wc)}
+	f := GateBench(base, blown, 0.25, 0.25)
+	if len(f) != 1 || !strings.Contains(f[0], "budget") {
+		t.Fatalf("budget-blowing latency not flagged: %v", f)
+	}
+}
+
+func TestBenchJSONRoundTrip(t *testing.T) {
+	cells := []BenchCell{
+		gateCell("fleet", "localization", 156, 1.0, map[string]float64{"exact": 3}),
+		gateCell("verified-reroute", "check-latency", 0.001, 0.01, map[string]float64{"wallclock": 1}),
+	}
+	path := filepath.Join(t.TempDir(), "cells.json")
+	if err := WriteBenchJSON(path, cells); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadBenchJSON(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(cells) {
+		t.Fatalf("round trip lost cells: %d != %d", len(got), len(cells))
+	}
+	if f := GateBench(cells, got, 0.25, 0.25); len(f) != 0 {
+		t.Fatalf("round-tripped cells flagged: %v", f)
+	}
+}

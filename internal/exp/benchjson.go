@@ -61,8 +61,12 @@ func (r *FleetResult) BenchCells(seed int64) []BenchCell {
 			}
 		}
 	}
+	experiment := "fleet"
+	if r.Verified {
+		experiment = "fleet-verified"
+	}
 	return []BenchCell{{
-		Experiment:  "fleet",
+		Experiment:  experiment,
 		Cell:        "localization",
 		Scale:       r.Scale.String(),
 		Seed:        seed,

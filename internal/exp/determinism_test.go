@@ -29,7 +29,10 @@ import (
 // event log, the verdict set with timestamps, and the health snapshot.
 // With replicas > 1 the crash kills the LEADER of a consensus group and
 // recovery goes through a phi-driven election and replicated-log restore.
-func chaosTranscript(t *testing.T, seed int64, replicas int, hhSlots int) string {
+// With verified set the correlator runs the verified-commit gate and the
+// gray switch carries a protected backup, so the transcript includes gate
+// decisions (commit, rejection or repair) and the verify snapshot counters.
+func chaosTranscript(t *testing.T, seed int64, replicas int, hhSlots int, verified bool) string {
 	t.Helper()
 	dl := topo.DirectedLink{From: "kansascity", To: "denver"}
 	duration := 3 * sim.Second
@@ -63,9 +66,21 @@ func chaosTranscript(t *testing.T, seed int64, replicas int, hhSlots int) string
 			DynamicSlots: hhSlots,
 		}
 	}
+	if verified {
+		cfg.Verify = &fleet.VerifyConfig{}
+	}
 	f, err := fleet.New(s, n, cfg)
 	if err != nil {
 		t.Fatal(err)
+	}
+	if verified {
+		route := n.Switches[dl.From].Routes.InsertEntry(entry, netsim.Route{
+			Port:   n.PortOf[dl.From][dl.To],
+			Backup: n.PortOf[dl.From]["houston"],
+		})
+		if err := f.Protect(dl.From, entry, route); err != nil {
+			t.Fatal(err)
+		}
 	}
 
 	traffic.NewUDPSource(s, n.Hosts["hsrc"], netsim.FlowID(entry), entry,
@@ -98,21 +113,23 @@ func TestSameSeedSameTranscript(t *testing.T) {
 		name     string
 		replicas int
 		hhSlots  int
+		verified bool
 	}{
-		{"single-instance", 0, 0},
-		{"replica3", 3, 0},
-		{"hh-alloc", 0, 4},
+		{"single-instance", 0, 0, false},
+		{"replica3", 3, 0, false},
+		{"hh-alloc", 0, 4, false},
+		{"verify", 0, 0, true},
 	} {
 		t.Run(tc.name, func(t *testing.T) {
-			a := chaosTranscript(t, seed, tc.replicas, tc.hhSlots)
-			b := chaosTranscript(t, seed, tc.replicas, tc.hhSlots)
+			a := chaosTranscript(t, seed, tc.replicas, tc.hhSlots, tc.verified)
+			b := chaosTranscript(t, seed, tc.replicas, tc.hhSlots, tc.verified)
 			if a != b {
 				t.Fatalf("same seed produced different transcripts:\n--- run 1 ---\n%s\n--- run 2 ---\n%s", a, b)
 			}
 			if !strings.Contains(a, "verdict kansascity->denver") {
 				t.Fatalf("transcript has no verdict for the injected link:\n%s", a)
 			}
-			c := chaosTranscript(t, seed+1, tc.replicas, tc.hhSlots)
+			c := chaosTranscript(t, seed+1, tc.replicas, tc.hhSlots, tc.verified)
 			if !strings.Contains(c, "verdict kansascity->denver") {
 				t.Fatalf("other-seed transcript has no verdict for the injected link:\n%s", c)
 			}

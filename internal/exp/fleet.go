@@ -35,15 +35,20 @@ type FleetRow struct {
 
 // FleetResult aggregates the per-link trials.
 type FleetResult struct {
-	Scale Scale
-	Rows  []FleetRow
+	Scale    Scale
+	Verified bool // trials ran with the verified-commit gate
+	Rows     []FleetRow
 }
 
 // Render prints the per-link table plus aggregates (the metrics the fleet
 // snapshot reports: localization accuracy, time-to-localize, false alarms).
 func (r *FleetResult) Render() string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "== ISP-wide fleet: Abilene gray-link localization (%s) ==\n", r.Scale)
+	gate := ""
+	if r.Verified {
+		gate = ", verified gate"
+	}
+	fmt.Fprintf(&b, "== ISP-wide fleet: Abilene gray-link localization (%s%s) ==\n", r.Scale, gate)
 	headers := []string{"Gray link", "Localized", "TTL", "Suppressed", "Rerouted"}
 	var rows [][]string
 	exact := 0
@@ -86,6 +91,18 @@ var quickFleetLinks = []topo.DirectedLink{
 // FleetAbilene runs the fleet scenario: Quick targets a 3-link subsample,
 // Full targets every directed link of Abilene (28 trials).
 func FleetAbilene(scale Scale, seed int64) *FleetResult {
+	return fleetAbilene(scale, seed, false)
+}
+
+// FleetAbileneVerified is FleetAbilene with the verified-commit gate on
+// every fleet: the single-failure localization and reroute results must be
+// indistinguishable from the ungated sweep — verification is free when the
+// requested backup is safe.
+func FleetAbileneVerified(scale Scale, seed int64) *FleetResult {
+	return fleetAbilene(scale, seed, true)
+}
+
+func fleetAbilene(scale Scale, seed int64, verified bool) *FleetResult {
 	var targets []topo.DirectedLink
 	if scale == Full {
 		spec := topo.Abilene()
@@ -103,16 +120,16 @@ func FleetAbilene(scale Scale, seed int64) *FleetResult {
 	} else {
 		targets = quickFleetLinks
 	}
-	res := &FleetResult{Scale: scale}
+	res := &FleetResult{Scale: scale, Verified: verified}
 	duration := pick(scale, 3*sim.Second, 5*sim.Second)
 	for i, dl := range targets {
-		res.Rows = append(res.Rows, fleetTrial(seed+int64(i), dl, duration))
+		res.Rows = append(res.Rows, fleetTrial(seed+int64(i), dl, duration, verified))
 	}
 	return res
 }
 
 // fleetTrial injects one gray link into a fresh Abilene fleet.
-func fleetTrial(seed int64, dl topo.DirectedLink, duration sim.Time) FleetRow {
+func fleetTrial(seed int64, dl topo.DirectedLink, duration sim.Time, verified bool) FleetRow {
 	s := sim.New(seed)
 	spec := topo.Abilene()
 	spec.Hosts = []topo.HostSpec{
@@ -127,11 +144,15 @@ func fleetTrial(seed int64, dl topo.DirectedLink, duration sim.Time) FleetRow {
 	if err := n.InstallShortestPaths(map[netsim.EntryID]string{entry: "hdst"}); err != nil {
 		panic(err)
 	}
-	f, err := fleet.New(s, n, fleet.Config{Fancy: fancy.Config{
+	cfg := fleet.Config{Fancy: fancy.Config{
 		HighPriority: []netsim.EntryID{entry},
 		Tree:         tree.Params{Width: 32, Depth: 3, Split: 2, Pipelined: true},
 		TreeSeed:     3,
-	}})
+	}}
+	if verified {
+		cfg.Verify = &fleet.VerifyConfig{}
+	}
+	f, err := fleet.New(s, n, cfg)
 	if err != nil {
 		panic(err)
 	}

@@ -57,6 +57,22 @@ type rerouteCmd struct {
 	Ev   fancy.Event
 }
 
+// divertCmd is the verified gate's per-entry commit: flip exactly this
+// entry to its (already safe-checked) backup next hop.
+type divertCmd struct {
+	Port  int
+	Entry netsim.EntryID
+}
+
+// repairCmd is the gate's repair commit: rewrite the entry's backup next
+// hop to the verified alternate, then flip. Also used to re-issue logged
+// decisions after a failover (idempotent either way).
+type repairCmd struct {
+	Port   int
+	Entry  netsim.EntryID
+	Backup int
+}
+
 // switchAgent is one switch's management endpoint.
 type switchAgent struct {
 	f    *Fleet
@@ -154,6 +170,18 @@ func (a *switchAgent) onCall(req any) (any, error) {
 			app.HandleEvent(r.Ev)
 		}
 		return true, nil
+	case divertCmd:
+		if app, ok := a.apps[r.Port]; ok {
+			app.Divert(r.Entry)
+		}
+		return true, nil
+	case repairCmd:
+		if app, ok := a.apps[r.Port]; ok {
+			if app.SetBackup(r.Entry, r.Backup) {
+				app.Divert(r.Entry)
+			}
+		}
+		return true, nil
 	}
 	return nil, fmt.Errorf("fleet: unknown agent call %T", req)
 }
@@ -168,12 +196,13 @@ func (a *switchAgent) onLocalReroute(port int, entry netsim.EntryID, at sim.Time
 	a.send(rerouteReport{Port: port, Entry: entry, At: at, Degraded: a.degraded})
 }
 
-// command delivers a correlator gating command to this agent: direct in
-// legacy mode, a hardened RPC over the management plane otherwise.
-func (f *Fleet) command(sw string, cmd rerouteCmd) {
+// command delivers a correlator gating command (rerouteCmd, divertCmd or
+// repairCmd) to this agent: direct in legacy mode, a hardened RPC over the
+// management plane otherwise.
+func (f *Fleet) command(sw string, cmd any) {
 	a := f.agents[sw]
 	if a.client == nil {
-		a.onCall(cmd) //nolint:errcheck // rerouteCmd cannot fail
+		a.onCall(cmd) //nolint:errcheck // gating commands cannot fail
 		return
 	}
 	f.mgmtSrv.Call(sw, cmd, func(_ any, err error) {

@@ -19,6 +19,7 @@ import (
 	"fancy/internal/mgmt"
 	"fancy/internal/netsim"
 	"fancy/internal/sim"
+	"fancy/internal/verify"
 )
 
 // LinkCheckpoint is one directed link's persisted correlator record.
@@ -61,6 +62,13 @@ type Checkpoint struct {
 	// restarted correlator keeps deduplicating reports the crashed
 	// incarnation already consumed.
 	Seq map[string]mgmt.SeqState
+
+	// VerifyLog and VerifyHeld persist the verified-commit gate: decided
+	// commits (with their committed delta frames, replayed into a fresh
+	// model on restore) and flips parked on the hold-and-retry list. Empty
+	// without Config.Verify.
+	VerifyLog  []VerifyDecision
+	VerifyHeld []HeldReroute
 }
 
 // Checkpoint deep-copies the correlator's current state.
@@ -120,6 +128,16 @@ func (f *Fleet) Checkpoint() *Checkpoint {
 	sort.Strings(cp.RerouteSeen)
 	if f.mgmtSrv != nil {
 		cp.Seq = f.mgmtSrv.SeqCheckpoint()
+	}
+	for _, d := range f.verifyLog {
+		cp.VerifyLog = append(cp.VerifyLog, VerifyDecision{
+			Key: d.Key, Outcome: d.Outcome, Frame: append([]byte(nil), d.Frame...),
+		})
+	}
+	for _, h := range f.verifyHeld {
+		cp.VerifyHeld = append(cp.VerifyHeld, HeldReroute{
+			LinkKey: h.ls.key, Key: h.key, Entry: h.entry, Retries: h.retries,
+		})
 	}
 	return cp
 }
@@ -197,6 +215,10 @@ func (f *Fleet) haltDuty() {
 	if f.ckptTimer != nil {
 		f.ckptTimer.Stop()
 	}
+	if f.verifyTimer != nil {
+		f.verifyTimer.Stop()
+		f.verifyTimer = nil
+	}
 }
 
 // resumeDuty reconciles with live telemetry and restarts the periodic
@@ -259,6 +281,17 @@ func (f *Fleet) restoreState(cp *Checkpoint) string {
 			affected: make(map[netsim.EntryID]bool),
 		}
 	}
+	if f.verifier != nil {
+		// A fresh model snapshot of the live tables, with the checkpointed
+		// decision log replayed on top: flips already applied at the agents
+		// are in the snapshot (replay is then idempotent), and flips whose
+		// command was lost in flight stay committed in the model, exactly as
+		// the deposed incarnation decided them.
+		f.verifier = verify.NewModel(f.Net)
+		f.verifySeen = make(map[string]uint8)
+		f.verifyLog = nil
+		f.verifyHeld = nil
+	}
 
 	restored := 0
 	if cp != nil {
@@ -318,10 +351,30 @@ func (f *Fleet) restoreState(cp *Checkpoint) string {
 				restored++
 			}
 		}
+		if f.verifier != nil {
+			for _, d := range cp.VerifyLog {
+				d.Frame = append([]byte(nil), d.Frame...)
+				f.verifyLog = append(f.verifyLog, d)
+				f.verifySeen[d.Key] = d.Outcome
+				if len(d.Frame) == 0 || d.Outcome == verifyRejected {
+					continue
+				}
+				if dd, err := verify.DecodeDelta(d.Frame); err == nil {
+					f.verifier.Commit(dd)
+				}
+			}
+			for _, h := range cp.VerifyHeld {
+				if ls, ok := f.links[h.LinkKey]; ok {
+					f.verifyHeld = append(f.verifyHeld,
+						&heldReroute{ls: ls, key: h.Key, entry: h.Entry, retries: h.Retries})
+				}
+			}
+		}
 	}
 
 	f.crashed = false
 	f.Corr.Restores++
+	f.armVerifyTimer()
 	if f.mgmtSrv != nil {
 		f.mgmtSrv.SetAccepting(true)
 		if cp != nil && cp.Seq != nil {

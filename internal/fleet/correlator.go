@@ -56,6 +56,19 @@ const (
 	// degraded single-instance mode (PR 3 checkpoint/restart semantics).
 	EventQuorumLost
 	EventQuorumRestored
+	// EventRerouteRejected: the verified-commit gate found the requested
+	// backup flip unsafe (Detail carries the verifier's verdict), or a held
+	// flip was abandoned after exhausting its retries.
+	EventRerouteRejected
+	// EventRerouteRepaired: an unsafe flip was diverted via an alternate
+	// safe next hop instead.
+	EventRerouteRepaired
+	// EventRerouteHeld: no safe next hop exists right now; the flip is
+	// parked and re-checked as the forwarding state evolves.
+	EventRerouteHeld
+	// EventVerifyFallback: a commit went through unverified — the verifier
+	// is unavailable, errored, or a degraded agent rerouted autonomously.
+	EventVerifyFallback
 )
 
 func (k EventKind) String() string {
@@ -94,6 +107,14 @@ func (k EventKind) String() string {
 		return "quorum-lost"
 	case EventQuorumRestored:
 		return "quorum-restored"
+	case EventRerouteRejected:
+		return "reroute-rejected"
+	case EventRerouteRepaired:
+		return "reroute-repaired"
+	case EventRerouteHeld:
+		return "reroute-held"
+	case EventVerifyFallback:
+		return "verify-fallback"
 	}
 	return fmt.Sprintf("fleet-event(%d)", uint8(k))
 }
@@ -249,6 +270,9 @@ func (f *Fleet) onRerouteReport(sw string, r rerouteReport) {
 	}
 	f.emit(Event{Time: f.S.Now(), Kind: EventRerouted, Link: linkKey, Entry: r.Entry, Detail: detail})
 	f.persist()
+	if r.Degraded && f.verifier != nil {
+		f.syncDegradedReroute(sw, r)
+	}
 }
 
 // onDetectorEvent routes one detector event into the correlator. It runs
@@ -473,8 +497,13 @@ func (f *Fleet) recordEvidence(ls *linkState, ev fancy.Event) {
 // at the upstream switch — a gating command over the management plane.
 func (f *Fleet) react(ls *linkState, evidence []fancy.Event) {
 	a := f.agents[ls.dl.From]
-	if _, ok := a.apps[ls.port]; !ok {
+	app, ok := a.apps[ls.port]
+	if !ok {
 		return // nothing protected there
+	}
+	if f.verifier != nil {
+		f.gatedReact(ls, app, evidence)
+		return
 	}
 	for _, ev := range evidence {
 		f.command(ls.dl.From, rerouteCmd{Port: ls.port, Ev: ev})

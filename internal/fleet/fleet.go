@@ -53,6 +53,7 @@ import (
 	"fancy/internal/sim"
 	"fancy/internal/telemetry"
 	"fancy/internal/topo"
+	"fancy/internal/verify"
 )
 
 // correlatorEndpoint is the correlator's management-network address.
@@ -120,6 +121,14 @@ type Config struct {
 	// loop is local to each switch — it keeps allocating through
 	// management-plane partitions.
 	HH *HHFleetConfig
+
+	// Verify, when non-nil, gates every fleet-wide reroute commit behind an
+	// incremental atom-based safety check (internal/verify): a flip whose
+	// post-commit forwarding state would contain a loop or blackhole is
+	// rejected and repaired (alternate next hop, or hold-and-retry).
+	// Requires routes to be installed before New so the model snapshot is
+	// accurate. See internal/fleet/verify.go for the gate semantics.
+	Verify *VerifyConfig
 }
 
 // HHFleetConfig tunes the fleet's heavy-hitter allocation loop.
@@ -166,6 +175,16 @@ func (c Config) withDefaults() Config {
 	}
 	if c.CheckpointInterval == 0 {
 		c.CheckpointInterval = 250 * sim.Millisecond
+	}
+	if c.Verify != nil {
+		v := *c.Verify
+		if v.HoldRetry == 0 {
+			v.HoldRetry = 100 * sim.Millisecond
+		}
+		if v.MaxRetries == 0 {
+			v.MaxRetries = 5
+		}
+		c.Verify = &v
 	}
 	if c.HH != nil {
 		h := *c.HH
@@ -291,6 +310,18 @@ type Fleet struct {
 	sweepTimer *sim.Timer
 	ckptTimer  *sim.Timer
 
+	// Verified-commit gate (populated only with Config.Verify; see
+	// internal/fleet/verify.go).
+	verifier    *verify.Model
+	verifyDown  bool             // verify-unavailable fallback engaged
+	verifySeen  map[string]uint8 // decision key → outcome
+	verifyLog   []VerifyDecision
+	verifyHeld  []*heldReroute
+	verifyTimer *sim.Timer
+
+	// Verify tallies the gate's work (zero-valued without Config.Verify).
+	Verify VerifyStats
+
 	// Events is the fleet-level event log; OnEvent, if set, streams it.
 	Events  []Event
 	OnEvent func(Event)
@@ -325,6 +356,7 @@ func New(s *sim.Sim, net *topo.Network, cfg Config) (*Fleet, error) {
 		rerouteSeen:     make(map[string]bool),
 		aliveSeen:       make(map[string]bool),
 		announced:       make(map[string]bool),
+		verifySeen:      make(map[string]uint8),
 	}
 	for sw := range net.Switches {
 		f.switches = append(f.switches, sw)
@@ -391,6 +423,10 @@ func New(s *sim.Sim, net *topo.Network, cfg Config) (*Fleet, error) {
 			f.Detectors[sw].OnHHReport = a.onHHReport
 			a.mountHHStats()
 		}
+	}
+	if cfg.Verify != nil {
+		f.verifier = verify.NewModel(net)
+		f.mountVerifyStats()
 	}
 	f.sweepTimer = s.Schedule(cfg.SweepInterval, f.sweep)
 	if cfg.CheckpointInterval > 0 {

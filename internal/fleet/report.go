@@ -72,6 +72,13 @@ type Snapshot struct {
 	HHEnabled bool
 	HH        HHSnapshot
 
+	// Verified-commit gate (populated only with Config.Verify).
+	VerifyEnabled     bool
+	Verify            VerifyStats
+	VerifyHeldPending int  // flips currently parked on the hold-and-retry list
+	VerifyAtoms       int  // atoms in the forwarding model
+	VerifyUnavailable bool // verify-unavailable fallback engaged
+
 	// Management plane (populated only when the fleet runs over a
 	// simulated management network).
 	MgmtEnabled    bool
@@ -179,6 +186,13 @@ func (f *Fleet) Snapshot() Snapshot {
 			snap.HH.Capacity += capacity
 		}
 	}
+	if f.verifier != nil {
+		snap.VerifyEnabled = true
+		snap.Verify = f.Verify
+		snap.VerifyHeldPending = len(f.verifyHeld)
+		snap.VerifyAtoms = f.verifier.Atoms()
+		snap.VerifyUnavailable = f.verifyDown
+	}
 	return snap
 }
 
@@ -196,6 +210,17 @@ func (s Snapshot) Report() string {
 			s.HH.Reports, s.HH.Promotions, s.HH.Demotions, s.HH.FlapsSuppressed,
 			s.HH.Deferred, s.HH.EpochResets, s.HH.Occupied, s.HH.Capacity,
 			s.HH.DecodeErrors, s.HH.ApplyErrors)
+	}
+	if s.VerifyEnabled {
+		avail := "on"
+		if s.VerifyUnavailable {
+			avail = "UNAVAILABLE"
+		}
+		fmt.Fprintf(&b, "  verify: %s checked=%d committed=%d rejected=%d repaired=%d held=%d retries=%d abandoned=%d fallbacks=%d errors=%d atoms-checked=%d pending-holds=%d model-atoms=%d\n",
+			avail, s.Verify.Checked, s.Verify.Committed, s.Verify.Rejected,
+			s.Verify.Repaired, s.Verify.Held, s.Verify.Retries, s.Verify.Abandoned,
+			s.Verify.Fallbacks, s.Verify.Errors, s.Verify.AtomsChecked,
+			s.VerifyHeldPending, s.VerifyAtoms)
 	}
 	if s.MgmtEnabled {
 		fmt.Fprintf(&b, "  mgmt: sent=%d delivered=%d lost=%d dup=%d partition-drops=%d holes=%d dedup=%d\n",

@@ -1,0 +1,420 @@
+package fleet
+
+// Verified-commit gate tests: safe commits pass untouched, composed-loop
+// flips are rejected and repaired via an alternate next hop, unrepairable
+// flips hold until a conflicting reroute rolls back, the gate survives
+// correlator crash/restart and leader failover without double-committing,
+// and verify-unavailable fallback preserves the unverified behavior.
+
+import (
+	"strings"
+	"testing"
+
+	"fancy/internal/netsim"
+	"fancy/internal/sim"
+	"fancy/internal/topo"
+)
+
+// verifiedCfg is fleetCfg plus the verified-commit gate.
+func verifiedCfg(entries ...netsim.EntryID) Config {
+	cfg := fleetCfg(entries...)
+	cfg.Verify = &VerifyConfig{}
+	return cfg
+}
+
+// abileneHosts builds Abilene with hosts attached at the named switches
+// ("h-<switch>") and installs shortest paths for owners.
+func abileneHosts(t *testing.T, s *sim.Sim, owners map[netsim.EntryID]string, at ...string) *topo.Network {
+	t.Helper()
+	spec := topo.Abilene()
+	for _, sw := range at {
+		spec.Hosts = append(spec.Hosts, topo.HostSpec{Name: "h-" + sw, Attach: sw})
+	}
+	n, err := topo.Build(s, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := n.InstallShortestPaths(owners); err != nil {
+		t.Fatal(err)
+	}
+	return n
+}
+
+func mustProtect(t *testing.T, f *Fleet, n *topo.Network, sw string, entry netsim.EntryID, primaryTo, backupTo string) *netsim.Route {
+	t.Helper()
+	route := n.Switches[sw].Routes.InsertEntry(entry, netsim.Route{
+		Port: n.PortOf[sw][primaryTo], Backup: n.PortOf[sw][backupTo]})
+	if err := f.Protect(sw, entry, route); err != nil {
+		t.Fatal(err)
+	}
+	return route
+}
+
+func countEventKind(f *Fleet, kind EventKind) int {
+	n := 0
+	for _, ev := range f.Events {
+		if ev.Kind == kind {
+			n++
+		}
+	}
+	return n
+}
+
+// TestVerifiedSafeCommit: the PR-0 acceptance scenario with the gate on. A
+// loop-free backup commits exactly as before — same localization, same
+// reroute — plus a checked/committed decision, live telemetry counters and
+// the verify line in the report.
+func TestVerifiedSafeCommit(t *testing.T) {
+	s := sim.New(42)
+	const entry = netsim.EntryID(10)
+	n := abileneHosts(t, s, map[netsim.EntryID]string{entry: "h-sunnyvale"},
+		"sunnyvale", "seattle")
+	f, err := New(s, n, verifiedCfg(entry))
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustProtect(t, f, n, "seattle", entry, "sunnyvale", "denver")
+
+	udp(n, "h-seattle", entry, 2e6, 8*sim.Second)
+	n.Direction("seattle", "sunnyvale").SetFailure(
+		netsim.FailEntries(7, 2*sim.Second, 1.0, entry))
+	s.Run(8 * sim.Second)
+
+	if got := f.Localized(); len(got) != 1 || got[0] != "seattle->sunnyvale" {
+		t.Fatalf("localized %v, want exactly [seattle->sunnyvale]", got)
+	}
+	if !f.Rerouted("seattle", entry) {
+		t.Fatal("safe backup was not committed")
+	}
+	if f.Verify.Committed != 1 || f.Verify.Rejected != 0 || f.Verify.Fallbacks != 0 {
+		t.Fatalf("gate stats %+v, want exactly one clean commit", f.Verify)
+	}
+	if f.Verify.Checked == 0 || f.Verify.AtomsChecked == 0 {
+		t.Fatalf("gate stats %+v: commit was not actually checked", f.Verify)
+	}
+	if v, err := f.Telemetry["seattle"].Get("/fancy/stats/verify-committed"); err != nil || v != 1 {
+		t.Fatalf("telemetry verify-committed = %v, %v; want 1", v, err)
+	}
+	if audit := f.Verifier().Audit(); !audit.Safe() {
+		t.Fatalf("post-run audit unsafe: %s", audit)
+	}
+	snap := f.Snapshot()
+	if !snap.VerifyEnabled || snap.VerifyAtoms == 0 || snap.Verify.Committed != 1 {
+		t.Fatalf("snapshot verify block wrong: %+v", snap.Verify)
+	}
+	if !strings.Contains(snap.Report(), "verify: on checked=") {
+		t.Fatalf("report misses the verify line:\n%s", snap.Report())
+	}
+}
+
+// TestVerifiedRejectAndRepair is the concurrent-gray-failure composition:
+// traffic washington→kansascity; atlanta's backup (via houston) and
+// houston's backup (via atlanta) are each individually loop-free, but once
+// atlanta has diverted, committing houston's configured backup would
+// install an atlanta↔houston loop. The gate must reject it with the
+// verdict and repair via losangeles — the only remaining next hop whose
+// post-commit state is loop-free — restoring end-to-end delivery.
+func TestVerifiedRejectAndRepair(t *testing.T) {
+	s := sim.New(42)
+	const entry = netsim.EntryID(10)
+	n := abileneHosts(t, s, map[netsim.EntryID]string{entry: "h-kansascity"},
+		"kansascity", "washington")
+	f, err := New(s, n, verifiedCfg(entry))
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustProtect(t, f, n, "atlanta", entry, "indianapolis", "houston")
+	hou := mustProtect(t, f, n, "houston", entry, "kansascity", "atlanta")
+
+	delivered := 0
+	n.Hosts["h-kansascity"].Default = netsim.PacketHandlerFunc(func(p *netsim.Packet) {
+		if p.Entry == entry {
+			delivered++
+		}
+	})
+
+	udp(n, "h-washington", entry, 2e6, 10*sim.Second)
+	// Concurrent gray failures: the primary path's atlanta→indianapolis hop
+	// and the would-be detour's houston→kansascity hop.
+	n.Direction("atlanta", "indianapolis").SetFailure(
+		netsim.FailEntries(43, 1*sim.Second, 1.0, entry))
+	n.Direction("houston", "kansascity").SetFailure(
+		netsim.FailEntries(44, 1*sim.Second, 1.0, entry))
+	s.Run(10 * sim.Second)
+
+	loc := f.Localized()
+	if len(loc) != 2 || loc[0] != "atlanta->indianapolis" || loc[1] != "houston->kansascity" {
+		t.Fatalf("localized %v, want both injected links exactly", loc)
+	}
+	if !f.Rerouted("atlanta", entry) || !f.Rerouted("houston", entry) {
+		t.Fatal("both switches must end up diverted")
+	}
+	if !hasEvent(f, EventRerouteRejected, "loop") {
+		t.Fatal("houston's looping backup was not rejected with a loop verdict")
+	}
+	if !hasEvent(f, EventRerouteRepaired, "") {
+		t.Fatal("no repair event")
+	}
+	if want := n.PortOf["houston"]["losangeles"]; hou.Backup != want {
+		t.Fatalf("houston diverted via port %d, want losangeles (%d)", hou.Backup, want)
+	}
+	if f.Verify.Rejected == 0 || f.Verify.Repaired == 0 || f.Verify.Committed == 0 {
+		t.Fatalf("gate stats %+v, want a commit, a rejection and a repair", f.Verify)
+	}
+	if audit := f.Verifier().Audit(); !audit.Safe() {
+		t.Fatalf("post-run audit unsafe: %s", audit)
+	}
+	// The repaired detour (…→houston→losangeles→sunnyvale→denver→kansascity)
+	// must actually deliver the tail of the flow.
+	if delivered < 1000 {
+		t.Fatalf("only %d packets delivered; repaired detour not carrying traffic", delivered)
+	}
+}
+
+// TestVerifiedHoldAndRetry is the scenario with no safe alternate: for
+// traffic to denver, sunnyvale's backup (seattle) loops once seattle has
+// diverted via sunnyvale, and its only alternate (losangeles) default-routes
+// to denver through sunnyvale — also a loop. The flip must hold, commit
+// nothing unsafe, and go through the moment the operator rolls seattle back.
+func TestVerifiedHoldAndRetry(t *testing.T) {
+	s := sim.New(42)
+	const entry = netsim.EntryID(10)
+	n := abileneHosts(t, s, map[netsim.EntryID]string{entry: "h-denver"},
+		"denver", "seattle", "sunnyvale")
+	cfg := verifiedCfg(entry)
+	cfg.Verify.MaxRetries = 1000 // the test drives the unblock explicitly
+	f, err := New(s, n, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustProtect(t, f, n, "seattle", entry, "denver", "sunnyvale")
+	sun := mustProtect(t, f, n, "sunnyvale", entry, "denver", "seattle")
+
+	udp(n, "h-seattle", entry, 2e6, 4*sim.Second)
+	udp(n, "h-sunnyvale", entry, 2e6, 8*sim.Second)
+	// Staggered failures so seattle commits first and sunnyvale's backup is
+	// provably unsafe by the time it localizes.
+	n.Direction("seattle", "denver").SetFailure(
+		netsim.FailEntries(43, 1*sim.Second, 1.0, entry))
+	n.Direction("sunnyvale", "denver").SetFailure(
+		netsim.FailEntries(44, 2500*sim.Millisecond, 1.0, entry))
+
+	s.Run(4 * sim.Second)
+	if !f.Rerouted("seattle", entry) {
+		t.Fatal("seattle's safe commit missing")
+	}
+	if f.Rerouted("sunnyvale", entry) {
+		t.Fatal("sunnyvale committed despite having no safe next hop")
+	}
+	if !hasEvent(f, EventRerouteHeld, "") || f.HeldCommits() != 1 {
+		t.Fatalf("flip not held: held-events=%v pending=%d",
+			hasEvent(f, EventRerouteHeld, ""), f.HeldCommits())
+	}
+	if audit := f.Verifier().Audit(); !audit.Safe() {
+		t.Fatalf("audit unsafe while holding: %s", audit)
+	}
+
+	// Operator rolls seattle back (its link is repaired out-of-band): the
+	// conflicting reroute disappears and the held flip must commit on the
+	// immediate re-check.
+	s.ScheduleAt(5*sim.Second, func() { f.RestoreEntry("seattle", entry) })
+	s.Run(8 * sim.Second)
+
+	if !f.Rerouted("sunnyvale", entry) {
+		t.Fatal("held flip did not commit after the conflicting reroute rolled back")
+	}
+	if want := n.PortOf["sunnyvale"]["seattle"]; sun.Backup != want {
+		t.Fatalf("sunnyvale diverted via port %d, want seattle (%d)", sun.Backup, want)
+	}
+	if f.HeldCommits() != 0 && f.Verify.Abandoned == 0 {
+		t.Fatalf("hold list not drained: %d pending", f.HeldCommits())
+	}
+	if f.Verify.Held == 0 || f.Verify.Committed < 2 {
+		t.Fatalf("gate stats %+v, want a hold and two commits", f.Verify)
+	}
+	if audit := f.Verifier().Audit(); !audit.Safe() {
+		t.Fatalf("post-run audit unsafe: %s", audit)
+	}
+}
+
+// TestVerifiedAbandonAfterRetries: a held flip with a tight retry budget is
+// dropped as a final rejection — and never re-parked by later evidence.
+func TestVerifiedAbandonAfterRetries(t *testing.T) {
+	s := sim.New(42)
+	const entry = netsim.EntryID(10)
+	n := abileneHosts(t, s, map[netsim.EntryID]string{entry: "h-denver"},
+		"denver", "seattle", "sunnyvale")
+	cfg := verifiedCfg(entry)
+	cfg.Verify.MaxRetries = 3
+	f, err := New(s, n, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustProtect(t, f, n, "seattle", entry, "denver", "sunnyvale")
+	mustProtect(t, f, n, "sunnyvale", entry, "denver", "seattle")
+
+	udp(n, "h-seattle", entry, 2e6, 8*sim.Second)
+	udp(n, "h-sunnyvale", entry, 2e6, 8*sim.Second)
+	n.Direction("seattle", "denver").SetFailure(
+		netsim.FailEntries(43, 1*sim.Second, 1.0, entry))
+	n.Direction("sunnyvale", "denver").SetFailure(
+		netsim.FailEntries(44, 2500*sim.Millisecond, 1.0, entry))
+	s.Run(8 * sim.Second)
+
+	if f.Verify.Abandoned != 1 || f.HeldCommits() != 0 {
+		t.Fatalf("gate stats %+v pending=%d, want exactly one abandoned hold",
+			f.Verify, f.HeldCommits())
+	}
+	if f.Rerouted("sunnyvale", entry) {
+		t.Fatal("abandoned flip still committed")
+	}
+	if f.Verify.Held != 1 {
+		t.Fatalf("held %d times, want once (later evidence must not re-park a decided key)",
+			f.Verify.Held)
+	}
+	if audit := f.Verifier().Audit(); !audit.Safe() {
+		t.Fatalf("post-run audit unsafe: %s", audit)
+	}
+}
+
+// TestVerifyFallbackUnavailable: with the verifier marked unavailable the
+// gate must not block recovery — the commit goes through unverified, is
+// counted as a fallback, and the model stays in sync for when verification
+// resumes.
+func TestVerifyFallbackUnavailable(t *testing.T) {
+	s := sim.New(42)
+	const entry = netsim.EntryID(10)
+	n := abileneHosts(t, s, map[netsim.EntryID]string{entry: "h-sunnyvale"},
+		"sunnyvale", "seattle")
+	f, err := New(s, n, verifiedCfg(entry))
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustProtect(t, f, n, "seattle", entry, "sunnyvale", "denver")
+	f.SetVerifierAvailable(false)
+
+	udp(n, "h-seattle", entry, 2e6, 8*sim.Second)
+	n.Direction("seattle", "sunnyvale").SetFailure(
+		netsim.FailEntries(7, 2*sim.Second, 1.0, entry))
+	s.Run(8 * sim.Second)
+
+	if !f.Rerouted("seattle", entry) {
+		t.Fatal("fallback mode blocked the reroute — verification made recovery worse")
+	}
+	if f.Verify.Fallbacks != 1 || f.Verify.Checked != 0 {
+		t.Fatalf("gate stats %+v, want one unchecked fallback commit", f.Verify)
+	}
+	if !hasEvent(f, EventVerifyFallback, "unavailable") {
+		t.Fatal("no verify-fallback event")
+	}
+	if !f.Snapshot().VerifyUnavailable {
+		t.Fatal("snapshot does not flag the unavailable verifier")
+	}
+	// The model tracked the unverified commit: the audit sees the diverted
+	// state, not the stale pre-commit one.
+	if audit := f.Verifier().Audit(); !audit.Safe() {
+		t.Fatalf("model out of sync after fallback: %s", audit)
+	}
+}
+
+// TestVerifiedHoldSurvivesRestart: correlator crash/restart mid-hold. The
+// held flip and the rejection must come back from the checkpoint — the
+// restarted incarnation keeps refusing the loop, and the operator unblock
+// still works.
+func TestVerifiedHoldSurvivesRestart(t *testing.T) {
+	s := sim.New(42)
+	const entry = netsim.EntryID(10)
+	n := abileneHosts(t, s, map[netsim.EntryID]string{entry: "h-denver"},
+		"denver", "seattle", "sunnyvale")
+	cfg := verifiedCfg(entry)
+	cfg.Verify.MaxRetries = 1000
+	f, err := New(s, n, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustProtect(t, f, n, "seattle", entry, "denver", "sunnyvale")
+	mustProtect(t, f, n, "sunnyvale", entry, "denver", "seattle")
+
+	udp(n, "h-seattle", entry, 2e6, 4*sim.Second)
+	udp(n, "h-sunnyvale", entry, 2e6, 9*sim.Second)
+	n.Direction("seattle", "denver").SetFailure(
+		netsim.FailEntries(43, 1*sim.Second, 1.0, entry))
+	n.Direction("sunnyvale", "denver").SetFailure(
+		netsim.FailEntries(44, 2500*sim.Millisecond, 1.0, entry))
+
+	s.ScheduleAt(3500*sim.Millisecond, f.CrashCorrelator)
+	s.ScheduleAt(4*sim.Second, f.RestartCorrelator)
+	s.Run(6 * sim.Second)
+
+	if f.HeldCommits() != 1 {
+		t.Fatalf("held flip lost across restart: pending=%d", f.HeldCommits())
+	}
+	if f.Rerouted("sunnyvale", entry) {
+		t.Fatal("restarted correlator committed the rejected loop")
+	}
+	if audit := f.Verifier().Audit(); !audit.Safe() {
+		t.Fatalf("audit unsafe after restart: %s", audit)
+	}
+
+	s.ScheduleAt(7*sim.Second, func() { f.RestoreEntry("seattle", entry) })
+	s.Run(9 * sim.Second)
+	if !f.Rerouted("sunnyvale", entry) {
+		t.Fatal("held flip did not commit after rollback, post-restart")
+	}
+	if audit := f.Verifier().Audit(); !audit.Safe() {
+		t.Fatalf("final audit unsafe: %s", audit)
+	}
+}
+
+// TestVerifiedNoDoubleCommitAcrossFailover: on the A—B—C line, B's only
+// backup for C-bound traffic is A — a loop, since A routes through B. The
+// gate rejects it; then the leader is killed. The new leader restores the
+// decision log from consensus and must keep refusing the flip for the rest
+// of the run, under continuing evidence replay.
+func TestVerifiedNoDoubleCommitAcrossFailover(t *testing.T) {
+	s := sim.New(7)
+	n, err := topo.Build(s, lineSpec(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	const entry = netsim.EntryID(10)
+	if err := n.InstallShortestPaths(map[netsim.EntryID]string{entry: "H2"}); err != nil {
+		t.Fatal(err)
+	}
+	cfg := replicatedCfg(0.2, entry)
+	cfg.Verify = &VerifyConfig{}
+	f, err := New(s, n, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	route := n.Switches["B"].Routes.InsertEntry(entry, netsim.Route{
+		Port: n.PortOf["B"]["C"], Backup: n.PortOf["B"]["A"]})
+	if err := f.Protect("B", entry, route); err != nil {
+		t.Fatal(err)
+	}
+
+	udp(n, "H1", entry, 2e6, 8*sim.Second)
+	const failAt = 2 * sim.Second
+	n.Direction("B", "C").SetFailure(netsim.FailEntries(9, failAt, 1.0, entry))
+	s.ScheduleAt(failAt+400*sim.Millisecond, func() { f.KillLeader() })
+	s.Run(8 * sim.Second)
+
+	if got := f.Localized(); len(got) != 1 || got[0] != "B->C" {
+		t.Fatalf("localized %v, want exactly [B->C]", got)
+	}
+	if f.Corr.Failovers == 0 {
+		t.Fatal("no failover happened; the scenario did not exercise takeover")
+	}
+	if f.Rerouted("B", entry) {
+		t.Fatal("a correlator incarnation committed the rejected loop")
+	}
+	if f.Verify.Rejected == 0 {
+		t.Fatalf("gate stats %+v, want at least one rejection", f.Verify)
+	}
+	if f.Verify.Committed > 0 || f.Verify.Repaired > 0 || f.Verify.Fallbacks > 0 {
+		t.Fatalf("gate stats %+v: something committed a flip with no safe candidate", f.Verify)
+	}
+	if audit := f.Verifier().Audit(); !audit.Safe() {
+		t.Fatalf("post-run audit unsafe: %s", audit)
+	}
+}

@@ -24,6 +24,7 @@ import (
 	"fancy/internal/mgmt"
 	"fancy/internal/netsim"
 	"fancy/internal/sim"
+	"fancy/internal/verify"
 )
 
 // errWire rejects malformed consensus bytes.
@@ -190,6 +191,21 @@ func encodeCheckpoint(w *wbuf, cp *Checkpoint) {
 		for _, s := range st.Above {
 			w.u64(s)
 		}
+	}
+
+	w.u64(uint64(len(cp.VerifyLog)))
+	for _, d := range cp.VerifyLog {
+		w.str(d.Key)
+		w.byte(d.Outcome)
+		w.u64(uint64(len(d.Frame)))
+		w.b = append(w.b, d.Frame...)
+	}
+	w.u64(uint64(len(cp.VerifyHeld)))
+	for _, h := range cp.VerifyHeld {
+		w.str(h.LinkKey)
+		w.str(h.Key)
+		w.u64(uint64(h.Entry))
+		w.i64(int64(h.Retries))
 	}
 }
 
@@ -473,6 +489,38 @@ func decodeCheckpoint(r *rbuf) *Checkpoint {
 				}
 			}
 			cp.Seq[prev] = st
+		}
+	}
+
+	if n := r.count(); n > 0 {
+		for i := 0; i < n && !r.bad; i++ {
+			d := VerifyDecision{Key: r.str(), Outcome: r.byte()}
+			if d.Outcome > verifyOutcomeMax {
+				r.fail()
+				break
+			}
+			if fn := r.count(); fn > 0 && !r.bad {
+				d.Frame = append([]byte(nil), r.b[:fn]...)
+				r.b = r.b[fn:]
+				// A frame must itself be a canonical delta; a forged or
+				// corrupted frame would otherwise be replayed into the
+				// verifier model after a failover.
+				if _, err := verify.DecodeDelta(d.Frame); err != nil {
+					r.fail()
+					break
+				}
+			}
+			cp.VerifyLog = append(cp.VerifyLog, d)
+		}
+	}
+	if n := r.count(); n > 0 {
+		for i := 0; i < n && !r.bad; i++ {
+			cp.VerifyHeld = append(cp.VerifyHeld, HeldReroute{
+				LinkKey: r.str(),
+				Key:     r.str(),
+				Entry:   netsim.EntryID(r.u32()),
+				Retries: int(r.i64()),
+			})
 		}
 	}
 	return cp

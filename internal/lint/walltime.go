@@ -21,6 +21,7 @@ var simFacingSegments = map[string]bool{
 	"reroute":   true,
 	"hh":        true,
 	"dataplane": true,
+	"verify":    true,
 }
 
 // walltimeBanned are the package-level time functions that read or wait on

@@ -78,6 +78,27 @@ func (t *RouteTable) Lookup(addr uint32) *Route {
 // Len reports the number of installed prefixes.
 func (t *RouteTable) Len() int { return t.n }
 
+// Walk visits every installed prefix in deterministic order (shorter prefix
+// before longer, then by address). The route pointer is the live handle, so
+// callers observe the current UseBackup state.
+func (t *RouteTable) Walk(fn func(addr uint32, plen int, route *Route)) {
+	walkTrie(t.root, 0, 0, fn)
+}
+
+func walkTrie(n *trieNode, addr uint32, depth int, fn func(uint32, int, *Route)) {
+	if n == nil {
+		return
+	}
+	if n.route != nil {
+		fn(addr, depth, n.route)
+	}
+	if depth == 32 {
+		return
+	}
+	walkTrie(n.children[0], addr, depth+1, fn)
+	walkTrie(n.children[1], addr|1<<(31-depth), depth+1, fn)
+}
+
 // InsertEntry installs a /24 route for an EntryID under the EntryAddr
 // addressing scheme, the common case in experiments.
 func (t *RouteTable) InsertEntry(e EntryID, route Route) *Route {

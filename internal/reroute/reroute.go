@@ -6,6 +6,8 @@
 package reroute
 
 import (
+	"sort"
+
 	"fancy/internal/fancy"
 	"fancy/internal/netsim"
 	"fancy/internal/sim"
@@ -82,6 +84,55 @@ func (a *App) reroute(entry netsim.EntryID) {
 	if a.OnReroute != nil {
 		a.OnReroute(entry, a.s.Now())
 	}
+}
+
+// Targets lists the protected entries ev would divert, sorted — the same
+// dispatch as HandleEvent without the side effect, so a correlator-side
+// commit gate can verify each flip before issuing it.
+func (a *App) Targets(ev fancy.Event) []netsim.EntryID {
+	if ev.Port != a.port {
+		return nil
+	}
+	var out []netsim.EntryID
+	switch ev.Kind {
+	case fancy.EventDedicated:
+		if _, ok := a.entries[ev.Entry]; ok {
+			out = append(out, ev.Entry)
+		}
+	case fancy.EventTreeLeaf:
+		out = append(out, a.byPath[pathKey(ev.Path)]...)
+	case fancy.EventUniform, fancy.EventLinkDown:
+		for e := range a.entries {
+			out = append(out, e)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Route returns the live route handle of a protected entry.
+func (a *App) Route(entry netsim.EntryID) (*netsim.Route, bool) {
+	r, ok := a.entries[entry]
+	return r, ok
+}
+
+// Divert flips one protected entry to its backup next hop: the verified
+// per-entry commit command. HandleEvent's whole-event dispatch is the
+// unverified path.
+func (a *App) Divert(entry netsim.EntryID) {
+	a.reroute(entry)
+}
+
+// SetBackup rewrites an entry's backup next hop — the correlator's repair
+// action when the configured backup would be unsafe. Reports whether the
+// entry is protected.
+func (a *App) SetBackup(entry netsim.EntryID, port int) bool {
+	route, ok := a.entries[entry]
+	if !ok {
+		return false
+	}
+	route.Backup = port
+	return true
 }
 
 // Restore reverts an entry to its primary route (e.g. after repair).

@@ -1,0 +1,50 @@
+package verify
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzDecodeVerifyDelta drives the delta-frame decoder with hostile input.
+// Properties (mirroring the fleet consensus codec fuzz): the decoder never
+// panics, every accepted frame re-encodes to the identical bytes (the
+// canonical-form invariant the replicated decision log depends on), and
+// the re-decode is idempotent.
+func FuzzDecodeVerifyDelta(f *testing.F) {
+	for _, d := range []*Delta{
+		{Link: "seattle->denver"},
+		NewDelta("atlanta->indianapolis", []Flip{EntryFlip("atlanta", 10, 2)}),
+		NewDelta("houston->kansascity", []Flip{
+			EntryFlip("houston", 10, 0),
+			EntryFlip("atlanta", 10, 1),
+			{Switch: "houston", Addr: 0xac100002, Plen: 32, Port: 3},
+		}),
+	} {
+		frame := EncodeDelta(d)
+		f.Add(frame)
+		f.Add(frame[:len(frame)/2]) // truncation
+		flipped := append([]byte(nil), frame...)
+		flipped[len(flipped)/2] ^= 0x40 // bitflip
+		f.Add(flipped)
+	}
+	f.Add([]byte{})
+	f.Add([]byte{deltaVersion})
+	f.Add([]byte{deltaVersion, 0xff, 0xff, 0xff})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		d, err := DecodeDelta(data)
+		if err != nil {
+			return
+		}
+		out := EncodeDelta(d)
+		if !bytes.Equal(out, data) {
+			t.Fatalf("accepted frame is not canonical:\n in %x\nout %x", data, out)
+		}
+		d2, err := DecodeDelta(out)
+		if err != nil {
+			t.Fatalf("re-decode failed: %v", err)
+		}
+		if !bytes.Equal(EncodeDelta(d2), out) {
+			t.Fatal("re-decode not idempotent")
+		}
+	})
+}

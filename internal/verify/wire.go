@@ -1,0 +1,193 @@
+package verify
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+
+	"fancy/internal/netsim"
+)
+
+// The delta frame is the replicated form of one gate decision: the fleet
+// stores it in the consensus checkpoint so a restarted or failed-over
+// correlator can replay committed flips into a fresh model. Same canonical
+// rules as the fleet consensus codec: one version byte, minimal varints,
+// strictly ascending flips, no trailing bytes — every accepted frame
+// re-encodes to the identical bytes (FuzzDecodeVerifyDelta's property).
+
+const deltaVersion = 1
+
+// Flip is one prefix's egress change at one switch.
+type Flip struct {
+	Switch string
+	Addr   uint32
+	Plen   int
+	Port   int
+}
+
+// EntryFlip builds the common case: diverting an EntryID's /24 under the
+// EntryAddr addressing scheme.
+func EntryFlip(sw string, e netsim.EntryID, port int) Flip {
+	return Flip{Switch: sw, Addr: uint32(e) << 8, Plen: 24, Port: port}
+}
+
+// Delta is one reroute commit: a set of flips attributed to a localized
+// link. NewDelta canonicalizes: flips sorted by (Switch, Addr, Plen), later
+// duplicates of the same prefix winning.
+type Delta struct {
+	Link  string
+	Flips []Flip
+}
+
+// NewDelta canonicalizes the flip set.
+func NewDelta(link string, flips []Flip) *Delta {
+	sort.SliceStable(flips, func(a, b int) bool {
+		if flips[a].Switch != flips[b].Switch {
+			return flips[a].Switch < flips[b].Switch
+		}
+		if flips[a].Addr != flips[b].Addr {
+			return flips[a].Addr < flips[b].Addr
+		}
+		return flips[a].Plen < flips[b].Plen
+	})
+	out := flips[:0]
+	for i, fl := range flips {
+		if i+1 < len(flips) {
+			n := flips[i+1]
+			if n.Switch == fl.Switch && n.Addr == fl.Addr && n.Plen == fl.Plen {
+				continue // superseded by the later flip
+			}
+		}
+		out = append(out, fl)
+	}
+	return &Delta{Link: link, Flips: out}
+}
+
+// EncodeDelta emits the canonical frame.
+func EncodeDelta(d *Delta) []byte {
+	b := []byte{deltaVersion}
+	b = appendStr(b, d.Link)
+	b = binary.AppendUvarint(b, uint64(len(d.Flips)))
+	for _, fl := range d.Flips {
+		b = appendStr(b, fl.Switch)
+		b = binary.AppendUvarint(b, uint64(fl.Addr))
+		b = append(b, byte(fl.Plen))
+		b = binary.AppendVarint(b, int64(fl.Port))
+	}
+	return b
+}
+
+func appendStr(b []byte, s string) []byte {
+	b = binary.AppendUvarint(b, uint64(len(s)))
+	return append(b, s...)
+}
+
+// DecodeDelta parses a frame, rejecting every non-canonical encoding:
+// wrong version, non-minimal varints, out-of-range fields, flips not in
+// strictly ascending (Switch, Addr, Plen) order, or trailing bytes.
+func DecodeDelta(data []byte) (*Delta, error) {
+	r := &deltaReader{b: data}
+	if v := r.byte(); v != deltaVersion {
+		return nil, fmt.Errorf("verify: bad delta version %d", v)
+	}
+	d := &Delta{Link: r.str()}
+	n := r.count()
+	for i := 0; i < n && !r.bad; i++ {
+		fl := Flip{Switch: r.str()}
+		addr := r.u64()
+		if addr > 0xffffffff {
+			r.fail()
+			break
+		}
+		fl.Addr = uint32(addr)
+		fl.Plen = int(r.byte())
+		if fl.Plen > 32 {
+			r.fail()
+			break
+		}
+		fl.Port = int(r.i64())
+		if i > 0 {
+			p := d.Flips[i-1]
+			if fl.Switch < p.Switch ||
+				(fl.Switch == p.Switch && fl.Addr < p.Addr) ||
+				(fl.Switch == p.Switch && fl.Addr == p.Addr && fl.Plen <= p.Plen) {
+				r.fail()
+				break
+			}
+		}
+		d.Flips = append(d.Flips, fl)
+	}
+	if r.bad || len(r.b) != 0 {
+		return nil, fmt.Errorf("verify: malformed delta frame")
+	}
+	return d, nil
+}
+
+// deltaReader mirrors the fleet codec's strict reader: any malformed field
+// poisons the rest of the parse.
+type deltaReader struct {
+	b   []byte
+	bad bool
+}
+
+func (r *deltaReader) fail() {
+	r.bad = true
+	r.b = nil
+}
+
+func (r *deltaReader) byte() byte {
+	if r.bad || len(r.b) == 0 {
+		r.fail()
+		return 0
+	}
+	v := r.b[0]
+	r.b = r.b[1:]
+	return v
+}
+
+func (r *deltaReader) u64() uint64 {
+	if r.bad {
+		return 0
+	}
+	v, n := binary.Uvarint(r.b)
+	if n <= 0 || (n > 1 && r.b[n-1] == 0) { // reject non-minimal encodings
+		r.fail()
+		return 0
+	}
+	r.b = r.b[n:]
+	return v
+}
+
+func (r *deltaReader) i64() int64 {
+	if r.bad {
+		return 0
+	}
+	v, n := binary.Varint(r.b)
+	if n <= 0 || (n > 1 && r.b[n-1] == 0) {
+		r.fail()
+		return 0
+	}
+	r.b = r.b[n:]
+	return v
+}
+
+// count reads a collection length, bounded by the remaining input so a
+// hostile frame cannot force a huge allocation.
+func (r *deltaReader) count() int {
+	v := r.u64()
+	if r.bad || v > uint64(len(r.b)) {
+		r.fail()
+		return 0
+	}
+	return int(v)
+}
+
+func (r *deltaReader) str() string {
+	n := r.count()
+	if r.bad {
+		return ""
+	}
+	s := string(r.b[:n])
+	r.b = r.b[n:]
+	return s
+}

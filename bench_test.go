@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"fancy/internal/exp"
+	"fancy/internal/netsim"
 )
 
 const benchSeed = 20220822 // SIGCOMM'22 started on August 22
@@ -257,6 +258,12 @@ func TestBenchArtifact(t *testing.T) {
 			return time.Since(epoch).Seconds() //lint:allow walltime stopwatch read for the latency cell, measured outside the simulator
 		})}
 	})
+	stamp(func() []exp.BenchCell {
+		epoch := time.Now() //lint:allow walltime stopwatch epoch for the sim-core cells, measured outside the simulator
+		return exp.SimCoreBenchCells(benchSeed, func() float64 {
+			return time.Since(epoch).Seconds() //lint:allow walltime stopwatch read for the sim-core cells, measured outside the simulator
+		})
+	})
 	if err := exp.WriteBenchJSON("BENCH_fleet.json", cells); err != nil {
 		t.Fatal(err)
 	}
@@ -280,4 +287,81 @@ func BenchmarkDetectorHotPath(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	s.Run(Time(b.N) * Millisecond)
+}
+
+// BenchmarkSimEventChurn measures the engine's steady-state event cycle:
+// one self-rescheduling After chain, pop + execute + recycle per iteration.
+// The pooled engine must not allocate here.
+func BenchmarkSimEventChurn(b *testing.B) {
+	s := NewSim(1)
+	n := 0
+	var tick func()
+	tick = func() {
+		n++
+		s.After(Microsecond, tick)
+	}
+	s.After(Microsecond, tick)
+	b.ReportAllocs()
+	b.ResetTimer()
+	s.Run(Time(b.N) * Microsecond)
+	if n < b.N {
+		b.Fatalf("executed %d ticks, want ≥ %d", n, b.N)
+	}
+}
+
+// BenchmarkSimTimerStop measures schedule + cancel of a long-horizon timer,
+// the Timer.Stop O(log n) removal path that used to leak cancelled events.
+func BenchmarkSimTimerStop(b *testing.B) {
+	s := NewSim(1)
+	nop := func() {}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tm := s.ScheduleTimer(Second, nop)
+		tm.Stop()
+	}
+	if s.Pending() != 0 {
+		b.Fatalf("leaked %d events", s.Pending())
+	}
+}
+
+// BenchmarkSimHeap measures raw heap throughput under a deep queue: 1024
+// staggered self-rescheduling chains keep the 4-ary heap realistically
+// loaded while events push and pop past each other.
+func BenchmarkSimHeap(b *testing.B) {
+	s := NewSim(1)
+	const chains = 1024
+	for i := 0; i < chains; i++ {
+		period := Time(1000 + i) // staggered so chains interleave
+		var tick func()
+		tick = func() { s.After(period, tick) }
+		s.After(period, tick)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	s.Run(Time(b.N) * 2000)
+}
+
+// BenchmarkLinkLane measures the per-packet cost of the serialized per-link
+// lane with pooling: send, serialize, propagate, deliver, recycle.
+func BenchmarkLinkLane(b *testing.B) {
+	s := NewSim(1)
+	src := NewHost(s, "src")
+	dst := NewHost(s, "dst")
+	l := Connect(s, src, 0, dst, 0, netsim.LinkConfig{
+		Delay: Millisecond, RateBps: 100e9, QueueBytes: 1 << 24,
+	})
+	pool := netsim.NewPacketPool()
+	src.SetPool(pool)
+	dst.SetPool(pool)
+	l.SetPool(pool)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pkt := pool.Get()
+		pkt.Proto = netsim.ProtoUDP
+		pkt.Size = 1000
+		src.Send(pkt)
+		s.Run(0)
+	}
 }

@@ -7,6 +7,7 @@
 //	fancy-bench -exp fig7,table3
 //	fancy-bench -exp all -full                      # paper-scale parameters (slow)
 //	fancy-bench -exp fleet,hh-churn -bench-json BENCH_fleet.json
+//	fancy-bench -exp fleet -full -workers 4        # parallel fleet trials
 //
 // Each experiment prints the same rows/series the paper reports; see
 // EXPERIMENTS.md for the paper-vs-measured record. -bench-json
@@ -36,7 +37,10 @@ func text(fn func(scale exp.Scale, seed int64) string) func(exp.Scale, int64) (s
 	return func(s exp.Scale, seed int64) (string, []exp.BenchCell) { return fn(s, seed), nil }
 }
 
-func experiments() []experiment {
+// experiments builds the registry. workers sets the trial-level
+// parallelism of the fleet sweeps (1 = sequential; results are
+// byte-identical for every value).
+func experiments(workers int) []experiment {
 	return []experiment{
 		{"table2", "LossRadar requirements vs switch capabilities (§2.3)",
 			text(func(exp.Scale, int64) string { return exp.Table2() })},
@@ -73,14 +77,14 @@ func experiments() []experiment {
 			text(func(s exp.Scale, seed int64) string { return exp.Figure10(s, seed).Render() })},
 		{"fleet", "ISP-wide fleet: Abilene gray-link localization + gated reroute",
 			func(s exp.Scale, seed int64) (string, []exp.BenchCell) {
-				r := exp.FleetAbilene(s, seed)
+				r := exp.FleetAbileneWorkers(s, seed, false, workers)
 				return r.Render(), r.BenchCells(seed)
 			}},
 		{"fleet-chaos", "fleet survivability: localization vs mgmt-plane loss + correlator crash",
 			text(func(s exp.Scale, seed int64) string { return exp.FleetChaos(s, seed).Render() })},
 		{"fleet-verified", "fleet localization sweep with the verified-commit gate on",
 			func(s exp.Scale, seed int64) (string, []exp.BenchCell) {
-				r := exp.FleetAbileneVerified(s, seed)
+				r := exp.FleetAbileneWorkers(s, seed, true, workers)
 				return r.Render(), r.BenchCells(seed)
 			}},
 		{"verified-reroute", "verified reroute: concurrent-failure chaos suite + check latency",
@@ -120,10 +124,14 @@ func main() {
 		full      = flag.Bool("full", false, "paper-scale parameters (slow)")
 		seed      = flag.Int64("seed", 20220822, "random seed")
 		benchJSON = flag.String("bench-json", "", "write benchmark cells (TTL medians + wall-clock) to this JSON file")
+		workers   = flag.Int("workers", 1, "trial-level parallelism of the fleet sweeps (same results at any value)")
 	)
 	flag.Parse()
+	if *workers < 1 {
+		*workers = 1
+	}
 
-	all := experiments()
+	all := experiments(*workers)
 	if *list {
 		for _, e := range all {
 			fmt.Printf("%-10s %s\n", e.name, e.desc)

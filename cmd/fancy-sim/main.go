@@ -42,6 +42,7 @@ func main() {
 		exchange  = flag.Duration("exchange", 50*time.Millisecond, "dedicated exchange interval")
 		seed      = flag.Int64("seed", 1, "random seed")
 		watch     = flag.Bool("watch", false, "stream telemetry samples during the run")
+		pool      = flag.Bool("pool", true, "recycle data packets through a pool (allocation-free datapath)")
 
 		chaosCorrupt = flag.Float64("chaos-corrupt", 0, "probability of flipping a bit in each control message (both directions)")
 		chaosDup     = flag.Float64("chaos-dup", 0, "probability of duplicating each delivered packet")
@@ -75,6 +76,10 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Printf("layout: %s\n", ml.Upstream.Layout)
+	var pktPool *fancy.PacketPool
+	if *pool {
+		pktPool = ml.UsePool()
+	}
 
 	if *watch {
 		srv := telemetry.NewServer(s, ml.Upstream, ml.MonitorPort())
@@ -131,7 +136,18 @@ func main() {
 			*chaosCorrupt*100, *chaosDup*100, *chaosReorder*100, *chaosFlapAt, *chaosFlapFor)
 	}
 
+	wallStart := time.Now()
 	s.Run(stop)
+	wall := time.Since(wallStart).Seconds()
+
+	// Stdout is the deterministic transcript (same seed => byte-identical),
+	// so host wall-clock timing goes to stderr.
+	fmt.Printf("\nengine: %d events executed\n", s.Executed)
+	if pktPool != nil && pktPool.Gets > 0 {
+		fmt.Printf("packet pool: %d gets, %.1f%% recycled\n",
+			pktPool.Gets, 100*float64(pktPool.Reuses)/float64(pktPool.Gets))
+	}
+	fmt.Fprintf(os.Stderr, "wall: %.2fs (%.1f Mev/s)\n", wall, float64(s.Executed)/wall/1e6)
 
 	fmt.Println("\nfinal flags:")
 	for i := 0; i < *entries; i++ {

@@ -12,6 +12,8 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
+	"sync/atomic"
 
 	"fancy/internal/fancy"
 	"fancy/internal/fancy/tree"
@@ -91,7 +93,7 @@ var quickFleetLinks = []topo.DirectedLink{
 // FleetAbilene runs the fleet scenario: Quick targets a 3-link subsample,
 // Full targets every directed link of Abilene (28 trials).
 func FleetAbilene(scale Scale, seed int64) *FleetResult {
-	return fleetAbilene(scale, seed, false)
+	return FleetAbileneWorkers(scale, seed, false, 1)
 }
 
 // FleetAbileneVerified is FleetAbilene with the verified-commit gate on
@@ -99,10 +101,14 @@ func FleetAbilene(scale Scale, seed int64) *FleetResult {
 // indistinguishable from the ungated sweep — verification is free when the
 // requested backup is safe.
 func FleetAbileneVerified(scale Scale, seed int64) *FleetResult {
-	return fleetAbilene(scale, seed, true)
+	return FleetAbileneWorkers(scale, seed, true, 1)
 }
 
-func fleetAbilene(scale Scale, seed int64, verified bool) *FleetResult {
+// FleetAbileneWorkers runs the sweep's independent trials on up to workers
+// OS threads. Each trial is its own simulator, seeded from the trial index
+// alone and written to its own result slot, so the sweep is byte-identical
+// for every worker count — parallelism here is pure wall-clock.
+func FleetAbileneWorkers(scale Scale, seed int64, verified bool, workers int) *FleetResult {
 	var targets []topo.DirectedLink
 	if scale == Full {
 		spec := topo.Abilene()
@@ -122,9 +128,32 @@ func fleetAbilene(scale Scale, seed int64, verified bool) *FleetResult {
 	}
 	res := &FleetResult{Scale: scale, Verified: verified}
 	duration := pick(scale, 3*sim.Second, 5*sim.Second)
-	for i, dl := range targets {
-		res.Rows = append(res.Rows, fleetTrial(seed+int64(i), dl, duration, verified))
+	res.Rows = make([]FleetRow, len(targets))
+	if workers > len(targets) {
+		workers = len(targets)
 	}
+	if workers <= 1 {
+		for i, dl := range targets {
+			res.Rows[i] = fleetTrial(seed+int64(i), dl, duration, verified)
+		}
+		return res
+	}
+	var wg sync.WaitGroup
+	next := int64(-1)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(atomic.AddInt64(&next, 1))
+				if i >= len(targets) {
+					return
+				}
+				res.Rows[i] = fleetTrial(seed+int64(i), targets[i], duration, verified)
+			}
+		}()
+	}
+	wg.Wait()
 	return res
 }
 
@@ -174,8 +203,10 @@ func fleetTrial(seed int64, dl topo.DirectedLink, duration sim.Time, verified bo
 		}
 	}
 
-	traffic.NewUDPSource(s, n.Hosts["hsrc"], netsim.FlowID(entry), entry,
-		netsim.EntryAddr(entry, 1), 2e6, 1000, duration).Start()
+	src := traffic.NewUDPSource(s, n.Hosts["hsrc"], netsim.FlowID(entry), entry,
+		netsim.EntryAddr(entry, 1), 2e6, 1000, duration)
+	src.Pool = n.UsePool()
+	src.Start()
 	const failAt = sim.Second
 	n.Direction(dl.From, dl.To).SetFailure(netsim.FailEntries(seed+1, failAt, 1.0, entry))
 	s.Run(duration)

@@ -1,0 +1,48 @@
+package exp
+
+import "testing"
+
+// TestFleetWorkersByteIdentical pins the trial-level parallel sweep to the
+// sequential one: every worker count must render the exact same table —
+// same localizations, same TTLs, same suppression counts — because each
+// trial owns its simulator and its result slot, and seeding depends only on
+// the trial index.
+func TestFleetWorkersByteIdentical(t *testing.T) {
+	const seed = 20220822
+	want := FleetAbileneWorkers(Quick, seed, false, 1).Render()
+	for _, workers := range []int{2, 4, 7} {
+		got := FleetAbileneWorkers(Quick, seed, false, workers).Render()
+		if got != want {
+			t.Errorf("workers=%d diverged from sequential:\n--- sequential\n%s--- workers=%d\n%s",
+				workers, want, workers, got)
+		}
+	}
+	// The verified-gate variant must hold the same property.
+	wantV := FleetAbileneWorkers(Quick, seed, true, 1).Render()
+	if got := FleetAbileneWorkers(Quick, seed, true, 4).Render(); got != wantV {
+		t.Error("verified sweep diverged between 1 and 4 workers")
+	}
+}
+
+// TestSimCoreBenchCells checks the cells are well-formed and that the
+// embedded sequential-vs-parallel cross-check passes (it panics on
+// divergence).
+func TestSimCoreBenchCells(t *testing.T) {
+	var tick float64
+	now := func() float64 { tick += 0.001; return tick }
+	cells := SimCoreBenchCells(20220822, now)
+	if len(cells) != 2 {
+		t.Fatalf("got %d cells, want 2", len(cells))
+	}
+	for _, c := range cells {
+		if c.Experiment != "sim-core" || c.WallSeconds <= 0 {
+			t.Errorf("degenerate cell: %+v", c)
+		}
+		if c.Values["wallclock"] != 1 {
+			t.Errorf("%s: missing wallclock marker", c.Cell)
+		}
+		if c.Values["exact"] != c.Values["trials"] {
+			t.Errorf("%s: localization regression: %+v", c.Cell, c.Values)
+		}
+	}
+}

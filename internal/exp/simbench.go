@@ -1,0 +1,61 @@
+package exp
+
+// Sim-core benchmark cells: wall-clock of the fleet sweep on the pooled
+// sequential engine and with trial-level parallel workers. These are the
+// regression cells for the event-engine optimizations (event/packet
+// pooling, per-link lanes, the 4-ary heap): simulated results are
+// byte-identical across all of them, so the only signal is wall time.
+//
+// exp code may not read the host clock (the walltime vet check), so the
+// caller injects a stopwatch — a func returning elapsed host seconds —
+// exactly like VerifyLatencyCell.
+
+import "fmt"
+
+// SimCoreBenchCells times the Quick-scale fleet sweep sequentially and
+// with 4 trial-level workers using the injected stopwatch, and verifies the
+// two produce identical results before reporting. The cells carry
+// Values["wallclock"]=1: the benchgate then holds their latency to an
+// absolute budget instead of comparing simulated TTLs.
+func SimCoreBenchCells(seed int64, now func() float64) []BenchCell {
+	var cells []BenchCell
+	var seqRender string
+	for _, cfg := range []struct {
+		cell    string
+		workers int
+	}{
+		{"fleet-seq", 1},
+		{"fleet-par4", 4},
+	} {
+		start := now()
+		r := FleetAbileneWorkers(Quick, seed, false, cfg.workers)
+		wall := now() - start
+		rendered := r.Render()
+		if cfg.workers == 1 {
+			seqRender = rendered
+		} else if rendered != seqRender {
+			panic(fmt.Sprintf("exp: fleet sweep with %d workers diverged from sequential", cfg.workers))
+		}
+		exact := 0
+		for _, row := range r.Rows {
+			if row.Exact {
+				exact++
+			}
+		}
+		cells = append(cells, BenchCell{
+			Experiment:  "sim-core",
+			Cell:        cfg.cell,
+			Scale:       Quick.String(),
+			Seed:        seed,
+			WallSeconds: wall,
+			TTLMedianMs: wall * 1e3, // host latency; budget-gated via wallclock=1
+			Values: map[string]float64{
+				"wallclock": 1,
+				"workers":   float64(cfg.workers),
+				"exact":     float64(exact),
+				"trials":    float64(len(r.Rows)),
+			},
+		})
+	}
+	return cells
+}

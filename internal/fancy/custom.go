@@ -31,6 +31,8 @@ type CustomSender interface {
 	// packet untagged and uncounted this session.
 	Observe(pkt *netsim.Packet) (tag wire.Tag, ok bool)
 	// HandleReport receives the downstream's state at session close.
+	// state is borrowed from the control-message parse scratch and is only
+	// valid for the duration of the call; copy it to retain it.
 	HandleReport(state []uint64)
 }
 
@@ -68,7 +70,7 @@ func (d *Detector) MonitorCustom(port int, interval sim.Time, cs CustomSender) u
 		counters: &customSenderAdapter{cs},
 	}
 	m.custom = append(m.custom, fsm)
-	d.s.Schedule(0, fsm.startSession)
+	d.s.After(0, fsm.startSession)
 	return unit
 }
 

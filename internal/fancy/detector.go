@@ -53,6 +53,10 @@ type Detector struct {
 
 	stats DetectorStats
 
+	// ctlScratch is the reusable parse target for inbound control messages
+	// (see OnIngress); its slice capacity is recycled across messages.
+	ctlScratch wire.Message
+
 	customRecv map[uint32]CustomReceiver
 
 	// OnEvent receives every detection event (required for experiments;
@@ -84,9 +88,10 @@ type portMonitor struct {
 	freeDyn []int
 
 	// Heavy-hitter stage state (cfg.HH != nil).
-	hh      *hh.Sketch
-	hhTimer *sim.Timer
-	hhSeq   uint32
+	hh       *hh.Sketch
+	hhTimer  sim.Timer
+	hhTickFn func()
+	hhSeq    uint32
 
 	// downUnits counts sub-state-machines currently reporting the link as
 	// unresponsive; EventLinkDown fires on the 0→1 transition only, so a
@@ -184,7 +189,7 @@ func (d *Detector) startMonitor(m *portMonitor, port int) {
 		}
 		m.dedicated = append(m.dedicated, fsm)
 		delay := sim.Time(int64(d.cfg.ExchangeInterval) * int64(slot) / int64(max(n, 1)))
-		d.s.Schedule(delay, fsm.startSession)
+		d.s.After(delay, fsm.startSession)
 	}
 	// Dynamic slots start free; Promote fills them. After a restart the
 	// dataplane state is gone, so any previous assignment is forgotten —
@@ -201,7 +206,10 @@ func (d *Detector) startMonitor(m *portMonitor, port int) {
 		p.Seed = hh.PortSeed(p.Seed, port)
 		m.hh = hh.NewSketch(p)
 		m.hhTimer.Stop()
-		m.hhTimer = d.s.Schedule(d.cfg.HH.ReportInterval, func() { d.hhTick(m, port) })
+		if m.hhTickFn == nil {
+			m.hhTickFn = func() { d.hhTick(m, port) }
+		}
+		m.hhTimer = d.s.ScheduleTimer(d.cfg.HH.ReportInterval, m.hhTickFn)
 	}
 	m.treeCnt = newTreeSender(d, port, d.cfg.Tree, d.cfg.TreeSeed)
 	m.tree = &senderFSM{
@@ -209,7 +217,7 @@ func (d *Detector) startMonitor(m *portMonitor, port int) {
 		interval: d.cfg.ZoomingInterval,
 		counters: m.treeCnt,
 	}
-	d.s.Schedule(0, m.tree.startSession)
+	d.s.After(0, m.tree.startSession)
 }
 
 // Restart models a device reboot: all protocol and counter state is wiped,
@@ -257,7 +265,7 @@ func (d *Detector) Restart() {
 				interval: old.interval, counters: old.counters,
 			}
 			m.custom = append(m.custom, fsm)
-			d.s.Schedule(0, fsm.startSession)
+			d.s.After(0, fsm.startSession)
 		}
 	}
 	for _, l := range d.listeners {
@@ -431,7 +439,7 @@ func (d *Detector) LinkDown(port int) bool {
 // its wire size. Control packets occupy at least a minimum-size Ethernet
 // frame (64 B), the figure the paper's overhead analysis uses.
 func (d *Detector) sendControl(port int, m *wire.Message) int {
-	buf := m.Marshal(nil)
+	buf := m.Marshal(make([]byte, 0, m.WireSize()))
 	size := len(buf)
 	if size < 64 {
 		size = 64
@@ -454,7 +462,12 @@ func (d *Detector) OnIngress(pkt *netsim.Packet, port int) bool {
 		if pkt.Dst != 0 && pkt.Dst != d.ownAddr {
 			return false // someone else's session in transit: forward it
 		}
-		m, _, err := wire.Unmarshal(pkt.Ctl)
+		// Parse into the per-detector scratch message: control handling is
+		// synchronous and the one retaining consumer (treeReceiver's zoom
+		// configuration) copies what it keeps, so the scratch — and its
+		// Counters/Targets capacity — is reused for every message.
+		m := &d.ctlScratch
+		_, err := wire.UnmarshalInto(pkt.Ctl, m)
 		if err != nil {
 			// Corrupted control message (failed checksum or malformed
 			// framing): drop it and let the stop-and-wait retransmission

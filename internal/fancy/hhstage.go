@@ -31,7 +31,7 @@ func (d *Detector) hhTick(m *portMonitor, port int) {
 	if d.OnHHReport != nil {
 		d.OnHHReport(port, hh.EncodeReport(rep))
 	}
-	m.hhTimer = d.s.Schedule(d.cfg.HH.ReportInterval, func() { d.hhTick(m, port) })
+	m.hhTimer = d.s.ScheduleTimer(d.cfg.HH.ReportInterval, m.hhTickFn)
 }
 
 // Promote assigns entry a dynamic dedicated-counter slot on the monitored
@@ -62,7 +62,7 @@ func (d *Detector) Promote(port int, entry netsim.EntryID) (int, error) {
 	}
 	m.dedicated[slot] = fsm
 	d.stats.Promotions++
-	d.s.Schedule(0, fsm.startSession)
+	d.s.After(0, fsm.startSession)
 	return slot, nil
 }
 

@@ -37,6 +37,7 @@ type QueueGuard struct {
 	s         *sim.Sim
 	threshold int
 	interval  sim.Time
+	sampleFn  func() // bound once so resampling does not allocate
 
 	watched []*netsim.LinkEnd
 	windows []guardWindow
@@ -55,7 +56,8 @@ func NewQueueGuard(s *sim.Sim, thresholdBytes int, interval sim.Time) *QueueGuar
 		interval = 5 * sim.Millisecond
 	}
 	g := &QueueGuard{s: s, threshold: thresholdBytes, interval: interval}
-	s.Schedule(interval, g.sample)
+	g.sampleFn = g.sample
+	s.After(interval, g.sampleFn)
 	return g
 }
 
@@ -81,7 +83,7 @@ func (g *QueueGuard) sample() {
 			g.windows = append(g.windows, w)
 		}
 	}
-	g.s.Schedule(g.interval, g.sample)
+	g.s.After(g.interval, g.sampleFn)
 }
 
 // Congested implements CongestionGuard.

@@ -55,9 +55,14 @@ type senderFSM struct {
 	state      senderState
 	session    uint32
 	attempts   int
-	rtx        *sim.Timer
-	sessEnd    *sim.Timer
+	rtx        sim.Timer
+	sessEnd    sim.Timer
 	countStart sim.Time
+
+	// Bound once, lazily: rearming the recurring timers with prebound
+	// callbacks keeps the steady-state session loop allocation-free.
+	onRtxFn       func()
+	endCountingFn func()
 
 	lastTargets []wire.ZoomTarget
 	linkDown    bool
@@ -115,8 +120,11 @@ func (f *senderFSM) sendCtl(m *wire.Message) {
 }
 
 func (f *senderFSM) armRtx() {
+	if f.onRtxFn == nil {
+		f.onRtxFn = f.onRtx
+	}
 	f.rtx.Stop()
-	f.rtx = f.det.s.Schedule(f.det.cfg.Trtx, f.onRtx)
+	f.rtx = f.det.s.ScheduleTimer(f.det.cfg.Trtx, f.onRtxFn)
 }
 
 func (f *senderFSM) onRtx() {
@@ -145,7 +153,7 @@ func (f *senderFSM) onRtx() {
 		}
 		f.sendStart()
 		f.rtx.Stop()
-		f.rtx = f.det.s.Schedule(f.backoff, f.onRtx)
+		f.rtx = f.det.s.ScheduleTimer(f.backoff, f.onRtxFn)
 		return
 	}
 	switch f.state {
@@ -189,7 +197,10 @@ func (f *senderFSM) onControl(m *wire.Message) {
 		f.attempts = 0
 		f.state = sCounting
 		f.countStart = f.det.s.Now()
-		f.sessEnd = f.det.s.Schedule(f.interval, f.endCounting)
+		if f.endCountingFn == nil {
+			f.endCountingFn = f.endCounting
+		}
+		f.sessEnd = f.det.s.ScheduleTimer(f.interval, f.endCountingFn)
 	case wire.MsgReport:
 		if f.state != sWaitReport {
 			return
@@ -285,14 +296,15 @@ type receiverFSM struct {
 	unit     uint16
 	counters receiverCounters
 
-	state      receiverState
-	session    uint32
-	epoch      uint8 // adopted from the upstream's Start, echoed back
-	haveSess   bool
-	tagged     uint64 // tagged packets counted this session
-	lastReport []uint64
-	twait      *sim.Timer
-	dead       bool
+	state        receiverState
+	session      uint32
+	epoch        uint8 // adopted from the upstream's Start, echoed back
+	haveSess     bool
+	tagged       uint64 // tagged packets counted this session
+	lastReport   []uint64
+	twait        sim.Timer
+	sendReportFn func()
+	dead         bool
 }
 
 // kill retires the FSM (device restart).
@@ -343,7 +355,10 @@ func (f *receiverFSM) onControl(m *wire.Message) {
 			// Keep counting for Twait to absorb delayed or reordered
 			// tagged packets (the WaitToSendCounter state of §4.1).
 			f.state = rWaitToSend
-			f.twait = f.det.s.Schedule(f.det.cfg.Twait, f.sendReport)
+			if f.sendReportFn == nil {
+				f.sendReportFn = f.sendReport
+			}
+			f.twait = f.det.s.ScheduleTimer(f.det.cfg.Twait, f.sendReportFn)
 		case rIdle:
 			// Retransmitted Stop: our Report was lost; resend it.
 			f.resendReport()

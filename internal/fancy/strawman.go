@@ -83,7 +83,7 @@ func NewStrawmanSender(s *sim.Sim, sw *netsim.Switch, port int, cfg StrawmanConf
 	snd.history = append(snd.history, strawSession{id: snd.session})
 	sw.AddEgressHook(snd)
 	sw.RefreshEgressHooks()
-	s.Schedule(cfg.Interval, snd.rollover)
+	s.After(cfg.Interval, snd.rollover)
 	return snd
 }
 
@@ -113,7 +113,7 @@ func (snd *StrawmanSender) rollover() {
 			snd.Lost++
 		}
 	}
-	snd.s.Schedule(snd.cfg.Interval, snd.rollover)
+	snd.s.After(snd.cfg.Interval, snd.rollover)
 }
 
 // HandleReport processes a downstream counter report for a session.
@@ -237,7 +237,7 @@ func (rcv *StrawmanReceiver) report(session uint32) {
 		rcv.ReportsLost++
 		return
 	}
-	rcv.s.Schedule(10*sim.Millisecond, func() {
+	rcv.s.After(10*sim.Millisecond, func() {
 		for _, sc := range payload {
 			rcv.peer.HandleReport(sc.id, sc.count)
 		}

@@ -398,7 +398,15 @@ func (r *treeReceiver) resetSession(targets []wire.ZoomTarget) {
 	for i := range r.root {
 		r.root[i] = 0
 	}
-	r.targets = targets
+	// The zoom configuration outlives this call (tag decoding reads it all
+	// session), while targets is borrowed from the control-message parse
+	// scratch — deep-copy it. Healthy ports carry no zooms, so this
+	// allocates only while a failure is being chased.
+	r.targets = make([]wire.ZoomTarget, len(targets))
+	for i, tg := range targets {
+		r.targets[i].Path = append([]uint16(nil), tg.Path...)
+	}
+	targets = r.targets
 	r.nodes = make([][]uint64, len(targets))
 	r.ancestors = make([][]ancestorRef, len(targets))
 	idxByPath := make(map[string]int, len(targets))

@@ -144,22 +144,50 @@ func (w *lockWalker) mutexOp(s ast.Stmt) (string, int) {
 	return types.ExprString(sel.X), op
 }
 
-// scan reports calls to func-typed fields of the receiver inside s.
+// scan reports calls to func-typed fields of the receiver inside s. Both
+// direct invocations (recv.field(...)) and indexed ones through a
+// func-element container (recv.field[i](...)) are flagged: a callback
+// stored in a slice or map of handlers is just as able to re-enter the
+// struct as one stored directly.
 func (w *lockWalker) scan(s ast.Stmt, held map[string]bool) {
 	ast.Inspect(s, func(n ast.Node) bool {
 		call, ok := n.(*ast.CallExpr)
 		if !ok {
 			return true
 		}
-		sel, ok := call.Fun.(*ast.SelectorExpr)
-		if !ok || w.rootIdent(sel.X) != w.recv {
+		var sel *ast.SelectorExpr
+		indexed := false
+		switch fun := call.Fun.(type) {
+		case *ast.SelectorExpr:
+			sel = fun
+		case *ast.IndexExpr:
+			if s2, ok := fun.X.(*ast.SelectorExpr); ok {
+				sel = s2
+				indexed = true
+			}
+		}
+		if sel == nil || w.rootIdent(sel.X) != w.recv {
 			return true
 		}
 		selection := w.p.Info.Selections[sel]
 		if selection == nil || selection.Kind() != types.FieldVal {
 			return true
 		}
-		if _, ok := selection.Type().Underlying().(*types.Signature); !ok {
+		ftype := selection.Type().Underlying()
+		if indexed {
+			// The field is a container; the called value is its element.
+			switch c := ftype.(type) {
+			case *types.Slice:
+				ftype = c.Elem().Underlying()
+			case *types.Array:
+				ftype = c.Elem().Underlying()
+			case *types.Map:
+				ftype = c.Elem().Underlying()
+			default:
+				return true // generic instantiation or conversion, not a container index
+			}
+		}
+		if _, ok := ftype.(*types.Signature); !ok {
 			return true
 		}
 		lock := ""

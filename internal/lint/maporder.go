@@ -34,13 +34,17 @@ type mapEffect struct {
 // ordered output: stream writers, encoders and the simulator's scheduling
 // entry points.
 var emissionMethods = map[string]bool{
-	"Write":       true,
-	"WriteString": true,
-	"WriteByte":   true,
-	"WriteRune":   true,
-	"Encode":      true,
-	"Schedule":    true,
-	"ScheduleAt":  true,
+	"Write":         true,
+	"WriteString":   true,
+	"WriteByte":     true,
+	"WriteRune":     true,
+	"Encode":        true,
+	"Schedule":      true,
+	"ScheduleAt":    true,
+	"ScheduleTimer": true,
+	"After":         true,
+	"At":            true,
+	"CrossAt":       true,
 }
 
 func runMapOrder(p *Package) []Finding {

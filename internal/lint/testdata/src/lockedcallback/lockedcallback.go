@@ -38,6 +38,39 @@ func (b *Bus) PublishReentrant(v int) {
 	b.onEvent(v) //lint:allow lockedcallback handler contract forbids re-entering Bus
 }
 
+// Ring covers callbacks stored in containers: slices and maps of handlers
+// invoked through an index expression.
+type Ring struct {
+	mu       sync.Mutex
+	handlers []func(int)
+	byName   map[string]func(int)
+}
+
+// DispatchLocked indexes into the handler slice under the lock (true
+// positive).
+func (r *Ring) DispatchLocked(i, v int) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.handlers[i](v)
+}
+
+// NotifyLocked indexes into the handler map under the lock (true positive).
+func (r *Ring) NotifyLocked(name string, v int) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.byName[name](v)
+}
+
+// Dispatch copies the handler out, unlocks, then calls (true negative).
+func (r *Ring) Dispatch(i, v int) {
+	r.mu.Lock()
+	fn := r.handlers[i]
+	r.mu.Unlock()
+	if fn != nil {
+		fn(v)
+	}
+}
+
 // Feed covers the RWMutex read-lock variant.
 type Feed struct {
 	mu   sync.RWMutex

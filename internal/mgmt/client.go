@@ -59,6 +59,10 @@ type Client struct {
 	OnCall func(req any) (any, error)
 
 	Stats ClientStats
+
+	// heartbeatFn is the bound heartbeat method, allocated once so the
+	// recurring self-reschedule is allocation-free.
+	heartbeatFn func()
 }
 
 type pendingReport struct {
@@ -80,8 +84,9 @@ func NewClient(s *sim.Sim, net *Network, name, srv string) *Client {
 		nextSeq: 1, online: true,
 		inflight: make(map[uint64]*pendingReport),
 	}
+	c.heartbeatFn = c.heartbeat
 	net.Register(name, c.onDgram)
-	s.Schedule(c.cfg.HeartbeatInterval, c.heartbeat)
+	s.After(c.cfg.HeartbeatInterval, c.heartbeatFn)
 	return c
 }
 
@@ -215,7 +220,7 @@ func (c *Client) heartbeat() {
 	c.Stats.Heartbeats++
 	c.probeSeq++
 	c.probe(c.probeSeq, 0)
-	c.s.Schedule(c.cfg.HeartbeatInterval, c.heartbeat)
+	c.s.After(c.cfg.HeartbeatInterval, c.heartbeatFn)
 }
 
 // probe transmits one liveness probe with fast, fixed-interval retries (no
@@ -226,7 +231,7 @@ func (c *Client) heartbeat() {
 // heartbeat intervals.
 func (c *Client) probe(seq uint64, attempt int) {
 	c.net.Send(Dgram{From: c.name, To: c.srv, Kind: DgramHeartbeat, Seq: seq})
-	c.s.Schedule(c.cfg.AckTimeout, func() {
+	c.s.After(c.cfg.AckTimeout, func() {
 		if c.lastProbeAck >= seq {
 			return
 		}

@@ -282,7 +282,7 @@ func (n *Network) Send(d Dgram) {
 }
 
 func (n *Network) deliver(d Dgram, after sim.Time) {
-	n.s.Schedule(after, func() {
+	n.s.After(after, func() {
 		if n.Partitioned(d.To) { // partition started while in flight
 			n.Stats.PartitionDrops++
 			return

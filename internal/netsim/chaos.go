@@ -172,5 +172,10 @@ func (p *Packet) clone() *Packet {
 	if p.Ctl != nil {
 		q.Ctl = append([]byte(nil), p.Ctl...)
 	}
+	// The copy is its own object: it is in no lane and owned by no pool.
+	q.laneNext = nil
+	q.laneAt = 0
+	q.laneEgressed = false
+	q.pooled = false
 	return &q
 }

@@ -30,6 +30,9 @@ type Host struct {
 	// Default, when set, receives packets with no per-flow handler.
 	Default PacketHandler
 
+	// pool, when set, recycles packets that die here (no handler).
+	pool *PacketPool
+
 	Received uint64
 	Dropped  uint64 // no handler
 }
@@ -50,6 +53,11 @@ func (h *Host) Attach(port int, tx *LinkEnd) {
 	h.tx = tx
 }
 
+// SetPool lets the host recycle packets that reach it without any handler
+// — for sink hosts of pooled CBR workloads this closes the packet
+// lifecycle without garbage.
+func (h *Host) SetPool(p *PacketPool) { h.pool = p }
+
 // Receive implements Node.
 func (h *Host) Receive(pkt *Packet, port int) {
 	h.Received++
@@ -62,6 +70,7 @@ func (h *Host) Receive(pkt *Packet, port int) {
 		return
 	}
 	h.Dropped++
+	h.pool.Put(pkt)
 }
 
 // Send transmits a packet out of the host's uplink. It reports false if the

@@ -12,7 +12,9 @@ type LinkConfig struct {
 	// Delay is the one-way propagation delay. The paper evaluates FANcY
 	// with 10 ms inter-switch delay to represent large ISPs.
 	Delay sim.Time
-	// RateBps is the line rate in bits per second (e.g. 100e9).
+	// RateBps is the line rate in bits per second (e.g. 100e9). Rates are
+	// truncated to whole bits per second: serialization times are computed
+	// in integer arithmetic (see direction.serialization).
 	RateBps float64
 	// QueueBytes bounds the transmit (traffic-manager) queue per
 	// direction; packets beyond it are congestion drops, which FANcY must
@@ -29,7 +31,8 @@ type LinkEnd struct {
 }
 
 // Send queues pkt for transmission. It reports false if the packet was
-// dropped at the queue (congestion).
+// dropped at the queue (congestion); the packet then still belongs to the
+// caller.
 func (e *LinkEnd) Send(pkt *Packet) bool { return e.dir.send(pkt) }
 
 // SetFailure installs (or clears, with nil) the gray-failure injector on
@@ -45,6 +48,11 @@ func (e *LinkEnd) SetChaos(c *Chaos) { e.dir.chaos = c }
 
 // Chaos returns the currently installed chaos injector, if any.
 func (e *LinkEnd) Chaos() *Chaos { return e.dir.chaos }
+
+// SetPool lets this direction recycle packets it terminally drops (failure
+// and chaos drops) into p. Directions with a capture observer never
+// recycle — the observer may retain the packet.
+func (e *LinkEnd) SetPool(p *PacketPool) { e.dir.pool = p }
 
 // Stats returns transmission statistics for this direction.
 func (e *LinkEnd) Stats() LinkStats { return e.dir.stats }
@@ -65,10 +73,20 @@ type LinkStats struct {
 }
 
 // direction is one half of a full-duplex link.
+//
+// Each direction runs two serialized LANES instead of per-packet heap
+// events: an intrusive transmit FIFO ordered by serialization-end time and
+// an intrusive receive FIFO ordered by arrival time (serialization end +
+// propagation delay — monotone because serialization ends are). Each lane
+// keeps at most ONE recurring event in the simulator heap, armed for its
+// head packet, so a send costs O(1) lane appends instead of two or three
+// heap pushes with escaping closures.
 type direction struct {
-	s        *sim.Sim
+	s  *sim.Sim // transmit-side simulator (the sender node's shard)
+	rs *sim.Sim // receive-side simulator; == s except on cross-shard links
+
 	delay    sim.Time
-	rateBps  float64
+	rateBps  int64 // whole bits per second; 0 = infinitely fast
 	queueCap int
 
 	dst     Node
@@ -79,71 +97,186 @@ type direction struct {
 	// sender-side counting happens.
 	egressHook func(*Packet)
 
+	// Transmit lane: packets in (or waiting for) the serializer, laneAt =
+	// serialization end. txArmed tells whether the drain event is in the
+	// heap.
+	txHead, txTail *Packet
+	txArmed        bool
+	drainFn        func()
+
+	// Receive lane: packets in flight, laneAt = arrival time.
+	rxHead, rxTail *Packet
+	rxArmed        bool
+	arriveFn       func()
+
 	busyUntil   sim.Time
 	queuedBytes int
 	failure     *Failure
 	chaos       *Chaos
 	capture     func(CaptureEvent)
+	pool        *PacketPool
 	stats       LinkStats
 }
 
-func (d *direction) captureEvent(kind CaptureKind, pkt *Packet) {
+func (d *direction) captureEvent(kind CaptureKind, pkt *Packet, now sim.Time) {
 	if d.capture != nil {
-		d.capture(CaptureEvent{Time: d.s.Now(), Kind: kind, Pkt: pkt})
+		d.capture(CaptureEvent{Time: now, Kind: kind, Pkt: pkt})
 	}
 }
 
+// serialization returns the transmit time of size bytes in integer
+// arithmetic, rounded UP to the next nanosecond: a packet never finishes
+// serialization early, and equal inputs give bit-identical times on every
+// platform (the old float64 math could drift at high rates). With sizes
+// bounded by the queue capacity (~1 MB) the intermediate bits*Second
+// product stays far below int64 overflow.
 func (d *direction) serialization(size int) sim.Time {
 	if d.rateBps <= 0 {
 		return 0
 	}
-	return sim.Time(float64(size*8) / d.rateBps * float64(sim.Second))
+	bits := int64(size) * 8
+	return sim.Time((bits*int64(sim.Second) + d.rateBps - 1) / d.rateBps)
 }
 
 func (d *direction) send(pkt *Packet) bool {
 	now := d.s.Now()
 	if d.queuedBytes+pkt.Size > d.queueCap {
 		d.stats.CongestionDrops++
-		d.captureEvent(CaptureCongestionDrop, pkt)
+		d.captureEvent(CaptureCongestionDrop, pkt, now)
 		return false
 	}
 	d.stats.Sent++
 	d.stats.BytesSent += uint64(pkt.Size)
 	d.queuedBytes += pkt.Size
 	pkt.SentAt = now
-	d.captureEvent(CaptureSend, pkt)
+	d.captureEvent(CaptureSend, pkt, now)
 
 	txStart := d.busyUntil
 	if txStart < now {
 		txStart = now
 	}
-	ser := d.serialization(pkt.Size)
-	serEnd := txStart + ser
+	serEnd := txStart + d.serialization(pkt.Size)
 	d.busyUntil = serEnd
 
-	if d.egressHook != nil {
-		if txStart == now {
-			d.egressHook(pkt)
-		} else {
-			d.s.ScheduleAt(txStart, func() { d.egressHook(pkt) })
-		}
+	pkt.laneAt = serEnd
+	pkt.laneNext = nil
+	pkt.laneEgressed = false
+	if d.egressHook != nil && txStart == now {
+		// Idle serializer: the packet starts transmitting immediately.
+		// Queued packets get their hook when the drain promotes them to
+		// the serializer (their predecessor's serialization end).
+		d.egressHook(pkt)
+		pkt.laneEgressed = true
 	}
-	// The transmit queue drains when serialization completes; delivery
-	// happens one propagation delay later. Keeping these separate avoids
-	// inflating queue occupancy by the bandwidth-delay product.
-	d.s.ScheduleAt(serEnd, func() { d.queuedBytes -= pkt.Size })
-	d.s.ScheduleAt(serEnd+d.delay, func() { d.arrive(pkt) })
+	if d.txTail == nil {
+		d.txHead = pkt
+	} else {
+		d.txTail.laneNext = pkt
+	}
+	d.txTail = pkt
+	if !d.txArmed {
+		d.txArmed = true
+		if d.drainFn == nil {
+			d.drainFn = d.drain
+		}
+		d.s.At(serEnd, d.drainFn)
+	}
 	return true
+}
+
+// drain retires every transmit-lane packet whose serialization has
+// finished: it releases the queue bytes, starts the next packet's
+// serialization (egress hook), and hands the packet to the receive lane
+// one propagation delay out. It then re-arms for the new head.
+func (d *direction) drain() {
+	d.txArmed = false
+	now := d.s.Now()
+	for d.txHead != nil && d.txHead.laneAt <= now {
+		pkt := d.txHead
+		d.txHead = pkt.laneNext
+		if d.txHead == nil {
+			d.txTail = nil
+		}
+		pkt.laneNext = nil
+		d.queuedBytes -= pkt.Size
+		if next := d.txHead; next != nil && d.egressHook != nil && !next.laneEgressed {
+			d.egressHook(next)
+			next.laneEgressed = true
+		}
+		d.handoff(pkt, now+d.delay)
+	}
+	if d.txHead != nil && !d.txArmed {
+		d.txArmed = true
+		d.s.At(d.txHead.laneAt, d.drainFn)
+	}
+}
+
+// handoff moves a serialized packet onto the receive lane (same shard) or
+// across shards through the conservative-lookahead scheduler.
+func (d *direction) handoff(pkt *Packet, at sim.Time) {
+	if d.rs != d.s {
+		// Cross-shard link: one closure per packet, but only on shard
+		// boundaries. The link's propagation delay is what makes the
+		// lookahead sound, so `at` is always at or beyond the window end.
+		d.s.CrossAt(d.rs, at, func() { d.arrive(pkt) })
+		return
+	}
+	pkt.laneAt = at
+	pkt.laneNext = nil
+	if d.rxTail == nil {
+		d.rxHead = pkt
+	} else {
+		d.rxTail.laneNext = pkt
+	}
+	d.rxTail = pkt
+	if !d.rxArmed {
+		d.rxArmed = true
+		if d.arriveFn == nil {
+			d.arriveFn = d.arriveLane
+		}
+		d.rs.At(at, d.arriveFn)
+	}
+}
+
+// arriveLane delivers every receive-lane packet whose arrival time has
+// come, then re-arms for the new head. Arrival times are monotone per
+// direction (FIFO links), so the lane never reorders.
+func (d *direction) arriveLane() {
+	d.rxArmed = false
+	now := d.rs.Now()
+	for d.rxHead != nil && d.rxHead.laneAt <= now {
+		pkt := d.rxHead
+		d.rxHead = pkt.laneNext
+		if d.rxHead == nil {
+			d.rxTail = nil
+		}
+		pkt.laneNext = nil
+		d.arrive(pkt)
+	}
+	if d.rxHead != nil && !d.rxArmed {
+		d.rxArmed = true
+		d.rs.At(d.rxHead.laneAt, d.arriveFn)
+	}
+}
+
+// free recycles a packet the link terminally dropped. Directions with a
+// capture observer never recycle: the observer may have retained the
+// packet.
+func (d *direction) free(pkt *Packet) {
+	if d.pool != nil && d.capture == nil {
+		d.pool.Put(pkt)
+	}
 }
 
 // arrive runs the receive-side injectors and hands the packet to the far
 // node. Failure (clean gray-failure drops) applies first, then Chaos
 // (corruption, duplication, reorder, flap).
 func (d *direction) arrive(pkt *Packet) {
-	now := d.s.Now()
+	now := d.rs.Now()
 	if d.failure.Drop(pkt, now) {
 		d.stats.FailureDrops++
-		d.captureEvent(CaptureFailureDrop, pkt)
+		d.captureEvent(CaptureFailureDrop, pkt, now)
+		d.free(pkt)
 		return
 	}
 	if c := d.chaos; c != nil {
@@ -152,17 +285,18 @@ func (d *direction) arrive(pkt *Packet) {
 			// The extra copy lands shortly after the original and skips
 			// further chaos rolls (one fault decision per transmission).
 			copyPkt := pkt.clone()
-			d.s.Schedule(c.dupDelay(), func() {
+			d.rs.After(c.dupDelay(), func() {
 				c.Stats.Duplicated++
 				d.deliver(copyPkt)
 			})
 		}
 		switch verdict {
 		case chaosDrop:
-			d.captureEvent(CaptureChaosDrop, pkt)
+			d.captureEvent(CaptureChaosDrop, pkt, now)
+			d.free(pkt)
 			return
 		case chaosDelay:
-			d.s.Schedule(extra, func() { d.deliver(pkt) })
+			d.rs.After(extra, func() { d.deliver(pkt) })
 			return
 		}
 	}
@@ -171,7 +305,7 @@ func (d *direction) arrive(pkt *Packet) {
 
 func (d *direction) deliver(pkt *Packet) {
 	d.stats.Delivered++
-	d.captureEvent(CaptureDeliver, pkt)
+	d.captureEvent(CaptureDeliver, pkt, d.rs.Now())
 	d.dst.Receive(pkt, d.dstPort)
 }
 
@@ -181,17 +315,32 @@ type Link struct {
 	BA *LinkEnd // direction b → a
 }
 
+// SetPool installs a recycling pool on both directions (see LinkEnd.SetPool).
+func (l *Link) SetPool(p *PacketPool) {
+	l.AB.SetPool(p)
+	l.BA.SetPool(p)
+}
+
 // Connect wires port aPort of node a to port bPort of node b and attaches
 // the transmit handles to both nodes.
 func Connect(s *sim.Sim, a Node, aPort int, b Node, bPort int, cfg LinkConfig) *Link {
+	return ConnectOn(s, s, a, aPort, b, bPort, cfg)
+}
+
+// ConnectOn is Connect for the sharded parallel scheduler: node a runs on
+// simulator (shard view) sa and node b on sb. Cross-shard packet handoffs
+// go through sim.CrossAt, so the link's propagation delay must be at least
+// the scheduler's lookahead. With sa == sb it is exactly Connect.
+func ConnectOn(sa, sb *sim.Sim, a Node, aPort int, b Node, bPort int, cfg LinkConfig) *Link {
 	if cfg.QueueBytes == 0 {
 		cfg.QueueBytes = defaultQueueBytes
 	}
 	if cfg.RateBps < 0 {
 		panic(fmt.Sprintf("netsim: negative rate %v", cfg.RateBps))
 	}
-	ab := &direction{s: s, delay: cfg.Delay, rateBps: cfg.RateBps, queueCap: cfg.QueueBytes, dst: b, dstPort: bPort}
-	ba := &direction{s: s, delay: cfg.Delay, rateBps: cfg.RateBps, queueCap: cfg.QueueBytes, dst: a, dstPort: aPort}
+	rate := int64(cfg.RateBps)
+	ab := &direction{s: sa, rs: sb, delay: cfg.Delay, rateBps: rate, queueCap: cfg.QueueBytes, dst: b, dstPort: bPort}
+	ba := &direction{s: sb, rs: sa, delay: cfg.Delay, rateBps: rate, queueCap: cfg.QueueBytes, dst: a, dstPort: aPort}
 	l := &Link{AB: &LinkEnd{dir: ab}, BA: &LinkEnd{dir: ba}}
 	a.Attach(aPort, l.AB)
 	b.Attach(bPort, l.BA)

@@ -82,6 +82,18 @@ type Packet struct {
 	// session tags play: making upstream and downstream count the same
 	// packets in the same window despite in-flight delay.
 	ProbeWindow int64
+
+	// Intrusive link-lane fields (see direction in link.go): next packet
+	// in the lane FIFO, the lane deadline (serialization end on the
+	// transmit lane, arrival time on the receive lane), and whether the
+	// egress hook already fired for this transmission.
+	laneNext     *Packet
+	laneAt       sim.Time
+	laneEgressed bool
+
+	// pooled marks packets obtained from a PacketPool; only those are
+	// eligible for recycling (see pool.go).
+	pooled bool
 }
 
 // String summarizes the packet for debugging.

@@ -1,0 +1,382 @@
+package sim
+
+// Conservative-lookahead parallel scheduler.
+//
+// The classic engine in sim.go executes one global (time, seq)-ordered event
+// stream. That is exact but single-threaded, and at ISP scale the event
+// heap becomes the bottleneck. This file adds a deterministic parallel mode
+// built on the standard conservative-PDES argument:
+//
+//   - The simulation is partitioned into SHARDS (in netsim: groups of
+//     nodes). Each shard's events only touch shard-local state.
+//   - Shards interact only through cross-shard sends (in netsim: packet
+//     arrivals over links) whose latency is at least the LOOKAHEAD (the
+//     minimum link propagation delay).
+//   - Therefore all events inside one lookahead window [t0, t0+L) are
+//     causally independent across shards and may run concurrently; an event
+//     can only influence another shard at or after the window end.
+//
+// Determinism does not come for free from the safety argument: the classic
+// engine breaks timestamp ties by insertion sequence, and insertion order
+// during concurrent execution is scheduling-dependent. The parallel engine
+// therefore never assigns sequence numbers concurrently. Events created
+// during a window are either
+//
+//   - shard-local and inside the window: executed by the same shard in
+//     (time, local seq) order, where local seqs start above every
+//     already-assigned root seq (children run after same-time window
+//     events, exactly like the classic engine), or
+//   - staged: buffered per shard, and merged into the root heap at the
+//     window BARRIER in the deterministic order (time, parent time, shard,
+//     stage order), at which point they receive their root seqs.
+//
+// The merged order is independent of the worker count and of goroutine
+// scheduling, so a parallel run is byte-identical to the same run with one
+// worker. It matches the classic sequential engine whenever no two shards
+// stage same-timestamp events for the same instant from same-timestamp
+// parents — ties the lookahead makes impossible for netsim arrivals on
+// distinct links with distinct delays; DESIGN.md §11 spells out the
+// argument and the tie-break discipline.
+//
+// Events scheduled on the root Sim (no shard view) remain global: they act
+// as barriers, executing alone with every shard synchronized, so unsharded
+// subsystems (the fleet correlator, the management network) remain exactly
+// sequential even when the dataplane is sharded.
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// parRuntime is the root Sim's parallel-mode state.
+type parRuntime struct {
+	workers   int
+	lookahead Time
+	inWindow  bool // set only while shard workers execute a window
+	stopReq   atomic.Bool
+}
+
+// SetParallel enables the conservative-lookahead parallel scheduler with
+// the given worker count and lookahead window. The lookahead must be a
+// lower bound on every cross-shard latency (for netsim: the minimum link
+// propagation delay between nodes of different shards). workers <= 1 still
+// uses the windowed engine — useful as the determinism reference: any
+// worker count produces byte-identical runs.
+func (s *Sim) SetParallel(workers int, lookahead Time) {
+	if s.root != s {
+		panic("sim: SetParallel on a shard view")
+	}
+	if lookahead <= 0 {
+		panic(fmt.Sprintf("sim: non-positive lookahead %v", lookahead))
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	s.par = &parRuntime{workers: workers, lookahead: lookahead}
+}
+
+// Workers reports the configured worker count (1 when parallel mode is off).
+func (s *Sim) Workers() int {
+	if s.root.par == nil {
+		return 1
+	}
+	return s.root.par.workers
+}
+
+// Shards creates (or extends to) n shard views and returns them. A shard
+// view is a *Sim restricted to one partition: it has its own clock and its
+// own derived RNG stream, and everything scheduled through it runs on that
+// shard. Components of one shard must only touch state of that shard.
+func (s *Sim) Shards(n int) []*Sim {
+	if s.root != s {
+		panic("sim: Shards on a shard view")
+	}
+	for len(s.views) < n {
+		i := len(s.views)
+		v := &Sim{
+			seed:  s.seed,
+			shard: int32(i),
+			root:  s,
+			now:   s.now,
+		}
+		v.rng = s.DeriveRand(fmt.Sprintf("sim/shard/%d", i))
+		s.views = append(s.views, v)
+	}
+	return s.views[:n]
+}
+
+// Shard returns view i, creating views as needed.
+func (s *Sim) Shard(i int) *Sim { return s.Shards(i + 1)[i] }
+
+// CrossAt schedules fn at absolute time at on another shard's view. During
+// window execution the target time must lie at or beyond the window end —
+// the conservative-lookahead contract; violating it panics, because it
+// means the configured lookahead is not actually a lower bound on the
+// cross-shard latency. Outside window execution it is dst.At.
+func (s *Sim) CrossAt(dst *Sim, at Time, fn func()) {
+	r := s.root
+	if r.par == nil || !r.par.inWindow || s == r {
+		dst.At(at, fn)
+		return
+	}
+	if at < s.wend {
+		panic(fmt.Sprintf("sim: cross-shard event at %v inside the lookahead window ending %v", at, s.wend))
+	}
+	ev := s.alloc(at, fn)
+	ev.shard = dst.shard
+	ev.parentAt = s.now
+	ev.index = indexStaged
+	ev.owner = s
+	s.stage = append(s.stage, ev)
+	s.live++
+}
+
+// scheduleSharded is the scheduling path for shard views, and for the root
+// heap while a parallel window is in flight (which is an error).
+func (s *Sim) scheduleSharded(at Time, fn func()) *event {
+	r := s.root
+	if r.par == nil || !r.par.inWindow {
+		// Setup phase or between windows: single-threaded, straight onto
+		// the root heap, tagged with the view's shard.
+		if at < r.now {
+			panic(fmt.Sprintf("sim: schedule in the past: at=%v now=%v", at, r.now))
+		}
+		ev := s.alloc(at, fn)
+		ev.seq = r.seq
+		r.seq++
+		ev.owner = r
+		heapPush(&r.queue, ev)
+		r.live++
+		return ev
+	}
+	if s == r {
+		panic("sim: schedule on the root Sim during a parallel window; global events must be scheduled between windows or through a shard view")
+	}
+	if at < s.now {
+		panic(fmt.Sprintf("sim: schedule in the past: at=%v now=%v (shard %d)", at, s.now, s.shard))
+	}
+	if at < s.wend {
+		// Intra-window, same shard: executed later this window. Local
+		// seqs start at the frozen root seq (see runParallel), so children
+		// sort after same-time events that were scheduled before the
+		// window — the classic insertion-order rule.
+		ev := s.alloc(at, fn)
+		ev.seq = s.lseq
+		s.lseq++
+		ev.owner = s
+		heapPush(&s.queue, ev)
+		s.live++
+		return ev
+	}
+	// Beyond the window: stage for the deterministic barrier merge.
+	ev := s.alloc(at, fn)
+	ev.parentAt = s.now
+	ev.index = indexStaged
+	ev.owner = s
+	s.stage = append(s.stage, ev)
+	s.live++
+	return ev
+}
+
+// runParallel is Run for the windowed engine.
+func (s *Sim) runParallel(horizon Time) Time {
+	p := s.par
+	p.stopReq.Store(false)
+	for {
+		if p.stopReq.Load() {
+			return s.now
+		}
+		// Drop cancelled events surfacing at the head.
+		for len(s.queue) > 0 && s.queue[0].dead {
+			ev := heapPop(&s.queue)
+			s.live--
+			s.release(ev)
+		}
+		if len(s.queue) == 0 {
+			break
+		}
+		head := s.queue[0]
+		if horizon > 0 && head.at > horizon {
+			s.now = horizon
+			return s.now
+		}
+		if head.shard < 0 {
+			// Global event: a barrier. Every shard has drained up to at
+			// least this timestamp, so running it alone is exactly the
+			// classic sequential semantics.
+			heapPop(&s.queue)
+			s.now = head.at
+			s.live--
+			s.Executed++
+			fn := head.fn
+			s.release(head)
+			fn()
+			continue
+		}
+
+		// Assemble the window batch: consecutive sharded events from the
+		// heap head, bounded by the lookahead, the horizon, and the first
+		// global event (which shrinks the window for newly created
+		// children; already-popped events at that timestamp precede it by
+		// seq and legitimately still run).
+		t0 := head.at
+		wend := t0 + p.lookahead
+		if horizon > 0 && wend > horizon+1 {
+			wend = horizon + 1
+		}
+		var batchTail Time
+		nbatch := 0
+		for len(s.queue) > 0 {
+			top := s.queue[0]
+			if top.dead {
+				heapPop(&s.queue)
+				s.live--
+				s.release(top)
+				continue
+			}
+			if top.shard < 0 {
+				if top.at < wend {
+					wend = top.at
+				}
+				break
+			}
+			if top.at >= wend {
+				break
+			}
+			heapPop(&s.queue)
+			v := s.views[top.shard]
+			v.batch = append(v.batch, top)
+			batchTail = top.at
+			nbatch++
+		}
+		if nbatch == 0 {
+			// Can only happen via dead-event draining; retry.
+			continue
+		}
+		s.live -= nbatch
+
+		// Execute the window: every shard with work runs its batch (plus
+		// any children it creates inside the window) in (time, seq)
+		// order. Shards are spread over the workers round-robin.
+		var active []*Sim
+		for _, v := range s.views {
+			if len(v.batch) > 0 {
+				v.wend = wend
+				v.lseq = s.seq
+				active = append(active, v)
+			}
+		}
+		p.inWindow = true
+		nw := p.workers
+		if nw > len(active) {
+			nw = len(active)
+		}
+		if nw <= 1 {
+			for _, v := range active {
+				v.execWindow()
+			}
+		} else {
+			var wg sync.WaitGroup
+			for w := 0; w < nw; w++ {
+				wg.Add(1)
+				go func(w int) {
+					defer wg.Done()
+					for i := w; i < len(active); i += nw {
+						active[i].execWindow()
+					}
+				}(w)
+			}
+			wg.Wait()
+		}
+		p.inWindow = false
+
+		// Barrier: merge staged events into the root heap in the
+		// deterministic order (time, parent time, shard, stage order) and
+		// only now assign their root seqs.
+		var staged []*event
+		for _, v := range active {
+			staged = append(staged, v.stage...)
+			v.stage = v.stage[:0]
+			v.batch = v.batch[:0]
+			s.Executed += v.executed
+			v.executed = 0
+		}
+		sort.SliceStable(staged, func(i, j int) bool {
+			a, b := staged[i], staged[j]
+			if a.at != b.at {
+				return a.at < b.at
+			}
+			if a.parentAt != b.parentAt {
+				return a.parentAt < b.parentAt
+			}
+			return a.owner.shard < b.owner.shard
+		})
+		for _, ev := range staged {
+			if ev.dead {
+				// Stop already dropped the owner's live count.
+				s.release(ev)
+				continue
+			}
+			ev.owner.live--
+			ev.seq = s.seq
+			s.seq++
+			ev.owner = s
+			ev.index = indexFree
+			heapPush(&s.queue, ev)
+			s.live++
+		}
+		s.now = batchTail
+	}
+	if horizon > 0 && s.now < horizon {
+		s.now = horizon
+	}
+	return s.now
+}
+
+// execWindow runs one shard's share of a window: the batch events popped
+// from the root heap, interleaved with the shard-local children they
+// schedule, in (time, seq) order with batch events winning timestamp ties
+// (they were inserted first).
+func (v *Sim) execWindow() {
+	bi := 0
+	for {
+		var ev *event
+		fromBatch := false
+		if bi < len(v.batch) {
+			ev = v.batch[bi]
+			fromBatch = true
+		}
+		if len(v.queue) > 0 {
+			top := v.queue[0]
+			// Batch events carry root seqs below every local seq, so at
+			// equal timestamps the batch event runs first.
+			if ev == nil || top.at < ev.at {
+				ev = top
+				fromBatch = false
+			}
+		}
+		if ev == nil {
+			break
+		}
+		if fromBatch {
+			bi++
+		} else {
+			heapPop(&v.queue)
+			v.live--
+		}
+		if ev.dead {
+			v.release(ev)
+			continue
+		}
+		v.now = ev.at
+		v.executed++
+		fn := ev.fn
+		v.release(ev)
+		fn()
+	}
+	if len(v.queue) > 0 {
+		panic("sim: shard window ended with unexecuted local events")
+	}
+}

@@ -1,0 +1,178 @@
+package sim
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+)
+
+// parTranscript runs the reference sharded workload and returns one
+// transcript per shard plus the global log, the end time, and the executed
+// count. The exact same code drives both engines: with workers == 0 the
+// Sim stays classic (everything lands on the root heap in one global
+// stream); otherwise SetParallel switches on the windowed engine.
+//
+// The workload exercises every scheduling path: self-rescheduling
+// shard-local ticks, per-shard RNG draws, cross-shard sends at or beyond
+// the lookahead, a cancelled-then-recycled timer per shard, and a global
+// observer event that acts as a window barrier.
+func parTranscript(seed int64, shards, workers int, horizon Time) ([]string, Time, uint64) {
+	const lookahead = Millisecond
+	root := New(seed)
+	if workers > 0 {
+		root.SetParallel(workers, lookahead)
+	}
+	views := root.Shards(shards)
+	logs := make([]strings.Builder, shards+1)
+	glog := &logs[shards]
+
+	for i := 0; i < shards; i++ {
+		i := i
+		v := views[i]
+		next := views[(i+1)%shards]
+		// Distinct per-shard periods and offsets keep every event
+		// timestamp unique, so the classic global order and the windowed
+		// order agree exactly (see DESIGN.md §11 on ties).
+		period := Time(100_000 + 1_000*i + 7*i)
+		delay := lookahead + Time(50_000+13*i)
+		n := 0
+		var tick func()
+		tick = func() {
+			n++
+			fmt.Fprintf(&logs[i], "s%d tick %d at %d rng %d\n", i, n, v.Now(), v.Rand().Intn(1000))
+			if n%5 == 0 {
+				from, at := i, v.Now()
+				v.CrossAt(next, at+delay, func() {
+					fmt.Fprintf(&logs[(from+1)%shards], "s%d recv from s%d sent %d at %d\n",
+						(from+1)%shards, from, at, next.Now())
+				})
+			}
+			if n%7 == 0 {
+				// Cancel a timer the same shard scheduled: exercises pool
+				// recycling under both engines.
+				tm := v.Schedule(period/2, func() {
+					fmt.Fprintf(&logs[i], "s%d SHOULD NOT RUN\n", i)
+				})
+				tm.Stop()
+			}
+			v.After(period, tick)
+		}
+		v.At(Time(i+1), tick)
+	}
+
+	var observe func()
+	observe = func() {
+		fmt.Fprintf(glog, "G at %d pending %d\n", root.Now(), root.Pending())
+		root.After(500*Microsecond, observe)
+	}
+	root.At(250*Microsecond, observe)
+
+	end := root.Run(horizon)
+	out := make([]string, len(logs))
+	for i := range logs {
+		out[i] = logs[i].String()
+	}
+	return out, end, root.Executed
+}
+
+// TestSameSeedSameTranscriptParallel is the engine-level half of the
+// sequential-vs-parallel equivalence contract: the classic engine and the
+// windowed engine at 1, 2, and 4 workers all produce byte-identical
+// per-shard transcripts, the same end time, and the same executed count.
+func TestSameSeedSameTranscriptParallel(t *testing.T) {
+	const (
+		seed    = 20220822
+		shards  = 4
+		horizon = 50 * Millisecond
+	)
+	refLogs, refEnd, refExec := parTranscript(seed, shards, 0, horizon)
+	for i, l := range refLogs {
+		if l == "" {
+			t.Fatalf("classic transcript %d is empty — workload broken", i)
+		}
+		if strings.Contains(l, "SHOULD NOT RUN") {
+			t.Fatalf("cancelled timer fired in classic run:\n%s", l)
+		}
+	}
+	for _, workers := range []int{1, 2, 4} {
+		logs, end, exec := parTranscript(seed, shards, workers, horizon)
+		if end != refEnd {
+			t.Errorf("workers=%d: end time %v, classic %v", workers, end, refEnd)
+		}
+		if exec != refExec {
+			t.Errorf("workers=%d: executed %d events, classic %d", workers, exec, refExec)
+		}
+		for i := range refLogs {
+			if logs[i] != refLogs[i] {
+				t.Errorf("workers=%d: transcript %d differs from classic engine\nclassic:\n%s\nparallel:\n%s",
+					workers, i, refLogs[i], logs[i])
+			}
+		}
+	}
+}
+
+// Stop from inside a shard event must end the parallel run at the next
+// window boundary with work still queued.
+func TestParallelStop(t *testing.T) {
+	root := New(7)
+	root.SetParallel(2, Millisecond)
+	views := root.Shards(2)
+	stopped := false
+	for _, v := range views {
+		v := v
+		var tick func()
+		tick = func() {
+			if v.Now() >= 10*Millisecond && v.shard == 0 && !stopped {
+				stopped = true
+				v.Stop()
+			}
+			v.After(100*Microsecond, tick)
+		}
+		v.At(0, tick)
+	}
+	end := root.Run(Second)
+	if end >= Second {
+		t.Fatalf("stopped parallel run ended at %v, want before the horizon", end)
+	}
+	if root.Pending() == 0 {
+		t.Fatal("stopped parallel run drained its queue")
+	}
+	// The run resumes cleanly.
+	if end := root.Run(20 * Millisecond); end != 20*Millisecond {
+		t.Fatalf("resumed run ended at %v, want %v", end, 20*Millisecond)
+	}
+}
+
+// A cross-shard send inside the lookahead window means the configured
+// lookahead is not a true lower bound — that must fail loudly.
+func TestCrossAtInsideWindowPanics(t *testing.T) {
+	root := New(3)
+	root.SetParallel(2, Millisecond)
+	views := root.Shards(2)
+	views[0].At(Microsecond, func() {
+		views[0].CrossAt(views[1], views[0].Now()+Nanosecond, func() {})
+	})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("CrossAt inside the lookahead window did not panic")
+		}
+	}()
+	root.Run(Second)
+}
+
+// Scheduling on the root Sim while shard workers are running is a
+// determinism hazard and must panic.
+func TestRootScheduleDuringWindowPanics(t *testing.T) {
+	root := New(3)
+	root.SetParallel(1, Millisecond)
+	views := root.Shards(1)
+	views[0].At(Microsecond, func() {
+		root.After(Millisecond, func() {})
+	})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("root schedule during a parallel window did not panic")
+		}
+	}()
+	root.Run(Second)
+}

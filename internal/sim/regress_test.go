@@ -1,0 +1,138 @@
+package sim
+
+import (
+	"testing"
+)
+
+// Run used to clamp the clock to the horizon even when Stop ended the run
+// early, so callers measuring "when did the run end" saw the horizon
+// instead of the stop time.
+func TestRunReturnsStopTime(t *testing.T) {
+	s := New(1)
+	var at2 Time
+	s.After(1*Second, func() {})
+	s.After(2*Second, func() {
+		at2 = s.Now()
+		s.Stop()
+	})
+	s.After(3*Second, func() {})
+	end := s.Run(10 * Second)
+	if end != 2*Second || at2 != 2*Second {
+		t.Fatalf("Run after Stop returned %v, want stop time %v", end, 2*Second)
+	}
+	if s.Now() != 2*Second {
+		t.Fatalf("Now() = %v after stopped run, want %v", s.Now(), 2*Second)
+	}
+	// The event at 3s is still pending; resuming executes it and then the
+	// horizon clamp applies as usual.
+	if s.Pending() != 1 {
+		t.Fatalf("Pending() = %d after stop, want 1", s.Pending())
+	}
+	if end := s.Run(10 * Second); end != 10*Second {
+		t.Fatalf("resumed Run returned %v, want horizon %v", end, 10*Second)
+	}
+}
+
+// Timer.Stop used to only mark the event dead, leaving the closure (and
+// anything it captured) referenced by the heap until its timestamp popped,
+// and Pending was an O(n) scan over the corpses.
+func TestTimerStopReleasesEvent(t *testing.T) {
+	s := New(1)
+	payload := make([]byte, 1<<20)
+	tm := s.Schedule(1000*Second, func() { _ = payload })
+	if got := s.Pending(); got != 1 {
+		t.Fatalf("Pending() = %d, want 1", got)
+	}
+	if !tm.Stop() {
+		t.Fatal("Stop() = false for a pending timer")
+	}
+	// The event must be gone from the queue immediately, not at pop time...
+	if len(s.queue) != 0 {
+		t.Fatalf("queue holds %d events after Stop, want 0", len(s.queue))
+	}
+	if got := s.Pending(); got != 0 {
+		t.Fatalf("Pending() = %d after Stop, want 0", got)
+	}
+	// ...and recycled into the pool with its closure cleared, so the
+	// captured payload is unreachable from the Sim.
+	if len(s.free) != 1 {
+		t.Fatalf("free list holds %d events, want 1", len(s.free))
+	}
+	if s.free[0].fn != nil {
+		t.Fatal("released event still references its closure")
+	}
+	if tm.Stop() {
+		t.Fatal("second Stop() = true")
+	}
+	if tm.Active() {
+		t.Fatal("Active() = true after Stop")
+	}
+}
+
+// A stale Timer handle whose event was recycled for an unrelated schedule
+// must not cancel the new event.
+func TestStaleTimerHandleIsInert(t *testing.T) {
+	s := New(1)
+	tm := s.Schedule(1*Second, func() {})
+	s.Run(2 * Second) // fires; event returns to the pool
+	ran := false
+	s.After(1*Second, func() { ran = true }) // reuses the pooled event
+	if tm.Stop() {
+		t.Fatal("stale handle Stop() = true")
+	}
+	if tm.Active() {
+		t.Fatal("stale handle Active() = true")
+	}
+	s.Run(5 * Second)
+	if !ran {
+		t.Fatal("recycled event was cancelled through a stale handle")
+	}
+}
+
+// Steady-state scheduling through the handle-free API must not allocate:
+// events come from the pool and go back to it.
+func TestAfterDoesNotAllocate(t *testing.T) {
+	s := New(1)
+	var fn func()
+	n := 0
+	fn = func() {
+		if n++; n < 100 {
+			s.After(Millisecond, fn)
+		}
+	}
+	// Warm the pool and the heap.
+	s.After(Millisecond, fn)
+	s.Run(0)
+	allocs := testing.AllocsPerRun(100, func() {
+		n = 0
+		s.After(Millisecond, fn)
+		s.Run(0)
+	})
+	if allocs > 0 {
+		t.Fatalf("handle-free schedule/run loop allocates %.1f objects per run, want 0", allocs)
+	}
+}
+
+func TestPendingCountsStoppedCorrectly(t *testing.T) {
+	s := New(1)
+	var timers []*Timer
+	for i := 0; i < 10; i++ {
+		timers = append(timers, s.Schedule(Time(i+1)*Second, func() {}))
+	}
+	if got := s.Pending(); got != 10 {
+		t.Fatalf("Pending() = %d, want 10", got)
+	}
+	for _, tm := range timers[:5] {
+		tm.Stop()
+	}
+	if got := s.Pending(); got != 5 {
+		t.Fatalf("Pending() = %d after stopping 5, want 5", got)
+	}
+	s.Run(0)
+	if got := s.Pending(); got != 0 {
+		t.Fatalf("Pending() = %d after drain, want 0", got)
+	}
+	if s.Executed != 5 {
+		t.Fatalf("Executed = %d, want 5", s.Executed)
+	}
+}

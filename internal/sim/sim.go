@@ -9,10 +9,20 @@
 // for its software evaluation: events are closures executed at a virtual
 // timestamp, and the simulation runs until the queue drains or a configured
 // horizon is reached.
+//
+// Two engine-level performance features exist beyond the classic loop:
+//
+//   - Event pooling: executed and cancelled events are recycled through a
+//     free list, so steady-state scheduling via At/After allocates nothing.
+//     Schedule/ScheduleAt additionally allocate their *Timer handle; hot
+//     paths that never cancel should prefer At/After.
+//   - A conservative-lookahead parallel scheduler (see parallel.go): nodes
+//     are partitioned into shards, events of the same lookahead window run
+//     concurrently across shards, and cross-shard sends merge at window
+//     boundaries in a deterministic order.
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 	"hash/fnv"
 	"math/rand"
@@ -45,73 +55,206 @@ func (t Time) String() string { return time.Duration(t).String() }
 func FromDuration(d time.Duration) Time { return Time(d) }
 
 // An event is a scheduled closure. Events with equal timestamps execute in
-// insertion order, which keeps simulations deterministic.
+// insertion order, which keeps simulations deterministic. Events are pooled:
+// after execution or cancellation they return to the owning Sim's free list,
+// and gen is bumped so stale Timer handles can detect the recycling.
 type event struct {
 	at   Time
 	seq  uint64
 	fn   func()
-	dead bool // cancelled
+	dead bool   // cancelled while staged (parallel mode only)
+	gen  uint64 // incremented on every release to the pool
 
-	index int // heap index, maintained by eventQueue
+	shard int32 // owning shard, or -1 for global/unsharded events
+
+	// Deterministic merge key for events staged at a parallel window
+	// boundary: the virtual time of the event that scheduled them. Zero
+	// for events scheduled outside window execution.
+	parentAt Time
+
+	// owner is the Sim whose queue (or staging buffer) holds the event,
+	// so Timer.Stop can remove it from the right heap. For a parallel
+	// run this is the root for heap events and the shard view for
+	// window-local and staged events.
+	owner *Sim
+
+	index int // heap index, indexFree, or indexStaged
 }
 
-// eventQueue is a min-heap of events ordered by (at, seq).
+const (
+	indexFree   = -1 // not in any heap: pooled, executing, or in a window batch
+	indexStaged = -2 // in a shard's window-boundary staging buffer
+)
+
+// eventQueue is a 4-ary min-heap of events ordered by (at, seq), hand
+// rolled instead of container/heap: the event loop spends most of its time
+// here, and a direct implementation avoids the interface dispatch per
+// comparison, halves the tree depth, and moves each displaced event once
+// (hole-based sifting) instead of swapping pairwise.
 type eventQueue []*event
 
-func (q eventQueue) Len() int { return len(q) }
-
-func (q eventQueue) Less(i, j int) bool {
-	if q[i].at != q[j].at {
-		return q[i].at < q[j].at
+// before is the heap order: time, ties broken by insertion sequence.
+func before(a, b *event) bool {
+	if a.at != b.at {
+		return a.at < b.at
 	}
-	return q[i].seq < q[j].seq
+	return a.seq < b.seq
 }
 
-func (q eventQueue) Swap(i, j int) {
-	q[i], q[j] = q[j], q[i]
-	q[i].index = i
-	q[j].index = j
+// siftUp moves the hole at i toward the root until ev fits, then plants ev.
+func (q eventQueue) siftUp(i int, ev *event) {
+	for i > 0 {
+		p := (i - 1) >> 2
+		pe := q[p]
+		if !before(ev, pe) {
+			break
+		}
+		q[i] = pe
+		pe.index = i
+		i = p
+	}
+	q[i] = ev
+	ev.index = i
 }
 
-func (q *eventQueue) Push(x any) {
-	ev := x.(*event)
-	ev.index = len(*q)
-	*q = append(*q, ev)
+// siftDown moves the hole at i toward the leaves until ev fits.
+func (q eventQueue) siftDown(i int, ev *event) {
+	n := len(q)
+	for {
+		c := i<<2 + 1
+		if c >= n {
+			break
+		}
+		min, me := c, q[c]
+		end := c + 4
+		if end > n {
+			end = n
+		}
+		for k := c + 1; k < end; k++ {
+			if ke := q[k]; before(ke, me) {
+				min, me = k, ke
+			}
+		}
+		if !before(me, ev) {
+			break
+		}
+		q[i] = me
+		me.index = i
+		i = min
+	}
+	q[i] = ev
+	ev.index = i
 }
 
-func (q *eventQueue) Pop() any {
-	old := *q
-	n := len(old)
-	ev := old[n-1]
-	old[n-1] = nil
-	ev.index = -1
-	*q = old[:n-1]
+func heapPush(qp *eventQueue, ev *event) {
+	*qp = append(*qp, nil)
+	(*qp).siftUp(len(*qp)-1, ev)
+}
+
+func heapPop(qp *eventQueue) *event {
+	q := *qp
+	top := q[0]
+	top.index = indexFree
+	n := len(q) - 1
+	last := q[n]
+	q[n] = nil
+	*qp = q[:n]
+	if n > 0 {
+		q[:n].siftDown(0, last)
+	}
+	return top
+}
+
+// heapRemove removes the event at index i (Timer.Stop's O(log n) path).
+func heapRemove(qp *eventQueue, i int) *event {
+	q := *qp
+	ev := q[i]
+	ev.index = indexFree
+	n := len(q) - 1
+	last := q[n]
+	q[n] = nil
+	*qp = q[:n]
+	if i < n {
+		q = q[:n]
+		if before(last, ev) {
+			q.siftUp(i, last)
+		} else {
+			q.siftDown(i, last)
+		}
+	}
 	return ev
 }
 
 // Timer is a handle to a scheduled event. Its zero value is an inert timer:
 // Stop and Active are safe to call and report false.
+//
+// Timers are owned by the Sim (or shard view) they were scheduled on; in
+// parallel mode a timer must only be stopped from its own shard.
 type Timer struct {
-	ev *event
+	s   *Sim
+	ev  *event
+	gen uint64
 }
 
 // Stop cancels the timer. It reports whether the event had still been
-// pending (i.e. the cancellation prevented an execution).
+// pending (i.e. the cancellation prevented an execution). Cancellation
+// removes the event from the queue immediately (O(log n)), so a stopped
+// long-horizon timer holds no memory and does not inflate the queue.
 func (t *Timer) Stop() bool {
-	if t == nil || t.ev == nil || t.ev.dead || t.ev.index == -1 {
+	if t == nil || t.ev == nil || t.ev.gen != t.gen || t.ev.dead {
 		return false
 	}
-	t.ev.dead = true
-	return true
+	ev := t.ev
+	s := t.s
+	r := s.root
+	if r.par != nil && r.par.inWindow {
+		// Shard worker goroutines are running: only shard-local
+		// structures may be mutated from here.
+		if ev.index >= 0 && ev.owner == s && s != r {
+			heapRemove(&s.queue, ev.index)
+			s.live--
+			s.release(ev)
+			return true
+		}
+		if ev.index == indexStaged && ev.owner == s {
+			ev.dead = true
+			ev.fn = nil
+			s.live--
+			return true
+		}
+		// Root-heap (or foreign) event: mark dead without touching the
+		// shared heap; the root loop recycles it when it surfaces, and
+		// decrements live then.
+		ev.dead = true
+		ev.fn = nil
+		return true
+	}
+	if ev.index >= 0 {
+		// Queued in the owner's heap: remove and recycle immediately.
+		heapRemove(&ev.owner.queue, ev.index)
+		ev.owner.live--
+		ev.owner.release(ev)
+		return true
+	}
+	if ev.index == indexStaged {
+		ev.dead = true
+		ev.fn = nil
+		ev.owner.live--
+		return true
+	}
+	return false
 }
 
 // Active reports whether the timer is still pending.
 func (t *Timer) Active() bool {
-	return t != nil && t.ev != nil && !t.ev.dead && t.ev.index != -1
+	return t != nil && t.ev != nil && t.ev.gen == t.gen && !t.ev.dead &&
+		t.ev.index != indexFree
 }
 
-// Sim is a single-threaded discrete-event simulator. The zero value is not
-// usable; construct one with New.
+// Sim is a discrete-event simulator. The zero value is not usable;
+// construct one with New. A Sim is single-threaded unless SetParallel
+// enables the sharded scheduler, and even then event handlers of one shard
+// never run concurrently with each other.
 type Sim struct {
 	now     Time
 	seq     uint64
@@ -119,6 +262,22 @@ type Sim struct {
 	seed    int64
 	rng     *rand.Rand
 	stopped bool
+	live    int      // non-cancelled events currently queued or staged
+	free    []*event // event pool
+
+	// Parallel-mode fields (see parallel.go). On a root Sim, par is set by
+	// SetParallel and views holds the shard views. On a shard view, root
+	// points to the owning Sim and shard is its index; the view reuses
+	// queue as its window-local heap and stage as its boundary buffer.
+	par      *parRuntime
+	root     *Sim
+	shard    int32
+	views    []*Sim
+	stage    []*event
+	batch    []*event // this shard's slice of the current window, in (at, seq) order
+	wend     Time     // current window end while this shard executes
+	lseq     uint64   // window-local seq counter, frozen-root-seq based
+	executed uint64   // events run this window, merged into root.Executed at the barrier
 
 	// Executed counts events that have run, for diagnostics and tests.
 	Executed uint64
@@ -126,17 +285,28 @@ type Sim struct {
 
 // New returns a simulator whose random generator is seeded with seed.
 func New(seed int64) *Sim {
-	return &Sim{seed: seed, rng: rand.New(rand.NewSource(seed))}
+	s := &Sim{seed: seed, rng: rand.New(rand.NewSource(seed)), shard: -1}
+	s.root = s
+	return s
 }
 
-// Now returns the current virtual time.
-func (s *Sim) Now() Time { return s.now }
+// Now returns the current virtual time. On a shard view this is the shard's
+// local clock, which stays within one lookahead window of every other shard.
+func (s *Sim) Now() Time {
+	if s.root != s && s.root.now > s.now {
+		return s.root.now
+	}
+	return s.now
+}
 
-// Rand exposes the simulation's deterministic random number generator.
+// Rand exposes the simulation's deterministic random number generator. Each
+// shard view has its own independent stream (derived from the seed), so
+// parallel execution never races on, or nondeterministically interleaves,
+// the root stream.
 func (s *Sim) Rand() *rand.Rand { return s.rng }
 
 // Seed returns the seed the simulator was constructed with.
-func (s *Sim) Seed() int64 { return s.seed }
+func (s *Sim) Seed() int64 { return s.root.seed }
 
 // DeriveSeed maps the simulation seed plus a stream label to an independent
 // sub-seed. Components that need their own RNG (failure injectors, chaos
@@ -146,7 +316,7 @@ func (s *Sim) Seed() int64 { return s.seed }
 func (s *Sim) DeriveSeed(stream string) int64 {
 	h := fnv.New64a()
 	h.Write([]byte(stream))
-	return s.seed ^ int64(h.Sum64())
+	return s.root.seed ^ int64(h.Sum64())
 }
 
 // DeriveRand returns a deterministic RNG for a named stream (see DeriveSeed).
@@ -154,34 +324,118 @@ func (s *Sim) DeriveRand(stream string) *rand.Rand {
 	return rand.New(rand.NewSource(s.DeriveSeed(stream)))
 }
 
-// Schedule runs fn after delay virtual nanoseconds. A negative delay is an
-// error in the caller; Schedule panics to surface it immediately.
+// alloc takes an event from the pool (or allocates one) and resets it.
+func (s *Sim) alloc(at Time, fn func()) *event {
+	var ev *event
+	if n := len(s.free); n > 0 {
+		ev = s.free[n-1]
+		s.free[n-1] = nil
+		s.free = s.free[:n-1]
+	} else {
+		ev = &event{}
+	}
+	ev.at = at
+	ev.fn = fn
+	ev.dead = false
+	ev.shard = s.shard
+	ev.parentAt = 0
+	ev.owner = s
+	ev.index = indexFree
+	return ev
+}
+
+// release returns an event to the pool. Bumping gen invalidates any Timer
+// handle still pointing at it.
+func (s *Sim) release(ev *event) {
+	ev.fn = nil
+	ev.gen++
+	s.free = append(s.free, ev)
+}
+
+// Schedule runs fn after delay virtual nanoseconds and returns a cancellable
+// handle. A negative delay is an error in the caller; Schedule panics to
+// surface it immediately. Prefer After when the handle is not needed: the
+// handle is the only allocation on this path.
 func (s *Sim) Schedule(delay Time, fn func()) *Timer {
 	if delay < 0 {
 		panic(fmt.Sprintf("sim: negative delay %v", delay))
 	}
-	return s.ScheduleAt(s.now+delay, fn)
+	return s.ScheduleAt(s.Now()+delay, fn)
 }
 
 // ScheduleAt runs fn at the absolute virtual time at, which must not be in
-// the past.
+// the past, and returns a cancellable handle.
 func (s *Sim) ScheduleAt(at Time, fn func()) *Timer {
+	ev := s.schedule(at, fn)
+	return &Timer{s: s, ev: ev, gen: ev.gen}
+}
+
+// ScheduleTimer is Schedule returning the handle by value, for callers
+// that keep the handle in a struct field: rearming a recurring timer then
+// allocates nothing (the zero Timer is inert, so the field needs no
+// initialization).
+func (s *Sim) ScheduleTimer(delay Time, fn func()) Timer {
+	if delay < 0 {
+		panic(fmt.Sprintf("sim: negative delay %v", delay))
+	}
+	ev := s.schedule(s.Now()+delay, fn)
+	return Timer{s: s, ev: ev, gen: ev.gen}
+}
+
+// After runs fn after delay virtual nanoseconds. It is Schedule without the
+// cancellation handle — and therefore without its allocation: with a warm
+// event pool this path does not allocate at all.
+func (s *Sim) After(delay Time, fn func()) {
+	if delay < 0 {
+		panic(fmt.Sprintf("sim: negative delay %v", delay))
+	}
+	s.schedule(s.Now()+delay, fn)
+}
+
+// At runs fn at the absolute virtual time at (the handle-free ScheduleAt).
+func (s *Sim) At(at Time, fn func()) {
+	s.schedule(at, fn)
+}
+
+// schedule is the common scheduling path. On a root Sim outside parallel
+// execution it pushes straight onto the heap; shard views route through the
+// window-aware path in parallel.go.
+func (s *Sim) schedule(at Time, fn func()) *event {
+	if s.root != s || (s.par != nil && s.par.inWindow) {
+		return s.scheduleSharded(at, fn)
+	}
 	if at < s.now {
 		panic(fmt.Sprintf("sim: schedule in the past: at=%v now=%v", at, s.now))
 	}
-	ev := &event{at: at, seq: s.seq, fn: fn}
+	ev := s.alloc(at, fn)
+	ev.seq = s.seq
 	s.seq++
-	heap.Push(&s.queue, ev)
-	return &Timer{ev: ev}
+	heapPush(&s.queue, ev)
+	s.live++
+	return ev
 }
 
-// Stop makes Run return after the currently executing event completes.
-func (s *Sim) Stop() { s.stopped = true }
+// Stop makes Run return after the currently executing event completes. In
+// parallel mode the run stops at the next window boundary.
+func (s *Sim) Stop() {
+	r := s.root
+	if r.par != nil {
+		r.par.stopReq.Store(true)
+		return
+	}
+	r.stopped = true
+}
 
 // Run executes events in timestamp order until the queue is empty, until the
 // horizon is crossed, or until Stop is called. A zero horizon means no limit.
-// It returns the virtual time at which the run ended.
+// It returns the virtual time at which the run ended: the horizon when the
+// horizon bounded the run, otherwise the time of the last executed event.
+// In particular, after Stop() the clock is NOT advanced to the horizon —
+// the stop time is the end time.
 func (s *Sim) Run(horizon Time) Time {
+	if s.par != nil {
+		return s.runParallel(horizon)
+	}
 	s.stopped = false
 	for len(s.queue) > 0 && !s.stopped {
 		ev := s.queue[0]
@@ -189,13 +443,20 @@ func (s *Sim) Run(horizon Time) Time {
 			s.now = horizon
 			return s.now
 		}
-		heap.Pop(&s.queue)
+		heapPop(&s.queue)
 		if ev.dead {
+			s.release(ev)
 			continue
 		}
 		s.now = ev.at
+		s.live--
 		s.Executed++
-		ev.fn()
+		fn := ev.fn
+		s.release(ev)
+		fn()
+	}
+	if s.stopped {
+		return s.now
 	}
 	if horizon > 0 && s.now < horizon {
 		s.now = horizon
@@ -203,13 +464,5 @@ func (s *Sim) Run(horizon Time) Time {
 	return s.now
 }
 
-// Pending reports the number of live events still queued.
-func (s *Sim) Pending() int {
-	n := 0
-	for _, ev := range s.queue {
-		if !ev.dead {
-			n++
-		}
-	}
-	return n
-}
+// Pending reports the number of live events still queued, in O(1).
+func (s *Sim) Pending() int { return s.live }

@@ -126,6 +126,23 @@ func Build(s *sim.Sim, spec Spec) (*Network, error) {
 	return n, nil
 }
 
+// UsePool installs one packet pool on every link direction and host of the
+// network, so terminally dropped data packets (failure/chaos drops, sink
+// hosts without handlers) are recycled instead of garbage-collected. The
+// returned pool is what pooled traffic generators (traffic.UDPSource.Pool)
+// should draw from. Pools are single-threaded like the Sim; use one per
+// trial or per shard.
+func (n *Network) UsePool() *netsim.PacketPool {
+	p := netsim.NewPacketPool()
+	for _, l := range n.links {
+		l.SetPool(p)
+	}
+	for _, h := range n.Hosts {
+		h.SetPool(p)
+	}
+	return p
+}
+
 // Link returns the link between two switches, in either spec order.
 func (n *Network) Link(a, b string) *netsim.Link {
 	if l, ok := n.links[a+"|"+b]; ok {

@@ -159,14 +159,19 @@ func (d *Driver) Completed() int {
 // UDPSource emits constant-bit-rate UDP packets for one entry, as in the
 // Figure 10 testbed (50 Mbps UDP alongside TCP).
 type UDPSource struct {
-	s     *sim.Sim
-	host  *netsim.Host
-	flow  netsim.FlowID
-	entry netsim.EntryID
-	dst   uint32
-	size  int
-	gap   sim.Time
-	stop  sim.Time
+	s      *sim.Sim
+	host   *netsim.Host
+	flow   netsim.FlowID
+	entry  netsim.EntryID
+	dst    uint32
+	size   int
+	gap    sim.Time
+	stop   sim.Time
+	tickFn func() // bound once: the tick→tick reschedule must not allocate
+
+	// Pool, when set, supplies the emitted packets. Pair it with a pooled
+	// sink (Host.SetPool / LinkEnd.SetPool) so dead packets flow back.
+	Pool *netsim.PacketPool
 
 	Sent uint64
 }
@@ -180,6 +185,7 @@ func NewUDPSource(s *sim.Sim, host *netsim.Host, flow netsim.FlowID, entry netsi
 	if u.gap <= 0 {
 		u.gap = sim.Microsecond
 	}
+	u.tickFn = u.tick
 	return u
 }
 
@@ -190,10 +196,18 @@ func (u *UDPSource) tick() {
 	if u.stop > 0 && u.s.Now() >= u.stop {
 		return
 	}
-	u.host.Send(&netsim.Packet{
-		Flow: u.flow, Entry: u.entry, Dst: u.dst,
-		Proto: netsim.ProtoUDP, Size: u.size,
-	})
+	var pkt *netsim.Packet
+	if u.Pool != nil {
+		pkt = u.Pool.Get()
+		pkt.Flow, pkt.Entry, pkt.Dst = u.flow, u.entry, u.dst
+		pkt.Proto, pkt.Size = netsim.ProtoUDP, u.size
+	} else {
+		pkt = &netsim.Packet{
+			Flow: u.flow, Entry: u.entry, Dst: u.dst,
+			Proto: netsim.ProtoUDP, Size: u.size,
+		}
+	}
+	u.host.Send(pkt)
 	u.Sent++
-	u.s.Schedule(u.gap, u.tick)
+	u.s.After(u.gap, u.tickFn)
 }

@@ -167,9 +167,10 @@ type Message struct {
 }
 
 // Marshal encodes m, appending to dst (which may be nil) and returning the
-// extended buffer.
+// extended buffer. Callers that know Size() can pre-allocate dst exactly;
+// the payload is appended in place either way (no scratch buffer), with
+// the length and checksum backfilled into the header.
 func (m *Message) Marshal(dst []byte) []byte {
-	payload := m.appendPayload(nil)
 	start := len(dst)
 	dst = append(dst,
 		Version, byte(m.Type), byte(m.Kind), m.Epoch,
@@ -179,11 +180,11 @@ func (m *Message) Marshal(dst []byte) []byte {
 		0, 0, // payload length
 		0, 0, // checksum
 	)
+	dst = m.appendPayload(dst)
 	binary.BigEndian.PutUint32(dst[start+4:], m.Session)
 	binary.BigEndian.PutUint16(dst[start+8:], m.Link)
 	binary.BigEndian.PutUint16(dst[start+10:], m.Unit)
-	binary.BigEndian.PutUint16(dst[start+12:], uint16(len(payload)))
-	dst = append(dst, payload...)
+	binary.BigEndian.PutUint16(dst[start+12:], uint16(len(dst)-start-headerSize))
 	csum := Checksum(dst[start:])
 	binary.BigEndian.PutUint16(dst[start+14:], csum)
 	return dst
@@ -210,69 +211,92 @@ func (m *Message) appendPayload(b []byte) []byte {
 	return b
 }
 
-// Unmarshal parses a control message from b, returning the message and the
-// number of bytes consumed.
+// Unmarshal parses a control message from b, returning a freshly allocated
+// message and the number of bytes consumed.
 func Unmarshal(b []byte) (*Message, int, error) {
+	m := new(Message)
+	n, err := UnmarshalInto(b, m)
+	if err != nil {
+		return nil, 0, err
+	}
+	return m, n, nil
+}
+
+// grow returns s resized to n elements, reusing its backing array when the
+// capacity allows. Element values are overwritten by the caller.
+func grow[T any](s []T, n int) []T {
+	if cap(s) < n {
+		return make([]T, n)
+	}
+	return s[:n]
+}
+
+// UnmarshalInto parses a control message from b into m, reusing the capacity
+// of m.Counters, m.Targets and their Path slices, and returns the number of
+// bytes consumed. A long-lived scratch Message makes steady-state parsing
+// allocation-free.
+//
+// The decoded slices are only valid until the next UnmarshalInto on the same
+// m: consumers that retain m.Counters, m.Targets or a Path beyond the call
+// that handed them the message must copy them. On error, m holds partially
+// decoded garbage and must not be read.
+func UnmarshalInto(b []byte, m *Message) (int, error) {
 	if len(b) < headerSize {
-		return nil, 0, ErrShort
+		return 0, ErrShort
 	}
 	if b[0] != Version {
-		return nil, 0, fmt.Errorf("%w: %d", ErrVersion, b[0])
+		return 0, fmt.Errorf("%w: %d", ErrVersion, b[0])
 	}
 	plen := int(binary.BigEndian.Uint16(b[12:]))
 	total := headerSize + plen
 	if len(b) < total {
-		return nil, 0, ErrTruncl
+		return 0, ErrTruncl
 	}
 	if Checksum(b[:total]) != 0 {
-		return nil, 0, ErrChecksum
+		return 0, ErrChecksum
 	}
-	m := &Message{Header: Header{
+	m.Header = Header{
 		Type:    MsgType(b[1]),
 		Kind:    SessionKind(b[2]),
 		Epoch:   b[3],
 		Session: binary.BigEndian.Uint32(b[4:]),
 		Link:    binary.BigEndian.Uint16(b[8:]),
 		Unit:    binary.BigEndian.Uint16(b[10:]),
-	}}
+	}
 	p := b[headerSize:total]
 	nc := int(binary.BigEndian.Uint16(p))
 	p = p[2:]
 	if len(p) < nc*4 {
-		return nil, 0, ErrTruncl
+		return 0, ErrTruncl
 	}
-	if nc > 0 {
-		m.Counters = make([]uint64, nc)
-		for i := range m.Counters {
-			m.Counters[i] = uint64(binary.BigEndian.Uint32(p))
-			p = p[4:]
-		}
+	m.Counters = grow(m.Counters, nc)
+	for i := range m.Counters {
+		m.Counters[i] = uint64(binary.BigEndian.Uint32(p))
+		p = p[4:]
 	}
 	if len(p) < 2 {
-		return nil, 0, ErrTruncl
+		return 0, ErrTruncl
 	}
 	nt := int(binary.BigEndian.Uint16(p))
 	p = p[2:]
-	if nt > 0 {
-		m.Targets = make([]ZoomTarget, nt)
-		for i := range m.Targets {
-			if len(p) < 2 {
-				return nil, 0, ErrTruncl
-			}
-			np := int(binary.BigEndian.Uint16(p))
-			p = p[2:]
-			if len(p) < np*2 {
-				return nil, 0, ErrTruncl
-			}
-			path := make([]uint16, np)
-			for j := range path {
-				path[j] = binary.BigEndian.Uint16(p)
-				p = p[2:]
-			}
-			m.Targets[i].Path = path
+	m.Targets = grow(m.Targets, nt)
+	for i := range m.Targets {
+		if len(p) < 2 {
+			return 0, ErrTruncl
 		}
+		np := int(binary.BigEndian.Uint16(p))
+		p = p[2:]
+		if len(p) < np*2 {
+			return 0, ErrTruncl
+		}
+		path := grow(m.Targets[i].Path, np)
+		for j := range path {
+			path[j] = binary.BigEndian.Uint16(p)
+			p = p[2:]
+		}
+		m.Targets[i].Path = path
 	}
-	return m, total, nil
+	return total, nil
 }
 
 // WireSize returns the encoded size of the message in bytes without

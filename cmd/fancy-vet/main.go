@@ -1,27 +1,33 @@
 // Command fancy-vet runs the repo-specific static-analysis suite that
-// enforces simulator determinism and concurrency invariants:
+// enforces simulator determinism, ownership and concurrency invariants:
 //
 //	walltime        no wall-clock access in simulation-facing packages
 //	globalrand      no global math/rand anywhere
-//	maporder        no order-sensitive map iteration without sorted keys
+//	maporder        no order-sensitive map or sync.Map.Range iteration without sorted keys
 //	floateq         no floating-point == / != in stats, exp and fancy
 //	lockedcallback  no callback invocation while the receiver's mutex is held
+//	poolsafe        no use of a pooled object after Put, no double Put, no Put after escape
+//	borrowescape    no UnmarshalInto scratch alias escaping the borrowing function
+//	shardsafe       no cross-shard writes from shard callbacks that bypass the barrier merge
 //
 // Usage:
 //
-//	fancy-vet [-json] [packages]
+//	fancy-vet [-json] [-github] [packages]
 //
 // Packages are module-relative directories, optionally ending in /...;
 // the default is ./... (the whole module). Findings print as
-// file:line:col: analyzer: message; -json emits them as a JSON array.
+// file:line:col: analyzer: message; -json emits them as a JSON array;
+// -github emits GitHub Actions ::error workflow commands so findings show
+// up as inline annotations on the pull request.
 // Exit status is 1 if there are findings, 2 on load errors, 0 otherwise.
 //
 // A finding is suppressed only by an inline directive with a reason:
 //
 //	//lint:allow <analyzer> <reason>
 //
-// on the offending line or the line above. Directives with an empty reason
-// or an unknown analyzer name are themselves findings.
+// trailing the offending line, or on a comment line directly above it.
+// Directives with an empty reason or an unknown analyzer name are
+// themselves findings.
 package main
 
 import (
@@ -30,6 +36,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"strings"
 
 	"fancy/internal/lint"
 )
@@ -42,10 +49,30 @@ type jsonFinding struct {
 	Message  string `json:"message"`
 }
 
+// ghEscape escapes a workflow-command message: GitHub Actions parses %, CR
+// and LF as command delimiters, so they are URL-style encoded (% first, or
+// the escapes themselves would be re-escaped).
+func ghEscape(s string) string {
+	s = strings.ReplaceAll(s, "%", "%25")
+	s = strings.ReplaceAll(s, "\r", "%0D")
+	s = strings.ReplaceAll(s, "\n", "%0A")
+	return s
+}
+
+// ghEscapeProp escapes a workflow-command property value, which additionally
+// treats commas and colons as delimiters.
+func ghEscapeProp(s string) string {
+	s = ghEscape(s)
+	s = strings.ReplaceAll(s, ",", "%2C")
+	s = strings.ReplaceAll(s, ":", "%3A")
+	return s
+}
+
 func main() {
 	jsonOut := flag.Bool("json", false, "emit findings as a JSON array")
+	githubOut := flag.Bool("github", false, "emit findings as GitHub Actions ::error annotations")
 	flag.Usage = func() {
-		fmt.Fprintf(flag.CommandLine.Output(), "usage: fancy-vet [-json] [packages]\n\nanalyzers:\n")
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: fancy-vet [-json] [-github] [packages]\n\nanalyzers:\n")
 		for _, a := range lint.Analyzers() {
 			fmt.Fprintf(flag.CommandLine.Output(), "  %-14s %s\n", a.Name, a.Doc)
 		}
@@ -75,7 +102,8 @@ func main() {
 		}
 		return file
 	}
-	if *jsonOut {
+	switch {
+	case *jsonOut:
 		out := make([]jsonFinding, 0, len(findings))
 		for _, f := range findings {
 			out = append(out, jsonFinding{
@@ -92,7 +120,15 @@ func main() {
 			fmt.Fprintln(os.Stderr, "fancy-vet:", err)
 			os.Exit(2)
 		}
-	} else {
+	case *githubOut:
+		// Workflow commands must use forward slashes so the annotation
+		// anchors to the file in the PR diff view.
+		for _, f := range findings {
+			fmt.Printf("::error file=%s,line=%d,col=%d,title=%s::%s\n",
+				ghEscapeProp(filepath.ToSlash(display(f.Pos.Filename))), f.Pos.Line, f.Pos.Column,
+				ghEscapeProp("fancy-vet "+f.Analyzer), ghEscape(f.Message))
+		}
+	default:
 		for _, f := range findings {
 			fmt.Printf("%s:%d:%d: %s: %s\n",
 				display(f.Pos.Filename), f.Pos.Line, f.Pos.Column, f.Analyzer, f.Message)

@@ -1,0 +1,485 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// AnalyzerBorrowEscape enforces wire.UnmarshalInto's borrow contract: the
+// message decoded into a reused scratch — and every slice or sub-struct
+// reachable from it — is only valid until the next decode into the same
+// scratch. Retaining such a value past the borrowing function (returning
+// it, storing it into a field, package variable or parameter, sending it on
+// a channel, or capturing it in a closure / go / defer) without a copy means
+// it will be silently overwritten by the next decode.
+//
+// A scratch is considered reused (and its contents borrowed) when it is a
+// parameter, a field pointer, a package variable, or a local that is
+// decoded into inside a loop that does not also freshly allocate it.
+// A local freshly allocated before a single decode — the wire.Unmarshal
+// shape `m := new(Message); UnmarshalInto(b, m); return m` — owns its
+// memory and is exempt.
+//
+// Borrowedness propagates through retaining projections and containers
+// (m.Counters, m.Targets[i], append(xs, m), composite literals, range
+// element values) but dies at value copies: scalar reads (m.Counters[0]),
+// results of ordinary function calls, and append's flattening of a
+// scalar-element slice (append(dst, m.Path...)).
+var AnalyzerBorrowEscape = &Analyzer{
+	Name: "borrowescape",
+	Doc:  "no wire.UnmarshalInto scratch alias may escape the borrowing function without a copy",
+	Run:  runBorrowEscape,
+}
+
+func runBorrowEscape(p *Package) []Finding {
+	var out []Finding
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch fn := n.(type) {
+			case *ast.FuncDecl:
+				if fn.Body != nil {
+					out = append(out, borrowFunc(p, fn.Recv, fn.Type, fn.Body)...)
+				}
+			case *ast.FuncLit:
+				if fn.Body != nil {
+					out = append(out, borrowFunc(p, nil, fn.Type, fn.Body)...)
+				}
+			}
+			return true
+		})
+	}
+	return out
+}
+
+// isUnmarshalInto reports whether call is wire.UnmarshalInto (or
+// UnmarshalInto within package wire itself) and returns the scratch
+// argument's identifier, unwrapping a leading &.
+func isUnmarshalInto(p *Package, call *ast.CallExpr) (*ast.Ident, bool) {
+	if len(call.Args) != 2 {
+		return nil, false
+	}
+	switch fun := call.Fun.(type) {
+	case *ast.SelectorExpr:
+		path := importedPackage(p, fun.X)
+		if fun.Sel.Name != "UnmarshalInto" || (path != "wire" && !strings.HasSuffix(path, "/wire")) {
+			return nil, false
+		}
+	case *ast.Ident:
+		if fun.Name != "UnmarshalInto" || p.Name != "wire" {
+			return nil, false
+		}
+	default:
+		return nil, false
+	}
+	arg := call.Args[1]
+	if ue, ok := arg.(*ast.UnaryExpr); ok && ue.Op == token.AND {
+		arg = ue.X
+	}
+	id, ok := arg.(*ast.Ident)
+	return id, ok
+}
+
+func borrowFunc(p *Package, recv *ast.FieldList, ftype *ast.FuncType, body *ast.BlockStmt) []Finding {
+	// Cheap pre-filter.
+	hasDecode := false
+	inspectNoFuncLit(body, func(n ast.Node) bool {
+		if call, ok := n.(*ast.CallExpr); ok {
+			if _, ok := isUnmarshalInto(p, call); ok {
+				hasDecode = true
+			}
+		}
+		return !hasDecode
+	})
+	if !hasDecode {
+		return nil
+	}
+
+	a := &borrowFlow{p: p, params: map[types.Object]bool{}, reused: map[*ast.CallExpr]bool{}}
+	for _, fl := range []*ast.FieldList{recv, ftype.Params, ftype.Results} {
+		if fl == nil {
+			continue
+		}
+		for _, field := range fl.List {
+			for _, name := range field.Names {
+				if obj := p.Info.Defs[name]; obj != nil {
+					a.params[obj] = true
+				}
+			}
+		}
+	}
+	a.classifyScratches(body)
+
+	g := buildCFG(body)
+	in := g.forward(flowState{}, func(n ast.Node, s flowState) { a.step(n, s, false) })
+	a.reporting = true
+	g.replay(in,
+		func(n ast.Node, s flowState) { a.step(n, s, false) },
+		func(n ast.Node, s flowState) { a.step(n, s, true) })
+	return a.findings
+}
+
+type borrowFlow struct {
+	p         *Package
+	params    map[types.Object]bool
+	reused    map[*ast.CallExpr]bool // UnmarshalInto call -> scratch is a reused buffer
+	reporting bool
+	findings  []Finding
+}
+
+// classifyScratches decides, per UnmarshalInto call, whether the scratch is
+// a reused buffer (borrowed) or freshly allocated for a single decode
+// (exempt). Locals are exempt when every definition is a fresh allocation
+// and no decode sits in a loop entered after the definition.
+func (a *borrowFlow) classifyScratches(body *ast.BlockStmt) {
+	type def struct {
+		pos   token.Pos
+		fresh bool
+	}
+	defs := map[types.Object][]def{}
+	freshRHS := func(e ast.Expr) bool {
+		switch x := e.(type) {
+		case *ast.CallExpr:
+			id, ok := x.Fun.(*ast.Ident)
+			if !ok || id.Name != "new" {
+				return false
+			}
+			_, isBuiltin := a.p.Info.Uses[id].(*types.Builtin)
+			return isBuiltin
+		case *ast.CompositeLit:
+			return true
+		case *ast.UnaryExpr:
+			if x.Op != token.AND {
+				return false
+			}
+			_, isLit := x.X.(*ast.CompositeLit)
+			return isLit
+		}
+		return false
+	}
+	record := func(id *ast.Ident, rhs ast.Expr) {
+		obj := a.p.Info.Defs[id]
+		if obj == nil {
+			obj = a.p.Info.Uses[id]
+		}
+		if obj == nil {
+			return
+		}
+		defs[obj] = append(defs[obj], def{id.Pos(), rhs == nil || freshRHS(rhs)})
+	}
+	inspectNoFuncLit(body, func(n ast.Node) bool {
+		switch st := n.(type) {
+		case *ast.AssignStmt:
+			for i, lhs := range st.Lhs {
+				if id, ok := lhs.(*ast.Ident); ok {
+					if len(st.Lhs) == len(st.Rhs) {
+						record(id, st.Rhs[i])
+					} else {
+						record(id, st.Rhs[0]) // tuple: not fresh
+					}
+				}
+			}
+		case *ast.ValueSpec:
+			for i, name := range st.Names {
+				if i < len(st.Values) {
+					record(name, st.Values[i])
+				} else {
+					record(name, nil) // var m Message: zero value is fresh
+				}
+			}
+		}
+		return true
+	})
+
+	var loops []ast.Node
+	var walk func(n ast.Node)
+	walk = func(n ast.Node) {
+		ast.Inspect(n, func(m ast.Node) bool {
+			switch x := m.(type) {
+			case *ast.FuncLit:
+				return false // analyzed as its own function
+			case *ast.ForStmt, *ast.RangeStmt:
+				if m != n {
+					loops = append(loops, m)
+					walk(m)
+					loops = loops[:len(loops)-1]
+					return false
+				}
+			case *ast.CallExpr:
+				id, ok := isUnmarshalInto(a.p, x)
+				if !ok {
+					break
+				}
+				obj := a.p.Info.Uses[id]
+				if obj == nil {
+					obj = a.p.Info.Defs[id]
+				}
+				isLocal := false
+				if obj != nil {
+					_, isLocal = defs[obj]
+				}
+				reused := true
+				if isLocal && !a.params[obj] {
+					reused = false
+					for _, d := range defs[obj] {
+						if !d.fresh {
+							reused = true
+						}
+						// A decode inside a loop the definition does not
+						// re-enter reuses the same allocation every pass.
+						for _, l := range loops {
+							if !(l.Pos() <= d.pos && d.pos < l.End()) {
+								reused = true
+							}
+						}
+					}
+				}
+				a.reused[x] = reused
+			}
+			return true
+		})
+	}
+	walk(body)
+}
+
+// borrowed reports whether evaluating e yields a value that aliases a
+// borrowed scratch and is capable of retaining it (per typeRetains).
+func (a *borrowFlow) borrowed(e ast.Expr, s flowState) bool {
+	switch x := e.(type) {
+	case *ast.ParenExpr:
+		return a.borrowed(x.X, s)
+	case *ast.CompositeLit:
+		for _, elt := range x.Elts {
+			if kv, ok := elt.(*ast.KeyValueExpr); ok {
+				elt = kv.Value
+			}
+			if a.borrowed(elt, s) {
+				return true
+			}
+		}
+		return false
+	case *ast.CallExpr:
+		if id, ok := x.Fun.(*ast.Ident); ok && id.Name == "append" {
+			if _, isBuiltin := a.p.Info.Uses[id].(*types.Builtin); isBuiltin {
+				if a.borrowed(x.Args[0], s) {
+					return true
+				}
+				for i, arg := range x.Args[1:] {
+					if x.Ellipsis != token.NoPos && i == len(x.Args)-2 {
+						// append(dst, src...) copies elements; only
+						// retaining elements keep aliasing the scratch.
+						if sl, ok := a.p.Info.TypeOf(arg).Underlying().(*types.Slice); ok {
+							if a.borrowed(arg, s) && typeRetains(sl.Elem()) {
+								return true
+							}
+							continue
+						}
+					}
+					if a.borrowed(arg, s) {
+						return true
+					}
+				}
+			}
+		}
+		return false // ordinary call results are fresh copies
+	}
+	obj := rootIdentObj(a.p, e)
+	if obj == nil || s[obj]&factBorrowed == 0 {
+		return false
+	}
+	t := a.p.Info.TypeOf(e)
+	return t != nil && typeRetains(t)
+}
+
+func (a *borrowFlow) step(n ast.Node, s flowState, check bool) {
+	if rs, ok := n.(*ast.RangeStmt); ok {
+		// Range element values alias the ranged container's backing array.
+		fromBorrowed := a.borrowed(rs.X, s)
+		for _, e := range []ast.Expr{rs.Key, rs.Value} {
+			id, ok := e.(*ast.Ident)
+			if !ok {
+				continue
+			}
+			obj := a.p.Info.Defs[id]
+			if obj == nil {
+				obj = a.p.Info.Uses[id]
+			}
+			if obj == nil {
+				continue
+			}
+			delete(s, obj)
+			if t := a.p.Info.TypeOf(id); fromBorrowed && t != nil && typeRetains(t) {
+				s[obj] = factBorrowed
+			}
+		}
+		return
+	}
+
+	// Decodes mark their scratch borrowed (unless the fresh-local shape
+	// exempted the call).
+	inspectNoFuncLit(n, func(m ast.Node) bool {
+		call, ok := m.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		id, ok := isUnmarshalInto(a.p, call)
+		if !ok || !a.reused[call] {
+			return true
+		}
+		obj := a.p.Info.Uses[id]
+		if obj == nil {
+			obj = a.p.Info.Defs[id]
+		}
+		if obj != nil {
+			s[obj] |= factBorrowed
+		}
+		return true
+	})
+
+	if check {
+		a.checkEscapes(n, s)
+	}
+
+	// Assignment transfer: borrowedness flows with the value.
+	switch st := n.(type) {
+	case *ast.AssignStmt:
+		a.assign(st.Lhs, st.Rhs, s)
+	case *ast.DeclStmt:
+		if gd, ok := st.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					lhs := make([]ast.Expr, len(vs.Names))
+					for i, name := range vs.Names {
+						lhs[i] = name
+					}
+					a.assign(lhs, vs.Values, s)
+				}
+			}
+		}
+	}
+
+	// Closure captures: a literal that outlives this statement may run
+	// after the next decode.
+	if check {
+		ast.Inspect(n, func(m ast.Node) bool {
+			if call, ok := m.(*ast.CallExpr); ok {
+				if fl, ok := call.Fun.(*ast.FuncLit); ok && isImmediatelyInvoked(call, fl) {
+					return true // synchronous; nested literals still visited
+				}
+			}
+			fl, ok := m.(*ast.FuncLit)
+			if !ok {
+				return true
+			}
+			for obj := range freeVars(a.p, fl) {
+				if s[obj]&factBorrowed != 0 && typeRetains(obj.Type()) {
+					a.report(fl.Pos(), obj.Name()+" aliases an UnmarshalInto scratch and is captured by a closure that may outlive this decode; copy the needed data first")
+					break
+				}
+			}
+			return false
+		})
+	}
+}
+
+// assign moves borrowed facts across an assignment. Storing a borrowed
+// value into a parameter, receiver, or package variable escapes the
+// function; storing it into a local just marks the local borrowed.
+func (a *borrowFlow) assign(lhs, rhs []ast.Expr, s flowState) {
+	rhsBorrowed := func(i int) bool {
+		if len(lhs) == len(rhs) {
+			return a.borrowed(rhs[i], s)
+		}
+		return false // tuple results are fresh
+	}
+	for i, l := range lhs {
+		if id, ok := l.(*ast.Ident); ok {
+			obj := a.p.Info.Defs[id]
+			if obj == nil {
+				obj = a.p.Info.Uses[id]
+			}
+			if obj == nil {
+				continue
+			}
+			if rhsBorrowed(i) {
+				s[obj] |= factBorrowed
+			} else {
+				delete(s, obj)
+			}
+			continue
+		}
+		// Store through a selector/index/deref: the target's root keeps
+		// the alias alive.
+		if rhsBorrowed(i) {
+			if obj := rootIdentObj(a.p, l); obj != nil && !a.params[obj] && !a.isPackageLevel(obj) {
+				s[obj] |= factBorrowed
+			}
+		}
+	}
+}
+
+func (a *borrowFlow) isPackageLevel(obj types.Object) bool {
+	return obj.Parent() == a.p.Types.Scope()
+}
+
+// checkEscapes reports borrowed values that leave the borrowing function.
+func (a *borrowFlow) checkEscapes(n ast.Node, s flowState) {
+	inspectNoFuncLit(n, func(m ast.Node) bool {
+		switch st := m.(type) {
+		case *ast.ReturnStmt:
+			for _, r := range st.Results {
+				if a.borrowed(r, s) {
+					a.report(r.Pos(), types.ExprString(r)+" aliases an UnmarshalInto scratch and is returned without a copy; the next decode into the same scratch overwrites it")
+				}
+			}
+		case *ast.SendStmt:
+			if a.borrowed(st.Value, s) {
+				a.report(st.Value.Pos(), types.ExprString(st.Value)+" aliases an UnmarshalInto scratch and is sent on a channel; the receiver may read it after the next decode")
+			}
+		case *ast.AssignStmt:
+			for i, l := range st.Lhs {
+				var src ast.Expr
+				if len(st.Lhs) == len(st.Rhs) {
+					src = st.Rhs[i]
+				}
+				if src == nil || !a.borrowed(src, s) {
+					continue
+				}
+				var root types.Object
+				if id, ok := l.(*ast.Ident); ok {
+					root = a.p.Info.Uses[id]
+				} else {
+					root = rootIdentObj(a.p, l)
+				}
+				if root != nil && (a.params[root] || a.isPackageLevel(root)) {
+					a.report(st.Pos(), types.ExprString(src)+" aliases an UnmarshalInto scratch and is stored outside the function via "+root.Name()+"; copy it first")
+				}
+			}
+		case *ast.GoStmt:
+			for _, arg := range st.Call.Args {
+				if a.borrowed(arg, s) {
+					a.report(arg.Pos(), types.ExprString(arg)+" aliases an UnmarshalInto scratch and is passed to a goroutine; it may run after the next decode")
+				}
+			}
+		case *ast.DeferStmt:
+			for _, arg := range st.Call.Args {
+				if a.borrowed(arg, s) {
+					a.report(arg.Pos(), types.ExprString(arg)+" aliases an UnmarshalInto scratch and is passed to a deferred call that runs after later decodes")
+				}
+			}
+		}
+		return true
+	})
+}
+
+func (a *borrowFlow) report(pos token.Pos, msg string) {
+	if !a.reporting {
+		return
+	}
+	a.findings = append(a.findings, Finding{
+		Pos:      a.p.Fset.Position(pos),
+		Analyzer: "borrowescape",
+		Message:  msg,
+	})
+}

@@ -7,17 +7,20 @@
 //
 //	//lint:allow <analyzer> <reason>
 //
-// directive on the offending line (or the line directly above it), and the
-// driver verifies the reason is non-empty: a bare allow is itself reported
-// as a finding.
+// directive trailing the offending line (or on a comment line directly
+// above it — each scope is exclusive, so one directive never covers two
+// lines), and the driver verifies the reason is non-empty: a bare allow is
+// itself reported as a finding.
 package lint
 
 import (
 	"go/ast"
 	"go/token"
 	"go/types"
+	"runtime"
 	"sort"
 	"strings"
+	"sync"
 )
 
 // Finding is one analyzer report.
@@ -42,6 +45,9 @@ func Analyzers() []*Analyzer {
 		AnalyzerMapOrder,
 		AnalyzerFloatEq,
 		AnalyzerLockedCallback,
+		AnalyzerPoolSafe,
+		AnalyzerBorrowEscape,
+		AnalyzerShardSafe,
 	}
 }
 
@@ -81,52 +87,109 @@ func fileDirectives(fset *token.FileSet, f *ast.File) []directive {
 	return ds
 }
 
+// codeLines returns the set of line numbers of f that carry any non-comment
+// source token. Directive scoping depends on it: a directive sharing a line
+// with code trails that code; a directive on a comment-only line precedes
+// the code below it.
+func codeLines(fset *token.FileSet, f *ast.File) map[int]bool {
+	lines := make(map[int]bool)
+	ast.Inspect(f, func(n ast.Node) bool {
+		switch n.(type) {
+		case nil, *ast.Comment, *ast.CommentGroup:
+			return false
+		}
+		lines[fset.Position(n.Pos()).Line] = true
+		lines[fset.Position(n.End()-1).Line] = true
+		return true
+	})
+	return lines
+}
+
+// runPackage runs the analyzers over one package and returns its
+// unsuppressed findings plus directive diagnostics, unsorted.
+//
+// Suppression scope is exact: a directive trailing code suppresses findings
+// of its named analyzer on that line only; a directive on a comment-only
+// line suppresses them on the next line only. One directive can therefore
+// never blanket two different findings — a line carrying two findings needs
+// each analyzer named (trailing for one, a comment line above for the
+// other).
+func runPackage(p *Package, analyzers []*Analyzer, known map[string]bool) []Finding {
+	var ds []directive
+	code := make(map[string]map[int]bool)
+	for _, f := range p.Files {
+		ds = append(ds, fileDirectives(p.Fset, f)...)
+		pos := p.Fset.Position(f.Pos())
+		code[pos.Filename] = codeLines(p.Fset, f)
+	}
+	suppressed := func(f Finding) bool {
+		for _, d := range ds {
+			if d.analyzer != f.Analyzer || d.reason == "" ||
+				d.pos.Filename != f.Pos.Filename {
+				continue
+			}
+			if code[d.pos.Filename][d.pos.Line] {
+				if d.pos.Line == f.Pos.Line {
+					return true // trails the offending code
+				}
+			} else if d.pos.Line == f.Pos.Line-1 {
+				return true // comment line directly above it
+			}
+		}
+		return false
+	}
+	var out []Finding
+	for _, d := range ds {
+		switch {
+		case d.analyzer == "":
+			out = append(out, Finding{Pos: d.pos, Analyzer: directiveAnalyzer,
+				Message: "//lint:allow needs an analyzer name and a reason"})
+		case !known[d.analyzer]:
+			out = append(out, Finding{Pos: d.pos, Analyzer: directiveAnalyzer,
+				Message: "//lint:allow " + d.analyzer + ": unknown analyzer"})
+		case d.reason == "":
+			out = append(out, Finding{Pos: d.pos, Analyzer: directiveAnalyzer,
+				Message: "//lint:allow " + d.analyzer + " has an empty reason; justify the suppression"})
+		}
+	}
+	for _, a := range analyzers {
+		for _, f := range a.Run(p) {
+			if !suppressed(f) {
+				out = append(out, f)
+			}
+		}
+	}
+	return out
+}
+
 // Run executes the analyzers over the packages and returns the unsuppressed
 // findings plus one finding per malformed directive, sorted by position.
+//
+// Packages are analyzed concurrently (bounded by GOMAXPROCS): analyzers
+// only read the type-checked package data, and the shared token.FileSet is
+// internally synchronized. Findings are accumulated per package and merged
+// under a total order, so the output is independent of scheduling.
 func Run(pkgs []*Package, analyzers []*Analyzer) []Finding {
 	known := make(map[string]bool)
 	for _, a := range analyzers {
 		known[a.Name] = true
 	}
+	results := make([][]Finding, len(pkgs))
+	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
+	var wg sync.WaitGroup
+	for i, p := range pkgs {
+		wg.Add(1)
+		go func(i int, p *Package) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			results[i] = runPackage(p, analyzers, known)
+		}(i, p)
+	}
+	wg.Wait()
 	var out []Finding
-	for _, p := range pkgs {
-		var ds []directive
-		for _, f := range p.Files {
-			ds = append(ds, fileDirectives(p.Fset, f)...)
-		}
-		// A well-formed directive suppresses findings of its analyzer on
-		// its own line and on the line below (so it can trail the code or
-		// sit on its own comment line above it).
-		suppressed := func(f Finding) bool {
-			for _, d := range ds {
-				if d.analyzer == f.Analyzer && d.reason != "" &&
-					d.pos.Filename == f.Pos.Filename &&
-					(d.pos.Line == f.Pos.Line || d.pos.Line == f.Pos.Line-1) {
-					return true
-				}
-			}
-			return false
-		}
-		for _, d := range ds {
-			switch {
-			case d.analyzer == "":
-				out = append(out, Finding{Pos: d.pos, Analyzer: directiveAnalyzer,
-					Message: "//lint:allow needs an analyzer name and a reason"})
-			case !known[d.analyzer]:
-				out = append(out, Finding{Pos: d.pos, Analyzer: directiveAnalyzer,
-					Message: "//lint:allow " + d.analyzer + ": unknown analyzer"})
-			case d.reason == "":
-				out = append(out, Finding{Pos: d.pos, Analyzer: directiveAnalyzer,
-					Message: "//lint:allow " + d.analyzer + " has an empty reason; justify the suppression"})
-			}
-		}
-		for _, a := range analyzers {
-			for _, f := range a.Run(p) {
-				if !suppressed(f) {
-					out = append(out, f)
-				}
-			}
-		}
+	for _, r := range results {
+		out = append(out, r...)
 	}
 	sort.Slice(out, func(i, j int) bool {
 		a, b := out[i], out[j]
@@ -139,7 +202,10 @@ func Run(pkgs []*Package, analyzers []*Analyzer) []Finding {
 		if a.Pos.Column != b.Pos.Column {
 			return a.Pos.Column < b.Pos.Column
 		}
-		return a.Analyzer < b.Analyzer
+		if a.Analyzer != b.Analyzer {
+			return a.Analyzer < b.Analyzer
+		}
+		return a.Message < b.Message
 	})
 	return out
 }

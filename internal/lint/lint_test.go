@@ -157,6 +157,37 @@ func TestJustifiedSuppression(t *testing.T) {
 	}
 }
 
+// TestSuppressionScope pins the one-line directive scope on the suppress
+// fixture: a trailing directive covers exactly its own line (the identical
+// finding one line below must still be reported — the old two-line window
+// leaked downward), a comment-line directive covers exactly the line below,
+// and a directive naming a different analyzer suppresses nothing.
+func TestSuppressionScope(t *testing.T) {
+	var got []string
+	for _, f := range loadFixture(t) {
+		if strings.HasSuffix(f.Pos.Filename, filepath.Join("suppress", "suppress.go")) {
+			got = append(got, fmt.Sprintf("%d:%s", f.Pos.Line, f.Analyzer))
+		}
+	}
+	want := []string{"13:floateq", "22:floateq", "36:floateq"}
+	if strings.Join(got, " ") != strings.Join(want, " ") {
+		t.Errorf("suppress fixture findings = %v, want %v", got, want)
+	}
+}
+
+// TestRunDeterministic asserts the parallel per-package fan-out in lint.Run
+// reports the identical finding sequence on repeated runs: output order is a
+// total order over (file, line, column, analyzer, message), never goroutine
+// scheduling.
+func TestRunDeterministic(t *testing.T) {
+	first := format(t, loadFixture(t))
+	for i := 0; i < 3; i++ {
+		if again := format(t, loadFixture(t)); again != first {
+			t.Fatalf("run %d produced a different finding sequence", i+2)
+		}
+	}
+}
+
 // TestRepoClean runs the suite over the real module: the tree must stay
 // vet-clean, which is the tentpole's acceptance criterion and keeps the
 // gate local to go test (CI runs the driver binary as well).

@@ -20,8 +20,10 @@ import (
 	"go/types"
 	"os"
 	"path/filepath"
+	"runtime"
 	"sort"
 	"strings"
+	"sync"
 )
 
 // Module identifies the module under analysis.
@@ -80,14 +82,15 @@ type Package struct {
 
 // loader resolves, parses and type-checks packages on demand.
 type loader struct {
-	mod     *Module
-	fset    *token.FileSet
-	ctx     build.Context
-	sizes   types.Sizes
-	pkgs    map[string]*Package       // module packages by import path
-	imports map[string]*types.Package // every checked package by import path
-	loading map[string]bool           // cycle detection
-	errs    []error                   // type errors in module packages
+	mod      *Module
+	fset     *token.FileSet
+	ctx      build.Context
+	sizes    types.Sizes
+	pkgs     map[string]*Package       // module packages by import path
+	imports  map[string]*types.Package // every checked package by import path
+	loading  map[string]bool           // cycle detection
+	errs     []error                   // type errors in module packages
+	parseSem chan struct{}             // bounds concurrent file parses
 }
 
 func newLoader(mod *Module) *loader {
@@ -96,13 +99,14 @@ func newLoader(mod *Module) *loader {
 	// fallbacks; their exported type surface is what we need.
 	ctx.CgoEnabled = false
 	return &loader{
-		mod:     mod,
-		fset:    token.NewFileSet(),
-		ctx:     ctx,
-		sizes:   types.SizesFor("gc", ctx.GOARCH),
-		pkgs:    make(map[string]*Package),
-		imports: make(map[string]*types.Package),
-		loading: make(map[string]bool),
+		mod:      mod,
+		fset:     token.NewFileSet(),
+		ctx:      ctx,
+		sizes:    types.SizesFor("gc", ctx.GOARCH),
+		pkgs:     make(map[string]*Package),
+		imports:  make(map[string]*types.Package),
+		loading:  make(map[string]bool),
+		parseSem: make(chan struct{}, runtime.GOMAXPROCS(0)),
 	}
 }
 
@@ -155,14 +159,9 @@ func (l *loader) check(path, dir string, local bool) (*types.Package, error) {
 	}
 	names := append([]string(nil), bp.GoFiles...)
 	sort.Strings(names)
-	var files []*ast.File
-	for _, name := range names {
-		f, err := parser.ParseFile(l.fset, filepath.Join(dir, name), nil,
-			parser.ParseComments|parser.SkipObjectResolution)
-		if err != nil {
-			return nil, fmt.Errorf("package %q: %v", path, err)
-		}
-		files = append(files, f)
+	files, err := l.parseFiles(dir, names)
+	if err != nil {
+		return nil, fmt.Errorf("package %q: %v", path, err)
 	}
 
 	var info *types.Info
@@ -203,6 +202,37 @@ func (l *loader) check(path, dir string, local bool) (*types.Package, error) {
 		}
 	}
 	return tp, nil
+}
+
+// parseFiles parses the package's files concurrently (bounded by GOMAXPROCS)
+// into the shared FileSet, which synchronizes internally. Results land in a
+// slice indexed by the sorted-name position, so the file order handed to the
+// type checker is identical to a sequential parse. Raw token.Pos bases are
+// assigned in completion order, but every analyzer either resolves positions
+// through the FileSet (file/line/col, which concurrency cannot change) or
+// compares Pos values for containment — and FileSet ranges never overlap, so
+// a position from another file is outside any local range either way.
+func (l *loader) parseFiles(dir string, names []string) ([]*ast.File, error) {
+	files := make([]*ast.File, len(names))
+	errs := make([]error, len(names))
+	var wg sync.WaitGroup
+	for i, name := range names {
+		wg.Add(1)
+		go func(i int, name string) {
+			defer wg.Done()
+			l.parseSem <- struct{}{}
+			defer func() { <-l.parseSem }()
+			files[i], errs[i] = parser.ParseFile(l.fset, filepath.Join(dir, name), nil,
+				parser.ParseComments|parser.SkipObjectResolution)
+		}(i, name)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return files, nil
 }
 
 // Load loads the packages selected by patterns (relative directories,

@@ -2,6 +2,7 @@ package lint
 
 import (
 	"go/ast"
+	"go/token"
 	"go/types"
 	"strings"
 )
@@ -66,23 +67,40 @@ func runMapOrder(p *Package) []Finding {
 				return true
 			}
 			ast.Inspect(body, func(n ast.Node) bool {
-				rs, ok := n.(*ast.RangeStmt)
-				if !ok || !p.isMapRange(rs) {
-					return true
+				switch x := n.(type) {
+				case *ast.RangeStmt:
+					if !p.isMapRange(x) {
+						return true
+					}
+					effects := p.mapOrderEffects(x.Body, x.Pos(), x.End())
+					if len(effects) == 0 || p.allAppendsSorted(body, x.End(), effects) {
+						return true
+					}
+					out = append(out, Finding{
+						Pos:      p.Fset.Position(x.Pos()),
+						Analyzer: "maporder",
+						Message: "map iteration order is randomized but the loop body " +
+							effects[0].desc + "; sort the keys first (or //lint:allow with a reason)",
+					})
+				case *ast.CallExpr:
+					// sync.Map.Range iterates in unspecified order, exactly
+					// like a map range: the callback body gets the same
+					// effect analysis and collect-then-sort exemption.
+					fl := p.syncMapRangeBody(x)
+					if fl == nil {
+						return true
+					}
+					effects := p.mapOrderEffects(fl.Body, fl.Pos(), fl.End())
+					if len(effects) == 0 || p.allAppendsSorted(body, x.End(), effects) {
+						return true
+					}
+					out = append(out, Finding{
+						Pos:      p.Fset.Position(x.Pos()),
+						Analyzer: "maporder",
+						Message: "sync.Map.Range iteration order is unspecified but the callback " +
+							effects[0].desc + "; collect and sort the keys first (or //lint:allow with a reason)",
+					})
 				}
-				effects := p.mapOrderEffects(rs)
-				if len(effects) == 0 {
-					return true
-				}
-				if p.allAppendsSorted(body, rs, effects) {
-					return true
-				}
-				out = append(out, Finding{
-					Pos:      p.Fset.Position(rs.Pos()),
-					Analyzer: "maporder",
-					Message: "map iteration order is randomized but the loop body " +
-						effects[0].desc + "; sort the keys first (or //lint:allow with a reason)",
-				})
 				return true
 			})
 			return true
@@ -100,10 +118,38 @@ func (p *Package) isMapRange(rs *ast.RangeStmt) bool {
 	return isMap
 }
 
-// mapOrderEffects collects the order-sensitive effects of a map-range body.
-func (p *Package) mapOrderEffects(rs *ast.RangeStmt) []mapEffect {
+// syncMapRangeBody returns the callback literal when call is
+// (*sync.Map).Range(func(k, v any) bool { ... }), nil otherwise.
+func (p *Package) syncMapRangeBody(call *ast.CallExpr) *ast.FuncLit {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Range" || len(call.Args) != 1 {
+		return nil
+	}
+	s := p.Info.Selections[sel]
+	if s == nil || s.Kind() != types.MethodVal {
+		return nil
+	}
+	t := s.Recv()
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return nil
+	}
+	obj := named.Obj()
+	if obj.Name() != "Map" || obj.Pkg() == nil || obj.Pkg().Path() != "sync" {
+		return nil
+	}
+	fl, _ := call.Args[0].(*ast.FuncLit)
+	return fl
+}
+
+// mapOrderEffects collects the order-sensitive effects of an iteration body
+// (a map-range body or a sync.Map.Range callback spanning [lo, hi)).
+func (p *Package) mapOrderEffects(body ast.Node, lo, hi token.Pos) []mapEffect {
 	var effects []mapEffect
-	ast.Inspect(rs.Body, func(n ast.Node) bool {
+	ast.Inspect(body, func(n ast.Node) bool {
 		switch s := n.(type) {
 		case *ast.AssignStmt:
 			for i, rhs := range s.Rhs {
@@ -112,7 +158,7 @@ func (p *Package) mapOrderEffects(rs *ast.RangeStmt) []mapEffect {
 					continue
 				}
 				target, root, expr := p.assignTarget(s.Lhs[i])
-				if root != nil && rs.Pos() <= root.Pos() && root.Pos() < rs.End() {
+				if root != nil && lo <= root.Pos() && root.Pos() < hi {
 					// Per-iteration target: a temporary, or a field of
 					// per-key state (ls := m[key]; ls.xs = append(...)).
 					// Each iteration touches its own target, so order
@@ -201,27 +247,28 @@ func (p *Package) emissionCall(call *ast.CallExpr) string {
 }
 
 // allAppendsSorted reports whether every effect is an append whose target is
-// passed to a sort.* / slices.Sort* call later in the same function.
-func (p *Package) allAppendsSorted(fnBody *ast.BlockStmt, rs *ast.RangeStmt, effects []mapEffect) bool {
+// passed to a sort.* / slices.Sort* call after the iteration (which ends at
+// end) in the same function.
+func (p *Package) allAppendsSorted(fnBody *ast.BlockStmt, end token.Pos, effects []mapEffect) bool {
 	for _, e := range effects {
 		if e.target == nil && e.expr == "" {
 			return false // non-append effect: never exempt
 		}
-		if !p.sortedAfter(fnBody, rs, e) {
+		if !p.sortedAfter(fnBody, end, e) {
 			return false
 		}
 	}
 	return true
 }
 
-func (p *Package) sortedAfter(fnBody *ast.BlockStmt, rs *ast.RangeStmt, e mapEffect) bool {
+func (p *Package) sortedAfter(fnBody *ast.BlockStmt, end token.Pos, e mapEffect) bool {
 	found := false
 	ast.Inspect(fnBody, func(n ast.Node) bool {
 		if found {
 			return false
 		}
 		call, ok := n.(*ast.CallExpr)
-		if !ok || call.Pos() < rs.End() {
+		if !ok || call.Pos() < end {
 			return true
 		}
 		sel, ok := call.Fun.(*ast.SelectorExpr)

@@ -1,0 +1,359 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// AnalyzerShardSafe protects the conservative-lookahead parallel scheduler's
+// barrier contract (internal/sim/parallel.go): within a lookahead window,
+// shard callbacks execute concurrently, so state written from callbacks
+// scheduled on more than one shard view races unless it is merged at the
+// window barrier or kept in per-shard slots.
+//
+// The analyzer tracks shard views inside a function — results of
+// Sim.Shard(i), elements of Sim.Shards(n) (indexed or ranged over), and
+// local aliases of either — and inspects the callback literals handed to
+// their scheduling entry points (At, After, CrossAt, Schedule, ScheduleAt,
+// ScheduleTimer). It flags
+//
+//   - writes to a variable declared outside the callback when the callback
+//     is scheduled on a loop-varying view (the same body runs on every
+//     shard) or when callbacks on two different views write the same
+//     variable, and
+//   - map writes from any loop-fanned or multiply-scheduled callback —
+//     concurrent map writes fault even when the keys are disjoint.
+//
+// Per-slot writes (res[i] = ... where the index is the fan-out loop
+// variable) are the sanctioned pattern and pass clean, as do writes to
+// state local to one shard's callback.
+var AnalyzerShardSafe = &Analyzer{
+	Name: "shardsafe",
+	Doc:  "no cross-shard writes from shard callbacks that bypass the barrier merge",
+	Run:  runShardSafe,
+}
+
+// shardSchedMethods are Sim scheduling entry points whose final argument is
+// the callback run on the receiver shard.
+var shardSchedMethods = map[string]bool{
+	"Schedule":      true,
+	"ScheduleAt":    true,
+	"ScheduleTimer": true,
+	"After":         true,
+	"At":            true,
+	"CrossAt":       true,
+}
+
+func runShardSafe(p *Package) []Finding {
+	var out []Finding
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			var body *ast.BlockStmt
+			switch fn := n.(type) {
+			case *ast.FuncDecl:
+				body = fn.Body
+			case *ast.FuncLit:
+				body = fn.Body
+			default:
+				return true
+			}
+			if body != nil {
+				out = append(out, shardSafeFunc(p, body)...)
+			}
+			return true
+		})
+	}
+	return out
+}
+
+// isSimType reports whether t (possibly behind a pointer) is the simulator
+// core type sim.Sim.
+func isSimType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Sim" && obj.Pkg() != nil && obj.Pkg().Name() == "sim"
+}
+
+// simMethodCall returns the method name when call is a method call on a
+// sim.Sim receiver, and the receiver expression.
+func simMethodCall(p *Package, call *ast.CallExpr) (string, ast.Expr) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", nil
+	}
+	selection := p.Info.Selections[sel]
+	if selection == nil || selection.Kind() != types.MethodVal || !isSimType(selection.Recv()) {
+		return "", nil
+	}
+	return sel.Sel.Name, sel.X
+}
+
+type shardWrite struct {
+	obj    types.Object // written variable's root
+	pos    token.Pos
+	name   string
+	isMap  bool
+	inLoop bool   // callback scheduled on a loop-varying view: runs on every shard
+	view   string // receiver expression; writes from one view are serial
+}
+
+func shardSafeFunc(p *Package, body *ast.BlockStmt) []Finding {
+	// Pass 1: shard collections ([]*Sim from Shards) and view objects
+	// (*Sim from Shard/indexing/ranging/aliasing). One sweep in source
+	// order is enough: views are always derived before use.
+	colls := map[types.Object]bool{}
+	views := map[types.Object]bool{}
+	record := func(lhs ast.Expr, rhs ast.Expr) {
+		id, ok := lhs.(*ast.Ident)
+		if !ok {
+			return
+		}
+		obj := p.Info.Defs[id]
+		if obj == nil {
+			obj = p.Info.Uses[id]
+		}
+		if obj == nil {
+			return
+		}
+		switch r := rhs.(type) {
+		case *ast.CallExpr:
+			if name, _ := simMethodCall(p, r); name == "Shards" {
+				colls[obj] = true
+			} else if name == "Shard" {
+				views[obj] = true
+			}
+		case *ast.IndexExpr:
+			if root := rootIdentObj(p, r.X); root != nil && colls[root] {
+				views[obj] = true
+			}
+		case *ast.Ident:
+			if root := p.Info.Uses[r]; root != nil {
+				if views[root] {
+					views[obj] = true
+				}
+				if colls[root] {
+					colls[obj] = true
+				}
+			}
+		}
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch st := n.(type) {
+		case *ast.AssignStmt:
+			if len(st.Lhs) == len(st.Rhs) {
+				for i := range st.Lhs {
+					record(st.Lhs[i], st.Rhs[i])
+				}
+			}
+		case *ast.RangeStmt:
+			overShards := false
+			if root := rootIdentObj(p, st.X); root != nil && colls[root] {
+				overShards = true
+			}
+			if call, ok := st.X.(*ast.CallExpr); ok {
+				if name, _ := simMethodCall(p, call); name == "Shards" {
+					overShards = true
+				}
+			}
+			if overShards && st.Value != nil {
+				if id, ok := st.Value.(*ast.Ident); ok {
+					if obj := p.Info.Defs[id]; obj != nil {
+						views[obj] = true
+					}
+				}
+			}
+		}
+		return true
+	})
+
+	// isViewRecv reports whether the receiver expression denotes a shard
+	// view, and whether it varies with an enclosing fan-out loop.
+	loopVarObjs := func(loops []ast.Node) map[types.Object]bool {
+		vars := map[types.Object]bool{}
+		for _, l := range loops {
+			lp, le := l.Pos(), l.End()
+			// Any object declared within the loop varies per iteration.
+			ast.Inspect(l, func(n ast.Node) bool {
+				if id, ok := n.(*ast.Ident); ok {
+					if obj := p.Info.Defs[id]; obj != nil && lp <= obj.Pos() && obj.Pos() < le {
+						vars[obj] = true
+					}
+				}
+				return true
+			})
+		}
+		return vars
+	}
+	mentionsAny := func(e ast.Expr, set map[types.Object]bool) bool {
+		found := false
+		ast.Inspect(e, func(n ast.Node) bool {
+			if id, ok := n.(*ast.Ident); ok {
+				if obj := p.Info.Uses[id]; obj != nil && set[obj] {
+					found = true
+				}
+			}
+			return !found
+		})
+		return found
+	}
+	isViewRecv := func(recv ast.Expr, loopVars map[types.Object]bool) (isView, varies bool) {
+		switch r := recv.(type) {
+		case *ast.CallExpr:
+			if name, _ := simMethodCall(p, r); name == "Shard" {
+				return true, mentionsAny(r, loopVars)
+			}
+		case *ast.IndexExpr:
+			if root := rootIdentObj(p, r.X); root != nil && colls[root] {
+				return true, mentionsAny(r.Index, loopVars)
+			}
+		case *ast.Ident:
+			if obj := p.Info.Uses[r]; obj != nil && views[obj] {
+				return true, loopVars[obj]
+			}
+		}
+		return false, false
+	}
+
+	// Pass 2: collect writes from callbacks scheduled on views, with loop
+	// context.
+	var writes []shardWrite
+	var loops []ast.Node
+	var walk func(n ast.Node)
+	walk = func(n ast.Node) {
+		ast.Inspect(n, func(m ast.Node) bool {
+			switch x := m.(type) {
+			case *ast.ForStmt, *ast.RangeStmt:
+				if m != n {
+					loops = append(loops, m)
+					walk(m)
+					loops = loops[:len(loops)-1]
+					return false
+				}
+			case *ast.CallExpr:
+				name, recv := simMethodCall(p, x)
+				if !shardSchedMethods[name] || len(x.Args) == 0 {
+					return true
+				}
+				fl, ok := x.Args[len(x.Args)-1].(*ast.FuncLit)
+				if !ok {
+					return true
+				}
+				loopVars := loopVarObjs(loops)
+				isView, varies := isViewRecv(recv, loopVars)
+				if !isView {
+					return true
+				}
+				writes = append(writes, callbackWrites(p, fl, types.ExprString(recv), varies, loopVars)...)
+			}
+			return true
+		})
+	}
+	walk(body)
+
+	// Pass 3: decide. Loop-fanned callbacks race with themselves; otherwise
+	// callbacks on two textually different views must write the same
+	// object (one shard's callbacks execute serially and may share state).
+	viewsOf := map[types.Object]map[string]bool{}
+	for _, w := range writes {
+		if viewsOf[w.obj] == nil {
+			viewsOf[w.obj] = map[string]bool{}
+		}
+		viewsOf[w.obj][w.view] = true
+	}
+	var out []Finding
+	for _, w := range writes {
+		shared := w.inLoop || len(viewsOf[w.obj]) > 1
+		if !shared {
+			continue
+		}
+		msg := w.name + " is written from shard callbacks on more than one shard inside the lookahead window; merge per-shard results at the window barrier or give each shard its own slot"
+		if w.isMap {
+			msg = "map " + w.name + " is written from concurrently executing shard callbacks; concurrent map writes fault even with per-shard keys — use a per-shard slice merged at the barrier"
+		}
+		out = append(out, Finding{
+			Pos:      p.Fset.Position(w.pos),
+			Analyzer: "shardsafe",
+			Message:  msg,
+		})
+	}
+	return out
+}
+
+// callbackWrites collects writes inside a shard callback literal that touch
+// state declared outside it. Slice/array stores indexed by a per-iteration
+// variable are the sanctioned per-slot pattern and are skipped.
+func callbackWrites(p *Package, fl *ast.FuncLit, view string, varies bool, loopVars map[types.Object]bool) []shardWrite {
+	outer := func(obj types.Object) bool {
+		return obj != nil && !(fl.Pos() <= obj.Pos() && obj.Pos() < fl.End())
+	}
+	indexIsPerIteration := func(idx ast.Expr) bool {
+		found := false
+		ast.Inspect(idx, func(n ast.Node) bool {
+			if id, ok := n.(*ast.Ident); ok {
+				if obj := p.Info.Uses[id]; obj != nil && loopVars[obj] {
+					found = true
+				}
+			}
+			return !found
+		})
+		return found
+	}
+
+	var writes []shardWrite
+	addTarget := func(lhs ast.Expr, pos token.Pos) {
+		switch l := lhs.(type) {
+		case *ast.Ident:
+			if obj := p.Info.Uses[l]; outer(obj) {
+				writes = append(writes, shardWrite{obj: obj, pos: pos, name: l.Name, inLoop: varies, view: view})
+			}
+		case *ast.IndexExpr:
+			root := rootIdentObj(p, l.X)
+			if !outer(root) {
+				return
+			}
+			t := p.Info.TypeOf(l.X)
+			if t != nil {
+				if _, isMap := t.Underlying().(*types.Map); isMap {
+					writes = append(writes, shardWrite{obj: root, pos: pos, name: root.Name(), isMap: true, inLoop: varies, view: view})
+					return
+				}
+			}
+			if indexIsPerIteration(l.Index) {
+				return // per-slot: res[i] = ...
+			}
+			writes = append(writes, shardWrite{obj: root, pos: pos, name: root.Name(), inLoop: varies, view: view})
+		case *ast.SelectorExpr, *ast.StarExpr:
+			if root := rootIdentObj(p, lhs); outer(root) {
+				name := root.Name()
+				writes = append(writes, shardWrite{obj: root, pos: pos, name: name, inLoop: varies, view: view})
+			}
+		}
+	}
+	ast.Inspect(fl.Body, func(n ast.Node) bool {
+		switch st := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range st.Lhs {
+				// Short declarations define callback-locals, not writes.
+				if id, ok := lhs.(*ast.Ident); ok && st.Tok == token.DEFINE {
+					_ = id
+					continue
+				}
+				addTarget(lhs, st.Pos())
+			}
+		case *ast.IncDecStmt:
+			addTarget(st.X, st.Pos())
+		}
+		return true
+	})
+	return writes
+}

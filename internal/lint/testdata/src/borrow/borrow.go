@@ -1,0 +1,102 @@
+// Fixture for the borrowescape analyzer: values aliasing a reused
+// wire.UnmarshalInto scratch escaping the borrowing function.
+package borrow
+
+import "fixture/wire"
+
+// Decoder reuses one scratch message across decodes, like the detector's
+// control-plane ingress path.
+type Decoder struct {
+	scratch wire.Message
+	last    []uint64
+}
+
+var history [][]byte
+
+// Counters returns a slice still aliasing the reused scratch (true
+// positive: returned without a copy).
+func (d *Decoder) Counters(b []byte) []uint64 {
+	m := &d.scratch
+	wire.UnmarshalInto(b, m)
+	return m.Counters
+}
+
+// Remember parks a scratch alias in a field reachable by the caller (true
+// positive: stored outside the function).
+func (d *Decoder) Remember(b []byte) {
+	m := &d.scratch
+	wire.UnmarshalInto(b, m)
+	d.last = m.Counters
+}
+
+// Watch hands a scratch alias to a closure that outlives the decode (true
+// positive: capture).
+func (d *Decoder) Watch(b []byte, after func(func())) {
+	m := &d.scratch
+	wire.UnmarshalInto(b, m)
+	after(func() { _ = m.Counters })
+}
+
+// Collect reuses one local scratch across loop iterations and retains its
+// path bytes in a package variable (true positive: loop-reused local).
+func Collect(frames [][]byte) {
+	var m wire.Message
+	for _, f := range frames {
+		wire.UnmarshalInto(f, &m)
+		history = append(history, m.Path)
+	}
+}
+
+// Parse allocates a fresh scratch per call, the wire.Unmarshal shape (true
+// negative).
+func Parse(b []byte) *wire.Message {
+	m := new(wire.Message)
+	wire.UnmarshalInto(b, m)
+	return m
+}
+
+// RememberCopy copies the counters out before retaining them (true
+// negative).
+func (d *Decoder) RememberCopy(b []byte) {
+	m := &d.scratch
+	wire.UnmarshalInto(b, m)
+	c := make([]uint64, len(m.Counters))
+	copy(c, m.Counters)
+	d.last = c
+}
+
+// Sum only reads scalars out of the borrowed scratch (true negative).
+func (d *Decoder) Sum(b []byte) uint64 {
+	m := &d.scratch
+	wire.UnmarshalInto(b, m)
+	var s uint64
+	for _, v := range m.Counters {
+		s += v
+	}
+	return s
+}
+
+// Flatten copies the borrowed bytes via append's element copy (true
+// negative: ellipsis append of a scalar-element slice).
+func (d *Decoder) Flatten(b []byte) []byte {
+	out := []byte{}
+	m := &d.scratch
+	wire.UnmarshalInto(b, m)
+	out = append(out, m.Path...)
+	return out
+}
+
+// Dispatch passes the scratch to an ordinary synchronous call, which is the
+// sanctioned consumption pattern (true negative).
+func (d *Decoder) Dispatch(b []byte, handle func(*wire.Message)) {
+	m := &d.scratch
+	wire.UnmarshalInto(b, m)
+	handle(m)
+}
+
+// Peek demonstrates a justified suppression.
+func (d *Decoder) Peek(b []byte) []uint64 {
+	m := &d.scratch
+	wire.UnmarshalInto(b, m)
+	return m.Counters //lint:allow borrowescape fixture caller consumes the slice before the next decode
+}

@@ -1,0 +1,61 @@
+// Fixtures for the sync.Map.Range extension of the maporder analyzer: the
+// Range callback runs in unspecified order, so it gets the same effect
+// analysis as a map range.
+package maporder
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// SyncRangeAppend appends keys in Range order (true positive).
+func SyncRangeAppend(m *sync.Map) []string {
+	var keys []string
+	m.Range(func(k, v any) bool {
+		keys = append(keys, k.(string))
+		return true
+	})
+	return keys
+}
+
+// SyncRangePrint prints in Range order (true positive).
+func SyncRangePrint(m *sync.Map) {
+	m.Range(func(k, v any) bool {
+		fmt.Println(k)
+		return true
+	})
+}
+
+// SyncRangeCollectSorted collects then sorts, the sanctioned idiom (true
+// negative).
+func SyncRangeCollectSorted(m *sync.Map) []string {
+	var keys []string
+	m.Range(func(k, v any) bool {
+		keys = append(keys, k.(string))
+		return true
+	})
+	sort.Strings(keys)
+	return keys
+}
+
+// SyncRangeCount is order-insensitive (true negative).
+func SyncRangeCount(m *sync.Map) int {
+	n := 0
+	m.Range(func(k, v any) bool {
+		n++
+		return true
+	})
+	return n
+}
+
+// SyncRangeAllowed demonstrates a justified suppression.
+func SyncRangeAllowed(m *sync.Map) []string {
+	var keys []string
+	//lint:allow maporder fixture consumer deduplicates, so order is irrelevant
+	m.Range(func(k, v any) bool {
+		keys = append(keys, k.(string))
+		return true
+	})
+	return keys
+}

@@ -1,0 +1,103 @@
+// Fixture for the shardsafe analyzer: state written from parallel-scheduler
+// shard callbacks without the barrier merge.
+package shard
+
+import "fixture/sim"
+
+// FanOutShared bumps one shared counter from a callback scheduled on every
+// shard (true positive: cross-shard write, racy accumulate).
+func FanOutShared(s *sim.Sim, n int) int {
+	total := 0
+	shards := s.Shards(n)
+	for i := 0; i < n; i++ {
+		shards[i].At(10, func() {
+			total++
+		})
+	}
+	return total
+}
+
+// FanOutMap writes a map from every shard, one key per shard (true
+// positive: concurrent map writes fault even with disjoint keys).
+func FanOutMap(s *sim.Sim, n int) map[int]int {
+	res := map[int]int{}
+	for i := 0; i < n; i++ {
+		i := i
+		s.Shard(i).After(5, func() {
+			res[i] = i
+		})
+	}
+	return res
+}
+
+// TwoViewsOneVar writes the same variable from callbacks on two distinct
+// views (true positive on both writes).
+func TwoViewsOneVar(s *sim.Sim) int {
+	a, b := s.Shard(0), s.Shard(1)
+	hits := 0
+	a.At(1, func() { hits++ })
+	b.At(1, func() { hits++ })
+	return hits
+}
+
+// RangeFan mixes the sanctioned per-slot store (true negative) with a
+// shared scalar write (true positive) in one ranged fan-out.
+func RangeFan(s *sim.Sim, n int) []int {
+	res := make([]int, n)
+	last := 0
+	for i, sh := range s.Shards(n) {
+		i, sh := i, sh
+		sh.After(1, func() {
+			res[i] = i
+			last = i
+		})
+	}
+	return append(res, last)
+}
+
+// PerSlot is the sanctioned pattern: each shard writes only its own slot
+// (true negative).
+func PerSlot(s *sim.Sim, n int) []int {
+	res := make([]int, n)
+	shards := s.Shards(n)
+	for i := 0; i < n; i++ {
+		i := i
+		shards[i].At(10, func() {
+			res[i] = i * i
+		})
+	}
+	return res
+}
+
+// SingleView schedules twice on the same shard; one shard's callbacks run
+// serially, so sharing state between them is fine (true negative).
+func SingleView(s *sim.Sim) int {
+	sh := s.Shard(0)
+	count := 0
+	sh.At(1, func() { count++ })
+	sh.At(2, func() { count++ })
+	return count
+}
+
+// RootSequential schedules on the root simulator, not a shard view (true
+// negative: no parallel window involved).
+func RootSequential(s *sim.Sim, n int) int {
+	sum := 0
+	for i := 0; i < n; i++ {
+		i := i
+		s.At(sim.Time(i), func() { sum += i })
+	}
+	return sum
+}
+
+// SuppressedAccumulate demonstrates a justified suppression.
+func SuppressedAccumulate(s *sim.Sim, n int) int {
+	sum := 0
+	for i := 0; i < n; i++ {
+		i := i
+		s.Shard(i).At(1, func() {
+			sum += i //lint:allow shardsafe fixture keeps the racy accumulate to document the hazard
+		})
+	}
+	return sum
+}

@@ -1,0 +1,37 @@
+// Fixture for suppression scoping: a directive covers exactly one line —
+// the line it trails, or the line below a comment-only directive — and only
+// for the analyzer it names.
+package suppress
+
+import "math/rand"
+
+// TrailingStaysOnItsLine: the trailing allow silences its own line; the
+// identical comparison on the next line is still reported (regression: the
+// old two-line window leaked downward).
+func TrailingStaysOnItsLine(a, b float64) (bool, bool) {
+	x := a == b //lint:allow floateq fixture trailing directive covers this line only
+	y := a == b
+	return x, y
+}
+
+// CommentAboveStaysOnNextLine: a comment-line directive silences the line
+// below it, not its own line and not two lines down.
+func CommentAboveStaysOnNextLine(a, b float64) (bool, bool) {
+	//lint:allow floateq fixture comment-line directive covers the next line only
+	x := a == b
+	y := a == b
+	return x, y
+}
+
+// MixedLineNeedsBothNamed: one line carries a floateq and a globalrand
+// finding; silencing both takes two directives — one above, one trailing.
+func MixedLineNeedsBothNamed(a, b float64) bool {
+	//lint:allow floateq fixture exact sentinel compare is intended here
+	return a == b && rand.Intn(2) == 1 //lint:allow globalrand fixture nondeterminism is the point of this line
+}
+
+// WrongAnalyzerNamed: the trailing directive names globalrand, so the
+// floateq finding on the same line is still reported.
+func WrongAnalyzerNamed(a, b float64) bool {
+	return a == b //lint:allow globalrand fixture names the wrong analyzer on purpose
+}

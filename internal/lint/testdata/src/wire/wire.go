@@ -1,0 +1,38 @@
+// Fixture mirroring internal/wire's borrow-semantics decode surface, so the
+// borrowescape fixtures can exercise recognition of UnmarshalInto.
+package wire
+
+// Target is a retaining sub-struct (holds a slice).
+type Target struct {
+	Addr []byte
+	Port int
+}
+
+// Message is the decode scratch shape.
+type Message struct {
+	N        int
+	Counters []uint64
+	Targets  []Target
+	Path     []byte
+}
+
+// UnmarshalInto decodes b into m, reusing m's slice capacity. The decoded
+// contents are borrowed: valid only until the next UnmarshalInto into the
+// same m.
+func UnmarshalInto(b []byte, m *Message) {
+	m.N = len(b)
+	m.Counters = m.Counters[:0]
+	m.Targets = m.Targets[:0]
+	m.Path = append(m.Path[:0], b...)
+	for _, c := range b {
+		m.Counters = append(m.Counters, uint64(c))
+	}
+}
+
+// Unmarshal allocates a fresh message per call; its result owns its memory
+// (true negative: the fresh-scratch shape is exempt).
+func Unmarshal(b []byte) *Message {
+	m := new(Message)
+	UnmarshalInto(b, m)
+	return m
+}

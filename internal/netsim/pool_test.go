@@ -1,0 +1,145 @@
+package netsim
+
+import (
+	"testing"
+
+	"fancy/internal/sim"
+)
+
+// TestPoolForeignPacketNotRecycled asserts Put on a packet that did not come
+// from Get is a no-op: only pool-owned packets may enter the free list, so a
+// caller-allocated packet (which something else may still reference) can
+// never be handed out again by Get.
+func TestPoolForeignPacketNotRecycled(t *testing.T) {
+	p := NewPacketPool()
+	foreign := &Packet{Proto: ProtoUDP}
+	p.Put(foreign)
+	got := p.Get()
+	if got == foreign {
+		t.Fatal("Get returned a foreign packet that was never pool-owned")
+	}
+	if p.Reuses != 0 {
+		t.Fatalf("Reuses = %d after putting only a foreign packet, want 0", p.Reuses)
+	}
+}
+
+// TestPoolDoubleReturnIsNoOp asserts the second Put of the same packet does
+// not enter it into the free list twice: two subsequent Gets must hand out
+// two distinct packets, never the same pointer aliased to two owners.
+func TestPoolDoubleReturnIsNoOp(t *testing.T) {
+	p := NewPacketPool()
+	pkt := p.Get()
+	pkt.Proto = ProtoUDP
+	p.Put(pkt)
+	p.Put(pkt) // second return: must be ignored
+	a, b := p.Get(), p.Get()
+	if a != pkt {
+		t.Fatal("first Get after Put did not reuse the returned packet")
+	}
+	if b == a {
+		t.Fatal("double Put duplicated the packet in the free list: two Gets returned the same pointer")
+	}
+	if p.Reuses != 1 {
+		t.Fatalf("Reuses = %d, want 1 (one real return, one ignored)", p.Reuses)
+	}
+}
+
+// TestPoolIneligiblePackets asserts the conservative acceptance rules:
+// non-UDP packets and packets carrying a control payload are retained by
+// protocol machinery beyond delivery, so Put must leave them alone even when
+// they are pool-owned.
+func TestPoolIneligiblePackets(t *testing.T) {
+	cases := []struct {
+		name  string
+		mut   func(*Packet)
+		wantR uint64
+	}{
+		{"tcp", func(pkt *Packet) { pkt.Proto = ProtoTCP }, 0},
+		{"fancy-ctl", func(pkt *Packet) { pkt.Proto = ProtoFancy; pkt.Ctl = []byte{1} }, 0},
+		{"udp-with-ctl", func(pkt *Packet) { pkt.Proto = ProtoUDP; pkt.Ctl = []byte{1} }, 0},
+		{"plain-udp", func(pkt *Packet) { pkt.Proto = ProtoUDP }, 1},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			p := NewPacketPool()
+			pkt := p.Get()
+			tc.mut(pkt)
+			p.Put(pkt)
+			p.Get()
+			if p.Reuses != tc.wantR {
+				t.Fatalf("Reuses = %d, want %d", p.Reuses, tc.wantR)
+			}
+		})
+	}
+}
+
+// TestPoolGetZeroesRecycledPacket asserts a reused packet carries no state
+// from its previous life: stale FANcY tags or lane fields on a recycled
+// packet would corrupt a later transmission undetectably.
+func TestPoolGetZeroesRecycledPacket(t *testing.T) {
+	p := NewPacketPool()
+	pkt := p.Get()
+	pkt.Proto = ProtoUDP
+	pkt.Flow = 7
+	pkt.Tagged = true
+	pkt.SentAt = 42
+	p.Put(pkt)
+	got := p.Get()
+	if got != pkt {
+		t.Fatal("expected the recycled packet back")
+	}
+	if got.Flow != 0 || got.Tagged || got.SentAt != 0 {
+		t.Fatalf("recycled packet kept stale state: %+v", got)
+	}
+	if !got.pooled {
+		t.Fatal("recycled packet lost its pool ownership mark")
+	}
+}
+
+// TestPoolCaptureObserverNeverRecycles asserts a link direction with a
+// capture observer leaves dropped packets alone: the observer may have
+// retained them (capture tests inspect packets after the run), so recycling
+// would hand the observer's packet to an unrelated later Get.
+func TestPoolCaptureObserverNeverRecycles(t *testing.T) {
+	run := func(withCapture bool) (reuses uint64, retained *Packet, reGot *Packet) {
+		s := sim.New(1)
+		a := &sinkNode{name: "a", s: s}
+		b := &sinkNode{name: "b", s: s}
+		l := Connect(s, a, 0, b, 0, LinkConfig{Delay: sim.Millisecond, RateBps: 1e6})
+		l.AB.SetFailure(FailEntries(1, 0, 1.0, 9)) // drop every entry-9 packet
+		pool := NewPacketPool()
+		l.AB.SetPool(pool)
+		if withCapture {
+			l.AB.SetCapture(func(ev CaptureEvent) {
+				if ev.Kind == CaptureFailureDrop {
+					retained = ev.Pkt
+				}
+			})
+		}
+		pkt := pool.Get()
+		pkt.Proto = ProtoUDP
+		pkt.Entry = 9
+		pkt.Size = 100
+		a.tx.Send(pkt)
+		s.Run(0)
+		reGot = pool.Get() // Reuses increments here if the drop recycled
+		return pool.Reuses, retained, reGot
+	}
+
+	// Without an observer the failure drop is a point of certain ownership:
+	// the packet goes back to the pool and the next Get reuses it.
+	if reuses, _, _ := run(false); reuses != 1 {
+		t.Fatalf("without capture: Reuses = %d, want 1 (drop path recycles)", reuses)
+	}
+	// With an observer the same drop must not recycle.
+	reuses, retained, reGot := run(true)
+	if retained == nil {
+		t.Fatal("capture observer saw no failure drop")
+	}
+	if reuses != 0 {
+		t.Fatalf("with capture: Reuses = %d, want 0 (observer may retain the packet)", reuses)
+	}
+	if reGot == retained {
+		t.Fatal("Get returned the packet the capture observer retained")
+	}
+}
